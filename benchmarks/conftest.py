@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` module regenerates one paper table/figure (via
+``pytest --benchmark-only benchmarks/``), timing the regeneration and
+asserting the reproduction's shape checks.  Machines and fitted models
+are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Runner, characterize
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryMode,
+)
+from repro.model import derive_capability_model
+
+SEED = 2017  # the paper's year
+
+
+@pytest.fixture(scope="session")
+def machine() -> KNLMachine:
+    return KNLMachine(
+        MachineConfig(
+            cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT
+        ),
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def cache_machine() -> KNLMachine:
+    return KNLMachine(
+        MachineConfig(
+            cluster_mode=ClusterMode.QUADRANT, memory_mode=MemoryMode.CACHE
+        ),
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(machine) -> Runner:
+    return Runner(machine, iterations=60, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def capability(machine):
+    return derive_capability_model(characterize(machine, iterations=60, seed=SEED))

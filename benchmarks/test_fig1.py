@@ -1,0 +1,40 @@
+"""Figure 1 regeneration: the model-tuned reduce tree (64 cores, cache
+mode).  The paper's point: the optimizer emits a non-trivial tree that
+beats textbook shapes under the fitted model.
+"""
+
+import pytest
+
+from repro.algorithms import Tree, evaluate_tree, tune_reduce, tune_tree
+from repro.experiments import run
+
+
+def test_fig1_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run("fig1", iterations=25), rounds=1, iterations=1
+    )
+    assert sum(r["ranks"] for r in res.rows) == 32
+
+
+class TestTreeQuality:
+    def test_beats_flat_tree(self, capability):
+        tuned = tune_tree(capability, 32, is_reduce=True)
+        flat = evaluate_tree(capability, Tree.flat(32), is_reduce=True)
+        assert tuned.model.best_ns < flat.best_ns
+
+    def test_beats_binomial_tree(self, capability):
+        tuned = tune_tree(capability, 32, is_reduce=True)
+        binom = evaluate_tree(capability, Tree.binomial(32), is_reduce=True)
+        assert tuned.model.best_ns < binom.best_ns
+
+    def test_nontrivial_shape(self, capability):
+        """Neither a chain, a flat fan, nor a uniform binary tree."""
+        tuned = tune_reduce(capability, 32)
+        degrees = [nd.degree for nd in tuned.tree.root.walk() if nd.degree]
+        assert len(set(degrees)) >= 1
+        assert 1 < tuned.tree.root.degree < 31
+        assert 1 < tuned.tree.root.depth() < 31
+
+    def test_optimizer_is_fast(self, capability, benchmark):
+        tuned = benchmark(lambda: tune_tree(capability, 64, is_reduce=True))
+        tuned.tree.validate()

@@ -1,0 +1,79 @@
+"""Figure 10 regeneration: merge sort vs the four model curves.
+
+Paper shape: 1 KB — overhead dominates beyond ~2 threads; 4 MB —
+memory-bound up to ~8 threads, then efficiency decays; 1 GB —
+memory-bound throughout; MCDRAM ≈ DRAM for this algorithm despite the
+5x raw bandwidth.
+"""
+
+import pytest
+
+from repro.experiments import run
+from repro.units import GIB, KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(
+        "fig10",
+        iterations=30,
+        thread_counts=(1, 2, 8, 64, 256),
+        repetitions=5,
+    )
+
+
+def test_fig10_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run(
+            "fig10",
+            iterations=10,
+            sizes=(1 * KIB, 4 * MIB),
+            thread_counts=(1, 8),
+            repetitions=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(res.rows) == 4
+
+
+class TestShape:
+    def _rows(self, result, size):
+        return {r["threads"]: r for r in result.rows if r["size"] == size}
+
+    def test_1kb_overhead_dominates(self, result):
+        rows = self._rows(result, "1KB")
+        assert rows[256]["measured_s"] > 50 * rows[2]["measured_s"]
+        assert not rows[8]["efficient"]
+
+    def test_4mb_memory_bound_until_8(self, result):
+        rows = self._rows(result, "4MB")
+        assert rows[8]["efficient"] == "y"
+        assert rows[8]["measured_s"] < rows[1]["measured_s"]
+        assert not rows[256]["efficient"]
+        # Efficiency decays: 256 threads slower than 8.
+        assert rows[256]["measured_s"] > rows[8]["measured_s"]
+
+    def test_1gb_memory_bound_throughout(self, result):
+        rows = self._rows(result, "1GB")
+        assert all(r["efficient"] == "y" for r in rows.values())
+        assert rows[256]["measured_s"] < rows[1]["measured_s"] / 4
+
+    def test_measured_within_model_envelope_large(self, result):
+        """For ≥16 MB inputs the memory model works well (§V-B2):
+        measured lies between the bandwidth and latency variants."""
+        for r in self._rows(result, "1GB").values():
+            assert 0.5 * r["mem_bw_s"] <= r["measured_s"] <= r["mem_lat_s"]
+
+    def test_full_model_tracks_small_sizes(self, result):
+        """The full model (memory + overhead) explains what the memory
+        model alone cannot (1 KB at high thread counts)."""
+        rows = self._rows(result, "1KB")
+        r = rows[256]
+        assert r["full_bw_s"] == pytest.approx(r["measured_s"], rel=0.5)
+        assert r["mem_bw_s"] < r["measured_s"] / 100
+
+    def test_mcdram_no_benefit_note(self, result):
+        note = [n for n in result.notes if "DRAM/MCDRAM" in n][0]
+        ratio = float(note.split(":")[1].split("(")[0])
+        assert 0.9 < ratio < 1.6

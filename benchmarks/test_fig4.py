@@ -1,0 +1,51 @@
+"""Figure 4 regeneration: latency core 0 → every core, M/E/I states.
+
+Paper shape: same-tile partner far below remote cores; remote M spread
+107-122 ns with quadrant-locality bands (SNC4); I-state (memory) above
+the cached states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run("fig4", iterations=30)
+
+
+def test_fig4_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run("fig4", iterations=10), rounds=1, iterations=1
+    )
+    assert len(res.rows) == 64
+
+
+class TestShape:
+    def test_tile_partner_cheapest_remote(self, result):
+        tile_rows = [r for r in result.rows if r["same_tile"] and r["core"] != 0]
+        remote_rows = [r for r in result.rows if not r["same_tile"]]
+        assert max(r["M_ns"] for r in tile_rows) < min(
+            r["M_ns"] for r in remote_rows
+        )
+
+    def test_remote_spread_matches_paper(self, result):
+        vals = [r["M_ns"] for r in result.rows if not r["same_tile"]]
+        assert min(vals) == pytest.approx(107, rel=0.06)
+        assert max(vals) == pytest.approx(122, rel=0.06)
+
+    def test_quadrant_locality_visible(self, result):
+        local = [
+            r["M_ns"]
+            for r in result.rows
+            if r["same_quadrant"] and not r["same_tile"]
+        ]
+        remote = [r["M_ns"] for r in result.rows if not r["same_quadrant"]]
+        assert np.mean(local) < np.mean(remote)
+
+    def test_memory_state_slowest(self, result):
+        for r in result.rows:
+            if not r["same_tile"]:
+                assert r["I_ns"] > r["M_ns"] > r["E_ns"]

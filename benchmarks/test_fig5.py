@@ -1,0 +1,38 @@
+"""Figure 5 regeneration: copy bandwidth vs size (SNC4-cache).
+
+Paper shape: latency-bound at 64 B, plateaus of 6.7-9.2 GB/s by ~16 KB;
+M below E within the tile (write-back); SNC local-vs-remote differences
+small.
+"""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run("fig5", iterations=40)
+
+
+def test_fig5_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run("fig5", iterations=10), rounds=1, iterations=1
+    )
+    assert len(res.rows) == 13  # 64 B .. 256 KB
+
+
+class TestShape:
+    def test_monotone_rise_to_plateau(self, result):
+        remote_m = [r["remote_M"] for r in result.rows]
+        assert remote_m[0] < 1.0  # one line: latency bound
+        assert remote_m[-1] == pytest.approx(7.7, rel=0.15)
+        assert all(b >= a * 0.9 for a, b in zip(remote_m, remote_m[1:]))
+
+    def test_writeback_penalty_in_tile(self, result):
+        big = result.rows[-1]
+        assert big["tile_M"] < big["tile_E"]
+
+    def test_remote_locations_similar(self, result):
+        big = result.rows[-1]
+        assert big["quadrant_M"] == pytest.approx(big["remote_M"], rel=0.1)

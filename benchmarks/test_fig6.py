@@ -1,0 +1,64 @@
+"""Figure 6 regeneration: barrier vs threads, tuned vs OpenMP vs MPI.
+
+Paper shape: tuned dissemination in low microseconds, min-max envelope
+tracking it; OpenMP linear-in-N (up to 7x slower), MPI slowest (up to
+24x); both schedules within ~10%.
+"""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(
+        "fig6",
+        iterations=15,
+        thread_counts=(8, 32, 64),
+        schedules=("fill_tiles", "scatter"),
+    )
+
+
+def test_fig6_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run(
+            "fig6", iterations=8, thread_counts=(16,), schedules=("scatter",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(res.rows) == 1
+
+
+class TestShape:
+    def test_tuned_grows_sublinearly(self, result):
+        rows = [r for r in result.rows if r["schedule"] == "scatter"]
+        t8, t64 = rows[0]["tuned_med_us"], rows[-1]["tuned_med_us"]
+        assert t64 < 4 * t8  # log-ish growth, not 8x
+
+    def test_omp_grows_linearly(self, result):
+        rows = [r for r in result.rows if r["schedule"] == "scatter"]
+        o8, o64 = rows[0]["omp_med_us"], rows[-1]["omp_med_us"]
+        assert o64 > 4 * o8
+
+    def test_speedups_in_paper_bands(self, result):
+        row64 = [
+            r for r in result.rows
+            if r["schedule"] == "scatter" and r["threads"] == 64
+        ][0]
+        assert 3.0 < row64["speedup_omp"] < 15.0   # paper: up to 7x
+        assert 10.0 < row64["speedup_mpi"] < 35.0  # paper: up to 24x
+
+    def test_schedules_similar(self, result):
+        """Paper: differences between configuration modes/schedules are
+        usually below ~10-30%."""
+        for n in (8, 32, 64):
+            pair = [r for r in result.rows if r["threads"] == n]
+            a, b = pair[0]["tuned_med_us"], pair[1]["tuned_med_us"]
+            assert abs(a - b) / max(a, b) < 0.5
+
+    def test_envelope_brackets(self, result):
+        for r in result.rows:
+            assert r["tuned_med_us"] >= 0.5 * r["model_best_us"]
+            assert r["tuned_med_us"] <= 1.5 * r["model_worst_us"]

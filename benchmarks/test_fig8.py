@@ -1,0 +1,48 @@
+"""Figure 8 regeneration: reduce vs threads.
+
+Paper shape: tuned tree reduce up to 5x over OpenMP and 14x over MPI;
+envelope tracks the trend.
+"""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(
+        "fig8",
+        iterations=15,
+        thread_counts=(8, 64),
+        schedules=("scatter",),
+    )
+
+
+def test_fig8_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run(
+            "fig8", iterations=8, thread_counts=(16,), schedules=("scatter",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(res.rows) == 1
+
+
+class TestShape:
+    def test_speedup_bands(self, result):
+        row64 = [r for r in result.rows if r["threads"] == 64][0]
+        assert 3.0 < row64["speedup_omp"] < 15.0   # paper: up to 5x
+        assert 10.0 < row64["speedup_mpi"] < 30.0  # paper: up to 14x
+
+    def test_reduce_costs_more_than_broadcast_model(self, capability):
+        from repro.algorithms import tune_broadcast, tune_reduce
+
+        bc = tune_broadcast(capability, 32)
+        rd = tune_reduce(capability, 32)
+        assert rd.model.best_ns > bc.model.best_ns
+
+    def test_envelope(self, result):
+        for r in result.rows:
+            assert r["tuned_med_us"] <= 1.5 * r["model_worst_us"]

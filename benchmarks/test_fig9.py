@@ -1,0 +1,60 @@
+"""Figure 9 regeneration: triad bandwidth vs threads, two schedules.
+
+Paper shape: DRAM saturates at ~16 cores (~70-82 GB/s); MCDRAM reaches
+~370+ GB/s only with all cores streaming (compact needs 256 threads);
+single thread ~8 GB/s in both memories.
+"""
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run("fig9", iterations=40)
+
+
+def test_fig9_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run("fig9", iterations=10), rounds=1, iterations=1
+    )
+    assert len(res.rows) == 16
+
+
+class TestShape:
+    def _get(self, result, schedule, threads):
+        return [
+            r for r in result.rows
+            if r["schedule"] == schedule and r["threads"] == threads
+        ][0]
+
+    def test_single_thread_8gbs(self, result):
+        r = self._get(result, "compact", 1)
+        assert r["mcdram_GBs"] == pytest.approx(8.0, rel=0.25)
+        assert r["dram_GBs"] == pytest.approx(8.0, rel=0.25)
+
+    def test_dram_saturates_16_cores(self, result):
+        r16 = self._get(result, "fill_tiles", 16)
+        r64 = self._get(result, "fill_tiles", 64)
+        assert r64["dram_GBs"] < 1.15 * r16["dram_GBs"]
+        assert r64["dram_GBs"] == pytest.approx(71.0, rel=0.12)
+
+    def test_mcdram_compact_needs_256(self, result):
+        r64 = self._get(result, "compact", 64)
+        r256 = self._get(result, "compact", 256)
+        assert r256["mcdram_GBs"] > 1.6 * r64["mcdram_GBs"]
+        assert r256["mcdram_GBs"] == pytest.approx(371.0, rel=0.15)
+
+    def test_mcdram_filling_tiles_peaks_at_all_cores(self, result):
+        r64 = self._get(result, "fill_tiles", 64)
+        r128 = self._get(result, "fill_tiles", 128)
+        assert r128["mcdram_GBs"] < 1.25 * r64["mcdram_GBs"]
+
+    def test_crossover_mcdram_vs_dram(self, result):
+        """At low thread counts the two memories are equivalent; MCDRAM
+        pulls away once DRAM saturates."""
+        low = self._get(result, "fill_tiles", 4)
+        high = self._get(result, "fill_tiles", 64)
+        assert low["mcdram_GBs"] == pytest.approx(low["dram_GBs"], rel=0.15)
+        assert high["mcdram_GBs"] > 3 * high["dram_GBs"]

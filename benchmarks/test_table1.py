@@ -1,0 +1,50 @@
+"""Table I regeneration benchmark: cache-to-cache characterization.
+
+Paper reference (7210, medians): local L1 3.8 ns; tile 34 (M) /
+17-18 (E) / 14 (S,F) ns; remote 96-128 ns; single-thread read 2.5 GB/s,
+copy 6.7-9.2 GB/s; contention T_C(N) = 200 + 34 N; no congestion.
+"""
+
+import pytest
+
+from repro.experiments import run
+from repro.machine.config import ClusterMode
+
+
+@pytest.fixture(scope="module")
+def result(machine):
+    return run("table1", iterations=60, modes=[ClusterMode.SNC4])
+
+
+def test_table1_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run("table1", iterations=30, modes=[ClusterMode.SNC4]),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(res.rows) == 1
+
+
+class TestPaperBands:
+    def test_latency_block(self, result):
+        row = result.rows[0]
+        assert row["local_L1_ns"] == pytest.approx(3.8, rel=0.15)
+        assert row["tile_M_ns"] == pytest.approx(34.0, rel=0.1)
+        assert row["tile_E_ns"] == pytest.approx(17.5, rel=0.1)
+        assert row["tile_S_ns"] == pytest.approx(14.0, rel=0.1)
+        lo, hi = map(float, row["remote_M_ns"].split("-"))
+        assert 100.0 <= lo <= 115.0 and 115.0 <= hi <= 130.0
+
+    def test_bandwidth_block(self, result):
+        row = result.rows[0]
+        assert row["read_GBs"] == pytest.approx(2.5, rel=0.15)
+        assert row["copy_remote_GBs"] == pytest.approx(7.7, rel=0.15)
+        assert row["copy_tile_M_GBs"] == pytest.approx(6.7, rel=0.15)
+
+    def test_contention_fit(self, result):
+        row = result.rows[0]
+        assert row["alpha_ns"] == pytest.approx(200.0, rel=0.15)
+        assert row["beta_ns"] == pytest.approx(34.0, rel=0.15)
+
+    def test_no_congestion(self, result):
+        assert result.rows[0]["congestion"] == "none"

@@ -1,0 +1,57 @@
+"""Table II regeneration benchmark: memory latency + stream bandwidth.
+
+Paper reference (SNC4): flat DDR 130-140 ns / copy 69 / read 71 /
+write 33 / triad 71 (peaks 77/82); flat MCDRAM 160-175 ns / 342 / 243 /
+147 / 371 (peaks 418/448); cache mode slower and noisier than flat
+MCDRAM.
+"""
+
+import pytest
+
+from repro.experiments import run
+from repro.machine.config import ClusterMode
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run("table2", iterations=40, modes=[ClusterMode.SNC4])
+
+
+def test_table2_regenerates(benchmark):
+    res = benchmark.pedantic(
+        lambda: run("table2", iterations=15, modes=[ClusterMode.SNC4]),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(res.rows) == 3
+
+
+class TestPaperBands:
+    def test_flat_ddr(self, result):
+        row = result.rows[0]
+        assert 128 <= row["latency_ns"] <= 148
+        assert row["copy_GBs"] == pytest.approx(69, rel=0.1)
+        assert row["read_GBs"] == pytest.approx(71, rel=0.1)
+        assert row["write_GBs"] == pytest.approx(33, rel=0.15)
+        assert row["triad_GBs"] == pytest.approx(71, rel=0.1)
+        assert row["copy_peak_GBs"] == pytest.approx(77, rel=0.1)
+        assert row["triad_peak_GBs"] == pytest.approx(82, rel=0.1)
+
+    def test_flat_mcdram(self, result):
+        row = result.rows[1]
+        assert 155 <= row["latency_ns"] <= 182
+        assert row["copy_GBs"] == pytest.approx(342, rel=0.12)
+        assert row["read_GBs"] == pytest.approx(243, rel=0.12)
+        assert row["write_GBs"] == pytest.approx(147, rel=0.12)
+        assert row["triad_GBs"] == pytest.approx(371, rel=0.12)
+        assert row["triad_peak_GBs"] == pytest.approx(448, rel=0.1)
+
+    def test_mcdram_5x_ddr_bandwidth_but_higher_latency(self, result):
+        ddr, mcd = result.rows[0], result.rows[1]
+        assert mcd["triad_GBs"] > 4.0 * ddr["triad_GBs"]
+        assert mcd["latency_ns"] > ddr["latency_ns"] + 15
+
+    def test_cache_mode_between(self, result):
+        ddr, mcd, cache = result.rows
+        assert ddr["copy_GBs"] < cache["copy_GBs"] < mcd["copy_GBs"]
+        assert cache["latency_ns"] > mcd["latency_ns"] - 20

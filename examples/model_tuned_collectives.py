@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Model-tuned collectives vs OpenMP- and MPI-style baselines (§IV-B).
+
+Reproduces the headline of the paper: fit a capability model from
+microbenchmarks, derive broadcast/reduce trees and a dissemination
+barrier from it, execute everything on the virtual-time engine, and
+compare with the baseline cost structures.
+
+Run:  python examples/model_tuned_collectives.py [n_threads]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryMode,
+    characterize,
+    derive_capability_model,
+)
+from repro.algorithms import (
+    baselines,
+    plan_broadcast,
+    plan_reduce,
+    run_episodes,
+    speedup,
+    tune_barrier,
+)
+from repro.algorithms.barrier import barrier_programs
+from repro.bench import pin_threads
+
+
+def main(n_threads: int = 64) -> None:
+    machine = KNLMachine(
+        MachineConfig(cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT),
+        seed=7,
+    )
+    cap = derive_capability_model(characterize(machine, iterations=100))
+    threads = pin_threads(machine.topology, n_threads, "scatter")
+    iters = 50
+
+    print(f"== model-tuned collectives over {n_threads} threads ==\n")
+
+    # Barrier.
+    tb = tune_barrier(cap, n_threads)
+    s_tuned = run_episodes(
+        machine, lambda: barrier_programs(threads, tb.rounds, tb.arity), iters
+    )
+    s_omp = run_episodes(machine, lambda: baselines.omp_barrier_programs(threads), iters)
+    s_mpi = run_episodes(machine, lambda: baselines.mpi_barrier_programs(threads), iters)
+    _report("barrier", s_tuned, tb.model, s_omp, s_mpi)
+
+    # Broadcast.
+    bc = plan_broadcast(cap, machine.topology, threads, payload_bytes=64)
+    s_tuned = run_episodes(machine, bc.programs, iters)
+    s_omp = run_episodes(
+        machine, lambda: baselines.omp_broadcast_programs(threads), iters
+    )
+    s_mpi = run_episodes(
+        machine, lambda: baselines.mpi_broadcast_programs(threads), iters
+    )
+    _report("broadcast", s_tuned, bc.model, s_omp, s_mpi)
+
+    # Reduce — and the Figure-1-style tree.
+    rd = plan_reduce(cap, machine.topology, threads, payload_bytes=64)
+    s_tuned = run_episodes(machine, rd.programs, iters)
+    s_omp = run_episodes(machine, lambda: baselines.omp_reduce_programs(threads), iters)
+    s_mpi = run_episodes(machine, lambda: baselines.mpi_reduce_programs(threads), iters)
+    _report("reduce", s_tuned, rd.model, s_omp, s_mpi)
+
+    print("model-tuned reduce tree (cf. paper Fig. 1):")
+    print(rd.tuned.tree.to_ascii())
+
+
+def _report(name, tuned, model, omp, mpi) -> None:
+    med = np.median(tuned)
+    print(
+        f"{name:9s}: tuned {med/1e3:7.2f} us "
+        f"(model [{model.best_ns/1e3:.2f}, {model.worst_ns/1e3:.2f}])  "
+        f"OpenMP {np.median(omp)/1e3:8.2f} us ({speedup(omp, tuned):4.1f}x)  "
+        f"MPI {np.median(mpi)/1e3:8.2f} us ({speedup(mpi, tuned):4.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

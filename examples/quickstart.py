@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: benchmark a simulated KNL, fit its capability model, and
+model-tune a barrier.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryMode,
+    characterize,
+    derive_capability_model,
+)
+from repro.algorithms import tune_barrier
+
+
+def main() -> None:
+    # 1. Boot a KNL 7210 in the paper's headline configuration.
+    config = MachineConfig(
+        cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT
+    )
+    machine = KNLMachine(config, seed=42)
+    print(f"booted {machine}")
+    print(f"  {machine.topology.n_tiles} tiles, "
+          f"{machine.n_cores} cores, {machine.n_threads} threads")
+    print(f"  disabled slots (yield): {machine.topology.disabled_slots}\n")
+
+    # 2. Run the microbenchmark suite against it.
+    print("characterizing (latency / bandwidth / contention / stream)...")
+    results = characterize(machine, iterations=150)
+
+    # 3. Fit the capability model from the measurements.
+    cap = derive_capability_model(results)
+    print(cap.describe())
+
+    # 4. Use the model: tune a dissemination barrier for 64 threads.
+    tuned = tune_barrier(cap, n=64)
+    print()
+    print(tuned.describe())
+    print(
+        f"\n(the Eq.-2 optimum: {tuned.rounds} rounds of {tuned.arity} "
+        "remote flags each — neither binary nor flat)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The sorting case-study (§V-B): is the merge sort memory-bound, and
+does MCDRAM help?
+
+Steps: sort real data with the width-16 bitonic merge network (verified
+against NumPy), fit the overhead model from 1 KB sorts, evaluate the
+Eq. 3-5 memory model, locate the 10%-overhead efficiency boundary per
+input size, and answer the MCDRAM-vs-DRAM question.
+
+Run:  python examples/sorting_efficiency.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryMode,
+    characterize,
+    derive_capability_model,
+)
+from repro.apps import (
+    FullSortModel,
+    SortMemoryModel,
+    SortModelInputs,
+    calibrate_overhead,
+    efficiency_profile,
+    mcdram_benefit,
+    parallel_mergesort,
+)
+from repro.apps.mergesort import simulate_sort_ns
+from repro.machine import MemoryKind
+from repro.units import GIB, KIB, MIB
+
+
+def main() -> None:
+    # 0. The algorithm is real: verify a sort against NumPy.
+    rng = np.random.default_rng(0)
+    data = rng.integers(-(10**9), 10**9, 1 << 16).astype(np.int32)
+    assert np.array_equal(parallel_mergesort(data, 16), np.sort(data))
+    print("functional check: 64K-element parallel bitonic merge sort == np.sort\n")
+
+    # 1. Machine + capability model.
+    machine = KNLMachine(
+        MachineConfig(cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT),
+        seed=11,
+    )
+    cap = derive_capability_model(characterize(machine, iterations=100))
+    memory_model = SortMemoryModel(cap)
+
+    # 2. Fit the overhead model from 1 KB sorts (§V-B2).
+    def measure(nbytes: int, t: int) -> float:
+        return simulate_sort_ns(machine, nbytes, t, kind=MemoryKind.MCDRAM)
+
+    calib = calibrate_overhead(memory_model, measure)
+    print(
+        f"overhead model (from 1 KB sorts): "
+        f"{calib.model.alpha:.0f} + {calib.model.beta:.0f} * threads  [ns]\n"
+    )
+    full = FullSortModel(memory_model, calib.model)
+
+    # 3. Efficiency boundaries (the 10% rule, §V-B3).
+    threads = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    print("size   efficient up to   (overhead <= 10% of the memory model)")
+    for nbytes, label in ((1 * KIB, "1 KB"), (4 * MIB, "4 MB"), (1 * GIB, "1 GB")):
+        prof = efficiency_profile(full, nbytes, threads)
+        boundary = prof.efficiency_boundary
+        print(f"{label:6s} {boundary if boundary else '— (overhead-bound)'}")
+    print()
+
+    # 4. Fig. 10-style comparison at 4 MB.
+    print("4 MB sort: measured vs models (seconds)")
+    print("threads  measured   mem(bw)    mem(lat)   full(bw)")
+    for t in (1, 8, 64, 256):
+        meas = np.median([measure(4 * MIB, t) for _ in range(9)]) / 1e9
+        bw = SortModelInputs(4 * MIB, t, "mcdram", use_bandwidth=True)
+        lat = SortModelInputs(4 * MIB, t, "mcdram", use_bandwidth=False)
+        print(
+            f"{t:7d}  {meas:9.3g}  {memory_model.parallel_cost_ns(bw)/1e9:9.3g}"
+            f"  {memory_model.parallel_cost_ns(lat)/1e9:9.3g}"
+            f"  {full.cost_ns(bw)/1e9:9.3g}"
+        )
+    print()
+
+    # 5. The punchline: MCDRAM does not help this sort.
+    ratio = mcdram_benefit(full, 1 * GIB, 256)
+    print(
+        f"DRAM/MCDRAM predicted cost ratio for a 1 GB sort at 256 threads: "
+        f"{ratio:.2f}"
+    )
+    print(
+        "despite ~5x raw bandwidth, the merge tree halves the active\n"
+        "threads each stage — the tail runs at single-thread bandwidth\n"
+        "(~8 GB/s in BOTH memories), so the model predicts no benefit,\n"
+        "exactly as measured in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

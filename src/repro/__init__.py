@@ -1,0 +1,77 @@
+"""repro - Capability models for manycore memory systems (KNL case-study).
+
+A reproduction of Ramos & Hoefler, *"Capability Models for Manycore Memory
+Systems: A Case-Study with Xeon Phi KNL"* (IPDPS 2017), built on a simulated
+Knights Landing substrate.
+
+The package follows the paper's pipeline:
+
+1. :mod:`repro.machine` - an analytic machine model of the KNL chip
+   (tiles, mesh-of-rings, MESIF/CHA coherence, MCDRAM/DDR, all cluster and
+   memory modes).  This stands in for the silicon.
+2. :mod:`repro.bench` - the systematic microbenchmark suite (latency,
+   bandwidth, contention, congestion, STREAM) that *measures* the machine.
+3. :mod:`repro.model` - capability models fitted from the measurements.
+4. :mod:`repro.algorithms` - model-tuned broadcast / reduce / dissemination
+   barrier, plus OpenMP- and MPI-style baselines.
+5. :mod:`repro.apps` - the parallel bitonic merge-sort study (Eqs. 3-5).
+6. :mod:`repro.experiments` - one module per paper table/figure.
+
+Quickstart::
+
+    from repro import KNLMachine, MachineConfig, ClusterMode, MemoryMode
+    from repro.bench import characterize
+    from repro.model import derive_capability_model
+    from repro.algorithms import tune_broadcast
+
+    cfg = MachineConfig(cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT)
+    machine = KNLMachine(cfg, seed=42)
+    results = characterize(machine)
+    cap = derive_capability_model(results)
+    tree = tune_broadcast(cap, n_threads=64)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    TopologyError,
+    SimulationError,
+    ModelError,
+)
+from repro.machine import (
+    ClusterMode,
+    MemoryMode,
+    MemoryKind,
+    MachineConfig,
+    KNLMachine,
+    Topology,
+)
+from repro.model import CapabilityModel, derive_capability_model
+from repro.bench import characterize
+from repro.algorithms import (
+    tune_broadcast,
+    tune_reduce,
+    tune_barrier,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "SimulationError",
+    "ModelError",
+    "ClusterMode",
+    "MemoryMode",
+    "MemoryKind",
+    "MachineConfig",
+    "KNLMachine",
+    "Topology",
+    "CapabilityModel",
+    "derive_capability_model",
+    "characterize",
+    "tune_broadcast",
+    "tune_reduce",
+    "tune_barrier",
+]

@@ -1,0 +1,80 @@
+"""Model-tuned communication algorithms and baselines (paper section IV-B)."""
+
+from repro.algorithms.tree import Tree, TreeNode
+from repro.algorithms.tree_opt import tune_tree, evaluate_tree, TunedTree, LevelCost
+from repro.algorithms.hierarchy import TileGroup, group_by_tile, max_group_size
+from repro.algorithms.broadcast import (
+    TunedBroadcast,
+    BroadcastPlan,
+    tune_broadcast,
+    plan_broadcast,
+)
+from repro.algorithms.reduce import (
+    TunedReduce,
+    ReducePlan,
+    tune_reduce,
+    plan_reduce,
+)
+from repro.algorithms.barrier import (
+    TunedBarrier,
+    tune_barrier,
+    barrier_cost,
+    barrier_programs,
+    rounds_for,
+)
+from repro.algorithms import baselines
+from repro.algorithms.hier_barrier import (
+    HierarchicalBarrier,
+    tune_hierarchical_barrier,
+    hierarchical_barrier_programs,
+    hierarchical_vs_global,
+)
+from repro.algorithms.allreduce import (
+    AllreducePlan,
+    plan_allreduce,
+    mpi_allreduce_programs,
+)
+from repro.algorithms.autotune import (
+    AutotuneResult,
+    Candidate,
+    autotune_barrier,
+)
+from repro.algorithms.execute import run_episodes, speedup
+
+__all__ = [
+    "Tree",
+    "TreeNode",
+    "tune_tree",
+    "evaluate_tree",
+    "TunedTree",
+    "LevelCost",
+    "TileGroup",
+    "group_by_tile",
+    "max_group_size",
+    "TunedBroadcast",
+    "BroadcastPlan",
+    "tune_broadcast",
+    "plan_broadcast",
+    "TunedReduce",
+    "ReducePlan",
+    "tune_reduce",
+    "plan_reduce",
+    "TunedBarrier",
+    "tune_barrier",
+    "barrier_cost",
+    "barrier_programs",
+    "rounds_for",
+    "baselines",
+    "HierarchicalBarrier",
+    "tune_hierarchical_barrier",
+    "hierarchical_barrier_programs",
+    "hierarchical_vs_global",
+    "AllreducePlan",
+    "plan_allreduce",
+    "mpi_allreduce_programs",
+    "AutotuneResult",
+    "Candidate",
+    "autotune_barrier",
+    "run_episodes",
+    "speedup",
+]

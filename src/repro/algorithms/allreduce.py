@@ -1,0 +1,77 @@
+"""Model-tuned allreduce (extension).
+
+The paper tunes broadcast, reduce, and barrier; allreduce composes the
+first two (reduce to the root, then broadcast the result), inheriting
+both min-max envelopes.  The MPI-style baseline composes the binomial
+shapes at MPI message cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.algorithms import baselines
+from repro.algorithms.broadcast import BroadcastPlan, plan_broadcast
+from repro.algorithms.reduce import ReducePlan, plan_reduce
+from repro.errors import ModelError
+from repro.machine.topology import Topology
+from repro.model.minmax import MinMaxModel
+from repro.model.parameters import CapabilityModel
+from repro.sim.program import Program
+
+
+@dataclass(frozen=True)
+class AllreducePlan:
+    """Tuned reduce followed by tuned broadcast of the result."""
+
+    reduce_plan: ReducePlan
+    broadcast_plan: BroadcastPlan
+
+    @property
+    def model(self) -> MinMaxModel:
+        return self.reduce_plan.model + self.broadcast_plan.model
+
+    def programs(self) -> List[Program]:
+        """Concatenate per-thread programs; the root's reduce→broadcast
+        order provides the global sequencing (its broadcast flag cannot
+        be written before its reduce gathering finished)."""
+        red = {p.thread: p for p in self.reduce_plan.programs()}
+        bc = {p.thread: p for p in self.broadcast_plan.programs()}
+        if set(red) != set(bc):
+            raise ModelError("reduce/broadcast participant mismatch")
+        out = []
+        for t, p in red.items():
+            p.extend(bc[t].ops)
+            out.append(p)
+        return out
+
+
+def plan_allreduce(
+    capability: CapabilityModel,
+    topology: Topology,
+    thread_ids: Sequence[int],
+    payload_bytes: int = 64,
+) -> AllreducePlan:
+    return AllreducePlan(
+        reduce_plan=plan_reduce(capability, topology, thread_ids, payload_bytes),
+        broadcast_plan=plan_broadcast(
+            capability, topology, thread_ids, payload_bytes
+        ),
+    )
+
+
+def mpi_allreduce_programs(
+    ranks: Sequence[int], payload_bytes: int = 64
+) -> List[Program]:
+    """MPI-style baseline: binomial reduce + binomial broadcast."""
+    red = {p.thread: p for p in baselines.mpi_reduce_programs(ranks, payload_bytes)}
+    bc = {
+        p.thread: p
+        for p in baselines.mpi_broadcast_programs(ranks, payload_bytes)
+    }
+    out = []
+    for t, p in red.items():
+        p.extend(bc[t].ops)
+        out.append(p)
+    return out

@@ -1,0 +1,97 @@
+"""Model-pruned empirical auto-tuning.
+
+The capability model's production use: not as an oracle but as a
+*pruner*.  Enumerate candidate algorithm shapes, keep the few the model
+says are within a margin of its optimum, execute only those, and pick
+the empirical winner.  This turns an O(candidates) measurement campaign
+into O(shortlist) — and the tests confirm the model's choice survives
+contact with the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.barrier import barrier_cost, barrier_programs, rounds_for
+from repro.algorithms.execute import run_episodes
+from repro.errors import ModelError
+from repro.machine.machine import KNLMachine
+from repro.model.parameters import CapabilityModel
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One algorithm shape considered by the tuner."""
+
+    label: str
+    model_ns: float
+    measured_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    candidates: Tuple[Candidate, ...]
+    winner: Candidate
+    #: Fraction of candidates that needed measuring (the pruning win).
+    measured_fraction: float
+
+    def by_label(self, label: str) -> Candidate:
+        for c in self.candidates:
+            if c.label == label:
+                return c
+        raise ModelError(f"no candidate {label!r}")
+
+
+def autotune_barrier(
+    machine: KNLMachine,
+    cap: CapabilityModel,
+    threads: Sequence[int],
+    arities: Optional[Sequence[int]] = None,
+    margin: float = 0.25,
+    iterations: int = 20,
+) -> AutotuneResult:
+    """Pick the empirically best dissemination arity, measuring only the
+    shapes the model places within ``margin`` of its predicted optimum.
+    """
+    n = len(threads)
+    if n < 2:
+        raise ModelError("autotuning needs at least two threads")
+    if not 0.0 <= margin <= 10.0:
+        raise ModelError(f"margin out of range: {margin}")
+    arities = list(arities or range(1, min(n, 16)))
+    modeled = [(m, barrier_cost(cap, n, m)) for m in arities]
+    best_model = min(c for _, c in modeled)
+
+    candidates: List[Candidate] = []
+    shortlist: List[Tuple[int, float]] = []
+    for m, c in modeled:
+        if c <= best_model * (1.0 + margin):
+            shortlist.append((m, c))
+        else:
+            candidates.append(Candidate(label=f"m={m}", model_ns=c))
+
+    measured: List[Candidate] = []
+    for m, c in shortlist:
+        r = rounds_for(n, m)
+        samples = run_episodes(
+            machine,
+            lambda m=m, r=r: barrier_programs(list(threads), r, m),
+            iterations,
+        )
+        measured.append(
+            Candidate(label=f"m={m}", model_ns=c, measured_ns=float(np.median(samples)))
+        )
+    if not measured:
+        raise ModelError("model pruned every candidate; widen the margin")
+    winner = min(measured, key=lambda c: c.measured_ns)
+    all_candidates = tuple(
+        sorted(measured + candidates, key=lambda c: c.model_ns)
+    )
+    return AutotuneResult(
+        candidates=all_candidates,
+        winner=winner,
+        measured_fraction=len(measured) / len(arities),
+    )

@@ -1,0 +1,116 @@
+"""Model-tuned dissemination barrier (§IV-B2, Eq. 2).
+
+A generic dissemination barrier runs ``r`` rounds; in each round every
+thread notifies ``m`` peers and waits for ``m`` notifications.  After
+``r = ceil(log_{m+1} n)`` rounds everyone has (transitively) heard from
+everyone.  The model-tuned cost is
+
+    T_diss(r, m) = r · (R_I + m·R_R),   (m+1)^r ≥ n
+
+minimized over ``m``.  Dissemination is *global* (not hierarchical): the
+model says the reduced interference of intra-tile sub-barriers does not
+pay for the two extra stages (§IV-B2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ModelError
+from repro.model.minmax import MinMaxModel
+from repro.model.parameters import CapabilityModel
+from repro.sim.program import Program
+
+
+@dataclass(frozen=True)
+class TunedBarrier:
+    """Optimizer output: rounds, arity, and the min-max cost model."""
+
+    n: int
+    rounds: int
+    arity: int
+    model: MinMaxModel
+
+    def describe(self) -> str:
+        return (
+            f"dissemination barrier n={self.n}: r={self.rounds} rounds, "
+            f"m={self.arity} peers/round, model "
+            f"[{self.model.best_ns:.0f}, {self.model.worst_ns:.0f}] ns"
+        )
+
+
+def rounds_for(n: int, m: int) -> int:
+    """Smallest r with (m+1)^r >= n (exact integer arithmetic: the float
+    log form misrounds perfect powers like 5^3)."""
+    if n <= 1:
+        return 0
+    r = math.ceil(math.log(n) / math.log(m + 1))
+    while r > 0 and (m + 1) ** (r - 1) >= n:
+        r -= 1
+    while (m + 1) ** r < n:
+        r += 1
+    return r
+
+
+def barrier_cost(capability: CapabilityModel, n: int, m: int) -> float:
+    """Best-case Eq. (2) cost for arity m."""
+    r = rounds_for(n, m)
+    return r * (capability.RI + m * capability.RR)
+
+
+def barrier_cost_worst(capability: CapabilityModel, n: int, m: int) -> float:
+    """Worst case: every polled flag bounces once more (an extra memory
+    round-trip per peer) — the min-max envelope's upper edge."""
+    r = rounds_for(n, m)
+    return r * (capability.RI + m * (capability.RR + capability.RI))
+
+
+def tune_barrier(capability: CapabilityModel, n: int) -> TunedBarrier:
+    """Pick the arity minimizing Eq. (2)."""
+    if n < 1:
+        raise ModelError("need at least one thread")
+    if n == 1:
+        return TunedBarrier(1, 0, 1, MinMaxModel(0.0, 0.0))
+    best_m, best_c = 1, math.inf
+    for m in range(1, n):
+        c = barrier_cost(capability, n, m)
+        if c < best_c:
+            best_m, best_c = m, c
+    return TunedBarrier(
+        n=n,
+        rounds=rounds_for(n, best_m),
+        arity=best_m,
+        model=MinMaxModel(best_c, barrier_cost_worst(capability, n, best_m)),
+    )
+
+
+def barrier_programs(ranks: List[int], rounds: int, arity: int,
+                     tag: str = "diss") -> List[Program]:
+    """Engine programs for one barrier episode.
+
+    ``ranks`` lists the participating global thread ids; rank *i* in
+    round *j* notifies peers ``(i + s·(m+1)^j) mod n`` for s = 1..m and
+    polls the mirrored flags.
+    """
+    n = len(ranks)
+    if n == 0:
+        raise ModelError("no participants")
+    progs = [Program(t) for t in ranks]
+    for j in range(rounds):
+        stride = (arity + 1) ** j
+        for i, p in enumerate(progs):
+            # Deduplicate wrapped peers (small n, large m) so each flag is
+            # written exactly once.
+            sorted_dsts = sorted(
+                {(i + s * stride) % n for s in range(1, arity + 1)} - {i}
+            )
+            for dst in sorted_dsts:
+                p.write_flag(f"{tag}/{j}/{i}->{dst}")
+            srcs = sorted(
+                {(i - s * stride) % n for s in range(1, arity + 1)} - {i}
+            )
+            for src in srcs:
+                p.poll_flag(f"{tag}/{j}/{src}->{i}")
+    return progs

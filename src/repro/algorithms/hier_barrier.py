@@ -1,0 +1,135 @@
+"""Hierarchical barrier — the design the paper's model *rejects*.
+
+§IV-B2: "According to our model, the reduction in interferences when
+combining inter-tile dissemination with intra-tile barriers does not
+compensate for the addition of two extra stages (we need an intra-tile
+gather, followed by the inter-tile dissemination, and then an
+intra-tile broadcast)."
+
+We implement the rejected design anyway — model and executable programs
+— so the claim can be checked by execution, not just asserted: for KNL's
+parameters (cheap intra-tile polling but three serialized stages), the
+global dissemination of :mod:`repro.algorithms.barrier` wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.algorithms.barrier import barrier_programs, tune_barrier
+from repro.algorithms.hierarchy import group_by_tile
+from repro.errors import ModelError
+from repro.machine.topology import Topology
+from repro.model.minmax import MinMaxModel
+from repro.model.parameters import CapabilityModel
+from repro.sim.program import Program
+
+
+@dataclass(frozen=True)
+class HierarchicalBarrier:
+    """Intra-tile gather → leader dissemination → intra-tile release."""
+
+    n_threads: int
+    n_leaders: int
+    max_intra: int
+    rounds: int
+    arity: int
+    model: MinMaxModel
+
+
+def _intra_stage_cost(cap: CapabilityModel, k: int, worst: bool) -> float:
+    """One flat intra-tile stage with k followers (gather or release).
+
+    Followers poll/write tile-local lines: R_tile instead of R_R, so the
+    polling is cheap — but the stage still opens with a memory fetch of
+    its fresh flag line (R_I, same convention as every dissemination
+    round), and it is serialized with the rest.  These per-stage R_I
+    terms are exactly why the paper's model rejects the design."""
+    if k <= 0:
+        return 0.0
+    tile_rr = cap.r_tile.get("M", cap.RR)
+    cost = cap.RI + cap.RL + k * tile_rr
+    if worst:
+        cost += k * cap.RI  # flags evicted mid-episode
+    return cost
+
+
+def tune_hierarchical_barrier(
+    cap: CapabilityModel, n_threads: int, threads_per_tile: int = 2
+) -> HierarchicalBarrier:
+    """Model the hierarchical design for ``n_threads`` spread over tiles
+    of ``threads_per_tile`` participants each."""
+    if n_threads < 1:
+        raise ModelError("need at least one thread")
+    if threads_per_tile < 1:
+        raise ModelError("need at least one thread per tile")
+    n_leaders = max(1, -(-n_threads // threads_per_tile))
+    k_intra = min(threads_per_tile, n_threads) - 1
+    inner = tune_barrier(cap, n_leaders)
+    best = (
+        _intra_stage_cost(cap, k_intra, worst=False)
+        + inner.model.best_ns
+        + _intra_stage_cost(cap, k_intra, worst=False)
+    )
+    worst = (
+        _intra_stage_cost(cap, k_intra, worst=True)
+        + inner.model.worst_ns
+        + _intra_stage_cost(cap, k_intra, worst=True)
+    )
+    return HierarchicalBarrier(
+        n_threads=n_threads,
+        n_leaders=n_leaders,
+        max_intra=k_intra + 1,
+        rounds=inner.rounds,
+        arity=inner.arity,
+        model=MinMaxModel(best, worst),
+    )
+
+
+def hierarchical_barrier_programs(
+    topology: Topology,
+    thread_ids: Sequence[int],
+    rounds: int,
+    arity: int,
+    tag: str = "hier",
+) -> List[Program]:
+    """Executable three-stage hierarchical barrier."""
+    groups = group_by_tile(topology, list(thread_ids))
+    leaders = [g.leader for g in groups]
+    progs = {t: Program(t) for t in thread_ids}
+
+    # Stage 1: intra-tile gather (members signal their leader).
+    for g in groups:
+        for m in g.members:
+            progs[m].write_flag(f"{tag}/g/{m}")
+        for m in g.members:
+            progs[g.leader].poll_flag(f"{tag}/g/{m}")
+
+    # Stage 2: leaders run the dissemination (reuse the generator, then
+    # splice its ops onto the leader programs).
+    inner = barrier_programs(leaders, rounds, arity, tag=f"{tag}/d")
+    for p in inner:
+        progs[p.thread].extend(p.ops)
+
+    # Stage 3: intra-tile release.
+    for g in groups:
+        if g.members:
+            progs[g.leader].write_flag(
+                f"{tag}/r/{g.leader}", n_pollers=len(g.members)
+            )
+            for m in g.members:
+                progs[m].poll_flag(f"{tag}/r/{g.leader}")
+    return list(progs.values())
+
+
+def hierarchical_vs_global(
+    cap: CapabilityModel, n_threads: int, threads_per_tile: int = 2
+) -> float:
+    """Model-level cost ratio hierarchical/global (>1 ⇒ the paper's call
+    to stay global is right)."""
+    hier = tune_hierarchical_barrier(cap, n_threads, threads_per_tile)
+    glob = tune_barrier(cap, n_threads)
+    if glob.model.best_ns == 0:
+        return 1.0
+    return hier.model.best_ns / glob.model.best_ns

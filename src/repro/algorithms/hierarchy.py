@@ -1,0 +1,65 @@
+"""Grouping of participating threads by tile (inter- vs intra-tile).
+
+The model-tuned collectives isolate expensive inter-tile polling from
+cheap intra-tile polling (§IV-B1): tile *leaders* participate in the
+inter-tile tree/dissemination; remaining threads on the tile join
+through a flat intra-tile stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ModelError
+from repro.machine.topology import Topology
+
+
+@dataclass(frozen=True)
+class TileGroup:
+    """Threads of one tile taking part in a collective."""
+
+    tile_id: int
+    leader: int
+    members: Sequence[int]  # non-leader threads, same tile
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.members)
+
+
+def group_by_tile(
+    topology: Topology, thread_ids: Sequence[int], root_thread: int = None
+) -> List[TileGroup]:
+    """Group threads by tile; the root thread's group comes first.
+
+    The leader of each group is its lowest thread id (the root thread
+    leads its own group).
+    """
+    if not thread_ids:
+        raise ModelError("no participating threads")
+    if len(set(thread_ids)) != len(thread_ids):
+        raise ModelError("duplicate thread ids")
+    root_thread = thread_ids[0] if root_thread is None else root_thread
+    if root_thread not in thread_ids:
+        raise ModelError(f"root thread {root_thread} not a participant")
+
+    by_tile: Dict[int, List[int]] = {}
+    for t in thread_ids:
+        tile = topology.tile_of_thread(t).tile_id
+        by_tile.setdefault(tile, []).append(t)
+
+    groups: List[TileGroup] = []
+    for tile, members in by_tile.items():
+        members = sorted(members)
+        leader = root_thread if root_thread in members else members[0]
+        rest = tuple(m for m in members if m != leader)
+        groups.append(TileGroup(tile_id=tile, leader=leader, members=rest))
+
+    root_tile = topology.tile_of_thread(root_thread).tile_id
+    groups.sort(key=lambda g: (g.tile_id != root_tile, g.tile_id))
+    return groups
+
+
+def max_group_size(groups: Sequence[TileGroup]) -> int:
+    return max(g.size for g in groups)

@@ -1,0 +1,127 @@
+"""Serialization of tuned algorithms.
+
+Model-tuning is cheap on the simulator but took real benchmark time on
+hardware; production users persist the tuned artifacts (tree shapes,
+barrier parameters, the capability model itself) and reload them per
+machine configuration.  Plain-dict round-trips keep the format
+JSON-compatible and stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.algorithms.barrier import TunedBarrier
+from repro.algorithms.tree import Tree, TreeNode
+from repro.errors import ModelError
+from repro.model.minmax import MinMaxModel
+from repro.model.parameters import CapabilityModel, LinearCost
+
+
+# -- trees --------------------------------------------------------------------
+
+def tree_to_dict(tree: Tree) -> Dict[str, Any]:
+    def node(nd: TreeNode) -> Dict[str, Any]:
+        return {"rank": nd.rank, "children": [node(c) for c in nd.children]}
+
+    return {"root": node(tree.root)}
+
+
+def tree_from_dict(data: Dict[str, Any]) -> Tree:
+    def node(d: Dict[str, Any]) -> TreeNode:
+        if "rank" not in d:
+            raise ModelError(f"tree node missing rank: {d}")
+        return TreeNode(
+            rank=int(d["rank"]),
+            children=[node(c) for c in d.get("children", [])],
+        )
+
+    if "root" not in data:
+        raise ModelError("tree dict missing 'root'")
+    tree = Tree(node(data["root"]))
+    tree.validate()
+    return tree
+
+
+# -- min-max + linear ---------------------------------------------------------
+
+def minmax_to_dict(m: MinMaxModel) -> Dict[str, float]:
+    return {"best_ns": m.best_ns, "worst_ns": m.worst_ns}
+
+
+def minmax_from_dict(d: Dict[str, float]) -> MinMaxModel:
+    return MinMaxModel(float(d["best_ns"]), float(d["worst_ns"]))
+
+
+def linear_to_dict(lc: LinearCost) -> Dict[str, float]:
+    return {"alpha": lc.alpha, "beta": lc.beta}
+
+
+def linear_from_dict(d: Dict[str, float]) -> LinearCost:
+    return LinearCost(float(d["alpha"]), float(d["beta"]))
+
+
+# -- barrier ------------------------------------------------------------------
+
+def barrier_to_dict(tb: TunedBarrier) -> Dict[str, Any]:
+    return {
+        "n": tb.n,
+        "rounds": tb.rounds,
+        "arity": tb.arity,
+        "model": minmax_to_dict(tb.model),
+    }
+
+
+def barrier_from_dict(d: Dict[str, Any]) -> TunedBarrier:
+    return TunedBarrier(
+        n=int(d["n"]),
+        rounds=int(d["rounds"]),
+        arity=int(d["arity"]),
+        model=minmax_from_dict(d["model"]),
+    )
+
+
+# -- capability model ---------------------------------------------------------
+
+def capability_to_dict(cap: CapabilityModel) -> Dict[str, Any]:
+    return {
+        "config_label": cap.config_label,
+        "r_local": cap.r_local,
+        "r_tile": dict(cap.r_tile),
+        "r_remote": dict(cap.r_remote),
+        "r_memory": dict(cap.r_memory),
+        "contention": linear_to_dict(cap.contention),
+        "multiline": {k: linear_to_dict(v) for k, v in cap.multiline.items()},
+        "stream": dict(cap.stream),
+        "congestion_factor": cap.congestion_factor,
+        "compute_ns_per_line": cap.compute_ns_per_line,
+    }
+
+
+def capability_from_dict(d: Dict[str, Any]) -> CapabilityModel:
+    try:
+        return CapabilityModel(
+            config_label=str(d["config_label"]),
+            r_local=float(d["r_local"]),
+            r_tile={k: float(v) for k, v in d["r_tile"].items()},
+            r_remote={k: float(v) for k, v in d["r_remote"].items()},
+            r_memory={k: float(v) for k, v in d["r_memory"].items()},
+            contention=linear_from_dict(d["contention"]),
+            multiline={
+                k: linear_from_dict(v) for k, v in d["multiline"].items()
+            },
+            stream={k: float(v) for k, v in d["stream"].items()},
+            congestion_factor=float(d.get("congestion_factor", 1.0)),
+            compute_ns_per_line=float(d.get("compute_ns_per_line", 8.0)),
+        )
+    except KeyError as e:
+        raise ModelError(f"capability dict missing field: {e}") from e
+
+
+def capability_to_json(cap: CapabilityModel, indent: int = 2) -> str:
+    return json.dumps(capability_to_dict(cap), indent=indent, sort_keys=True)
+
+
+def capability_from_json(text: str) -> CapabilityModel:
+    return capability_from_dict(json.loads(text))

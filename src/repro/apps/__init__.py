@@ -1,0 +1,71 @@
+"""Application study: parallel bitonic merge sort (paper section V-B)."""
+
+from repro.apps.bitonic import (
+    WIDTH,
+    bitonic_merge,
+    bitonic_merge_16,
+    sort_blocks_16,
+    merge_sorted,
+    network_passes_for_merge,
+)
+from repro.apps.mergesort import (
+    sequential_mergesort,
+    parallel_mergesort,
+    simulate_sort_ns,
+    sort_stages,
+    SortStage,
+)
+from repro.apps.sort_model import (
+    SortModelInputs,
+    SortMemoryModel,
+    FullSortModel,
+)
+from repro.apps.overhead import (
+    calibrate_overhead,
+    OverheadCalibration,
+    DEFAULT_OVERHEAD_THREADS,
+    OVERHEAD_PROBE_BYTES,
+)
+from repro.apps.stencil import (
+    jacobi_step,
+    jacobi_reference,
+    run_jacobi,
+    StencilModel,
+    simulate_stencil_ns,
+)
+from repro.apps.efficiency import (
+    EfficiencyPoint,
+    EfficiencyProfile,
+    efficiency_profile,
+    mcdram_benefit,
+)
+
+__all__ = [
+    "WIDTH",
+    "bitonic_merge",
+    "bitonic_merge_16",
+    "sort_blocks_16",
+    "merge_sorted",
+    "network_passes_for_merge",
+    "sequential_mergesort",
+    "parallel_mergesort",
+    "simulate_sort_ns",
+    "sort_stages",
+    "SortStage",
+    "SortModelInputs",
+    "SortMemoryModel",
+    "FullSortModel",
+    "calibrate_overhead",
+    "OverheadCalibration",
+    "DEFAULT_OVERHEAD_THREADS",
+    "OVERHEAD_PROBE_BYTES",
+    "jacobi_step",
+    "jacobi_reference",
+    "run_jacobi",
+    "StencilModel",
+    "simulate_stencil_ns",
+    "EfficiencyPoint",
+    "EfficiencyProfile",
+    "efficiency_profile",
+    "mcdram_benefit",
+]

@@ -1,0 +1,87 @@
+"""Efficiency assessment (§V-B3): where is the sort memory-bound?
+
+The paper marks, per input size, the thread count beyond which the
+fitted overhead exceeds 10% of the memory model — past that point the
+implementation "is no longer bounded by the memory bandwidth achievable
+by this algorithm" and stops using resources efficiently.  It also
+quantifies the MCDRAM-vs-DRAM question: the model predicts no benefit,
+because only the early stages use many threads (§V-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.sort_model import FullSortModel, SortModelInputs
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    n_threads: int
+    memory_ns: float
+    overhead_ns: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_ns / self.memory_ns
+
+    @property
+    def efficient(self) -> bool:
+        return self.overhead_fraction <= 0.10
+
+
+@dataclass(frozen=True)
+class EfficiencyProfile:
+    nbytes: int
+    kind: str
+    points: Sequence[EfficiencyPoint]
+
+    @property
+    def efficiency_boundary(self) -> Optional[int]:
+        """Largest thread count still within the 10% overhead budget
+        (None if even one thread is overhead-bound)."""
+        efficient = [p.n_threads for p in self.points if p.efficient]
+        return max(efficient) if efficient else None
+
+
+def efficiency_profile(
+    model: FullSortModel,
+    nbytes: int,
+    thread_counts: Sequence[int],
+    kind: str = "mcdram",
+    use_bandwidth: bool = True,
+) -> EfficiencyProfile:
+    """Overhead-vs-memory balance across thread counts for one size."""
+    if not thread_counts:
+        raise ModelError("no thread counts given")
+    points: List[EfficiencyPoint] = []
+    for t in thread_counts:
+        inputs = SortModelInputs(
+            nbytes=nbytes, n_threads=t, kind=kind, use_bandwidth=use_bandwidth
+        )
+        mem = model.memory.parallel_cost_ns(inputs)
+        ovh = model.overhead.at(inputs.n_threads)
+        points.append(EfficiencyPoint(t, mem, ovh))
+    return EfficiencyProfile(nbytes=nbytes, kind=kind, points=tuple(points))
+
+
+def mcdram_benefit(
+    model: FullSortModel,
+    nbytes: int,
+    n_threads: int,
+    use_bandwidth: bool = True,
+) -> float:
+    """Predicted DRAM/MCDRAM cost ratio for the sort (≈1.0: no benefit).
+
+    Requires the capability model to carry both memory kinds (flat mode).
+    """
+    costs = {}
+    for kind in ("ddr", "mcdram"):
+        inputs = SortModelInputs(
+            nbytes=nbytes, n_threads=n_threads, kind=kind,
+            use_bandwidth=use_bandwidth,
+        )
+        costs[kind] = model.cost_ns(inputs)
+    return costs["ddr"] / costs["mcdram"]

@@ -1,0 +1,303 @@
+"""Parallel integer merge sort with ping-pong buffers (§V-B).
+
+Two halves live here:
+
+* :func:`parallel_mergesort` — the *functional* algorithm (NumPy):
+  each worker sorts its chunk from 16-element blocks upward, then
+  workers merge pairwise, halving the active count each stage.  It is
+  validated against ``np.sort`` by the test suite.
+* :func:`simulate_sort_ns` — the *timing* of that algorithm on the
+  simulated KNL: per-stage costs composed from the machine model
+  (cache-resident merges, streaming memory traffic with the
+  thread-count-dependent achievable bandwidth, inter-thread flag
+  synchronization), plus the implementation overheads (thread
+  management, recursion, false sharing) that the paper's overhead model
+  captures.  This produces the "Measured" series of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.apps.bitonic import WIDTH, merge_sorted, sort_blocks_16
+from repro.errors import ReproError
+from repro.machine.calibration import BITONIC_STAGE_NS
+from repro.machine.coherence import MESIF
+from repro.machine.config import MemoryKind
+from repro.machine.machine import KNLMachine
+from repro.bench.schedules import cores_ht_of, pin_threads
+from repro.units import CACHE_LINE_BYTES
+
+#: int32 elements per cache line.
+ELEMS_PER_LINE = WIDTH
+
+# -- the real algorithm ------------------------------------------------------
+
+
+def sequential_mergesort(x: np.ndarray) -> np.ndarray:
+    """Merge sort from 16-blocks upward using the bitonic merge kernel."""
+    x = np.asarray(x).ravel()
+    if x.size % WIDTH:
+        raise ReproError(f"size must be a multiple of {WIDTH}, got {x.size}")
+    if x.size == 0:
+        return x.copy()
+    runs: List[np.ndarray] = [
+        sort_blocks_16(x[i: i + WIDTH]) for i in range(0, x.size, WIDTH)
+    ]
+    # Ping-pong pairwise merging.
+    while len(runs) > 1:
+        nxt: List[np.ndarray] = []
+        for i in range(0, len(runs) - 1, 2):
+            nxt.append(merge_sorted(runs[i], runs[i + 1]))
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        runs = nxt
+    return runs[0]
+
+
+def parallel_mergesort(x: np.ndarray, n_threads: int) -> np.ndarray:
+    """The parallel structure: chunk-local sorts, then a merge tree that
+    halves the worker count each stage.
+
+    Functionally single-process (timing comes from the simulator), but
+    the work decomposition is exactly the measured algorithm's.
+    """
+    x = np.asarray(x).ravel()
+    if n_threads < 1:
+        raise ReproError("need at least one thread")
+    if x.size % WIDTH:
+        raise ReproError(f"size must be a multiple of {WIDTH}, got {x.size}")
+    n_threads = min(n_threads, max(1, x.size // WIDTH))
+    # Round the worker count down to a power of two (merge-tree shape).
+    n_threads = 1 << int(math.log2(n_threads))
+    chunk = x.size // n_threads
+    chunk -= chunk % WIDTH
+    bounds = [i * chunk for i in range(n_threads)] + [x.size]
+    runs = [
+        sequential_mergesort(_pad_to_width(x[bounds[i]: bounds[i + 1]]))
+        for i in range(n_threads)
+    ]
+    while len(runs) > 1:
+        runs = [
+            merge_sorted(runs[i], runs[i + 1]) for i in range(0, len(runs), 2)
+        ]
+    return runs[0][-x.size:] if runs[0].size != x.size else runs[0]
+
+
+def _pad_to_width(chunk: np.ndarray) -> np.ndarray:
+    if chunk.size % WIDTH == 0:
+        return chunk
+    pad = WIDTH - chunk.size % WIDTH
+    info = np.iinfo(chunk.dtype) if np.issubdtype(chunk.dtype, np.integer) else None
+    lo = info.min if info else -np.inf
+    return np.concatenate([np.full(pad, lo, dtype=chunk.dtype), chunk])
+
+
+# -- timing on the simulated machine ------------------------------------------
+
+#: True implementation overheads (hidden from the models; the overhead
+#: model of §V-B2 recovers them by regression).  Creating and joining a
+#: worker costs tens of microseconds on a 1.3 GHz Knight core — this,
+#: with recursion and false sharing, is what dominates small sorts in
+#: Fig. 10 and sets the 10%-overhead efficiency boundary.
+FORK_NS = 1800.0               # entering the parallel sort
+PER_THREAD_SPAWN_NS = 40000.0  # create/join one extra worker
+PER_STAGE_NS = 700.0           # merge-tree stage management / recursion
+FALSE_SHARING_NS = 90.0        # per-thread, small-chunk boundary effects
+
+
+@dataclass(frozen=True)
+class SortStage:
+    """One merge-tree stage: who is active and how much data moves."""
+
+    active_threads: int
+    output_lines_per_merge: int
+
+
+def sort_stages(total_lines: int, n_threads: int) -> List[SortStage]:
+    """Merge-tree stages after the chunk-local sorts."""
+    stages = []
+    t = n_threads
+    out_lines = max(1, total_lines // n_threads) * 2
+    while t > 1:
+        t //= 2
+        stages.append(SortStage(active_threads=t, output_lines_per_merge=out_lines))
+        out_lines *= 2
+    return stages
+
+
+def simulate_sort_ns(
+    machine: KNLMachine,
+    nbytes: int,
+    n_threads: int,
+    kind: MemoryKind = MemoryKind.MCDRAM,
+    schedule: str = "scatter",
+    noisy: bool = True,
+) -> float:
+    """Simulated wall time [ns] of sorting ``nbytes`` of int32 keys."""
+    if nbytes < CACHE_LINE_BYTES:
+        raise ReproError("sort at least one cache line")
+    if kind is MemoryKind.MCDRAM and machine.config.mcdram_flat_bytes == 0:
+        kind = MemoryKind.DDR  # cache mode: all allocations are DDR-backed
+    total_lines = nbytes // CACHE_LINE_BYTES
+    requested = n_threads  # spawned (and paid for) even when idle
+    n_threads = min(n_threads, max(1, total_lines))
+    n_threads = 1 << int(math.log2(n_threads))
+    threads = pin_threads(machine.topology, n_threads, schedule)
+    caches = machine.caches
+    tpc = max(cores_ht_of(machine.topology, threads).values())
+
+    chunk_lines = max(1, total_lines // n_threads)
+    local = _local_sort_ns(machine, chunk_lines, tpc, kind, n_threads, schedule)
+
+    total = FORK_NS + PER_THREAD_SPAWN_NS * (requested - 1) + local
+    # Small chunks suffer false sharing at the ping-pong buffer seams.
+    if chunk_lines * CACHE_LINE_BYTES < 4096:
+        total += FALSE_SHARING_NS * n_threads
+
+    for stage in sort_stages(total_lines, n_threads):
+        t = stage.active_threads
+        lines = stage.output_lines_per_merge
+        stage_bytes = lines * CACHE_LINE_BYTES
+        # Streaming merge: read + write every line once (2x traffic).
+        per_thread_share = _merge_bandwidth(machine, t, kind, schedule)
+        mem_ns = 2 * stage_bytes / per_thread_share
+        net_ns = lines * BITONIC_STAGE_NS
+        sync_ns = machine.calibration.l1_ns + machine.line_transfer_true_ns(
+            0, MESIF.MODIFIED, machine.topology.n_cores // 2
+        )
+        total += max(mem_ns, net_ns) + sync_ns + PER_STAGE_NS
+    if not noisy:
+        return total
+    return machine.noise.jitter_only(total, scale=1.5)
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One line of a sort cost breakdown."""
+
+    label: str
+    active_threads: int
+    bytes_touched: int
+    ns: float
+
+
+def cost_breakdown(
+    machine: KNLMachine,
+    nbytes: int,
+    n_threads: int,
+    kind: MemoryKind = MemoryKind.MCDRAM,
+    schedule: str = "scatter",
+) -> List[StageCost]:
+    """Per-stage cost table of the simulated sort (noise-free).
+
+    The assessment use-case of §V: see *where* the time goes — spawn
+    overhead, chunk-local sorts, then each merge stage with its halved
+    thread count — rather than one opaque number.
+    """
+    if nbytes < CACHE_LINE_BYTES:
+        raise ReproError("sort at least one cache line")
+    if kind is MemoryKind.MCDRAM and machine.config.mcdram_flat_bytes == 0:
+        kind = MemoryKind.DDR
+    total_lines = nbytes // CACHE_LINE_BYTES
+    requested = n_threads
+    n_threads = min(n_threads, max(1, total_lines))
+    n_threads = 1 << int(math.log2(n_threads))
+    threads = pin_threads(machine.topology, n_threads, schedule)
+    tpc = max(cores_ht_of(machine.topology, threads).values())
+    chunk_lines = max(1, total_lines // n_threads)
+
+    out: List[StageCost] = [
+        StageCost(
+            label="spawn/join",
+            active_threads=requested,
+            bytes_touched=0,
+            ns=FORK_NS + PER_THREAD_SPAWN_NS * (requested - 1),
+        ),
+        StageCost(
+            label="chunk-local sorts",
+            active_threads=n_threads,
+            bytes_touched=nbytes,
+            ns=_local_sort_ns(machine, chunk_lines, tpc, kind, n_threads, schedule),
+        ),
+    ]
+    for i, stage in enumerate(sort_stages(total_lines, n_threads)):
+        t = stage.active_threads
+        lines = stage.output_lines_per_merge
+        stage_bytes = lines * CACHE_LINE_BYTES
+        per_thread_share = _merge_bandwidth(machine, t, kind, schedule)
+        mem_ns = 2 * stage_bytes / per_thread_share
+        net_ns = lines * BITONIC_STAGE_NS
+        sync_ns = machine.calibration.l1_ns + machine.line_transfer_true_ns(
+            0, MESIF.MODIFIED, machine.topology.n_cores // 2
+        )
+        out.append(
+            StageCost(
+                label=f"merge stage {i + 1}",
+                active_threads=t,
+                bytes_touched=2 * stage_bytes * t,
+                ns=max(mem_ns, net_ns) + sync_ns + PER_STAGE_NS,
+            )
+        )
+    return out
+
+
+def breakdown_to_text(breakdown: List[StageCost]) -> str:
+    lines = ["stage                active  bytes         ms"]
+    for s in breakdown:
+        lines.append(
+            f"{s.label:20s} {s.active_threads:6d}  "
+            f"{s.bytes_touched:12d}  {s.ns / 1e6:8.3f}"
+        )
+    total = sum(s.ns for s in breakdown)
+    lines.append(f"{'total':20s} {'':6s}  {'':12s}  {total / 1e6:8.3f}")
+    return "\n".join(lines)
+
+
+def _local_sort_ns(
+    machine: KNLMachine,
+    chunk_lines: int,
+    threads_per_core: int,
+    kind: MemoryKind,
+    n_threads: int,
+    schedule: str,
+) -> float:
+    """Chunk-local merge sort cost: cache-resident levels at L1/L2 hit
+    cost, spilled levels at streaming memory cost."""
+    cal = machine.calibration
+    caches = machine.caches
+    levels = max(1, int(math.ceil(math.log2(max(2, chunk_lines)))))
+    l1_lines = caches.effective_l1_bytes(threads_per_core) // CACHE_LINE_BYTES // 2
+    l2_lines = caches.effective_l2_bytes(2 * threads_per_core) // CACHE_LINE_BYTES // 2
+    cost_l1 = cal.l1_ns
+    cost_l2 = cal.tile_ns[MESIF.SHARED]
+    bw = _merge_bandwidth(machine, n_threads, kind, schedule)
+    cost_mem = CACHE_LINE_BYTES / bw
+
+    total = 2 * chunk_lines * cost_mem  # first touch from memory
+    for lvl in range(levels):
+        out_lines = 2 ** (lvl + 1)
+        if out_lines <= max(1, l1_lines):
+            c = cost_l1
+        elif out_lines <= max(1, l2_lines):
+            c = cost_l2
+        else:
+            c = cost_mem
+        total += 2 * chunk_lines * c + chunk_lines * BITONIC_STAGE_NS / max(
+            1, levels
+        )
+    return total
+
+
+def _merge_bandwidth(
+    machine: KNLMachine, active_threads: int, kind: MemoryKind, schedule: str
+) -> float:
+    """Per-thread streaming bandwidth share [GB/s] for a merge stage."""
+    threads = pin_threads(machine.topology, active_threads, schedule)
+    cores_ht = cores_ht_of(machine.topology, threads)
+    agg = machine.bandwidth.aggregate("copy", kind, cores_ht, nt=True)
+    return max(0.5, agg / active_threads)

@@ -1,0 +1,80 @@
+"""The overhead model of §V-B2.
+
+The memory model works when memory access dominates (sorted vectors
+above ~16 MB).  Below that, thread management, recursion, and false
+sharing dominate.  The paper fits a linear regression to the cost of
+sorting **1 KB** with multiple thread counts *after subtracting the
+memory-model prediction*, then reuses that overhead for all sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.apps.sort_model import SortMemoryModel, SortModelInputs
+from repro.errors import ModelError
+from repro.model.fitting import fit_overhead
+from repro.model.parameters import LinearCost
+from repro.units import KIB
+
+#: Thread counts used for the overhead calibration runs.
+DEFAULT_OVERHEAD_THREADS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Size of the calibration sorts (the paper uses 1 KB messages).
+OVERHEAD_PROBE_BYTES = 1 * KIB
+
+MeasureFn = Callable[[int, int], float]
+"""(nbytes, n_threads) -> measured ns."""
+
+
+@dataclass(frozen=True)
+class OverheadCalibration:
+    """Fit artifacts, kept for inspection/plotting."""
+
+    thread_counts: Sequence[int]
+    measured_ns: Sequence[float]
+    memory_model_ns: Sequence[float]
+    model: LinearCost
+
+    @property
+    def residuals_ns(self) -> List[float]:
+        return [
+            m - p for m, p in zip(self.measured_ns, self.memory_model_ns)
+        ]
+
+
+def calibrate_overhead(
+    memory_model: SortMemoryModel,
+    measure: MeasureFn,
+    thread_counts: Sequence[int] = DEFAULT_OVERHEAD_THREADS,
+    probe_bytes: int = OVERHEAD_PROBE_BYTES,
+    kind: str = "mcdram",
+    repetitions: int = 9,
+) -> OverheadCalibration:
+    """Fit overhead(threads) = α + β·threads from 1 KB sorts.
+
+    ``measure`` runs the real (simulated) sort and returns wall ns; the
+    median of ``repetitions`` runs is used per thread count.
+    """
+    if repetitions < 1:
+        raise ModelError("need at least one repetition")
+    measured: List[float] = []
+    predicted: List[float] = []
+    for t in thread_counts:
+        runs = [measure(probe_bytes, t) for _ in range(repetitions)]
+        measured.append(float(np.median(runs)))
+        inputs = SortModelInputs(
+            nbytes=probe_bytes, n_threads=t, kind=kind, use_bandwidth=False
+        )
+        predicted.append(memory_model.parallel_cost_ns(inputs))
+    residuals = [max(0.0, m - p) for m, p in zip(measured, predicted)]
+    model = fit_overhead(list(thread_counts), residuals)
+    return OverheadCalibration(
+        thread_counts=tuple(thread_counts),
+        measured_ns=tuple(measured),
+        memory_model_ns=tuple(predicted),
+        model=model,
+    )

@@ -1,0 +1,187 @@
+"""Memory-access model of the merge sort — Eqs. (3), (4), (5) of §V-B1.
+
+Each merge reading two lists of n/2 lines and producing n lines performs
+n reads and n writes.  While everything fits in L1 only the first level
+touches memory:
+
+    C_L1(n)  = [log2(n) - 1] · 2n · cost_L1 + 2n · cost_mem          (3)
+    C_L2(n)  = (n/n_L1) · C_L1(n_L1)
+               + [log2(n) - log2(n_L1)] · 2n · cost_L2               (4)
+    C_mem(n) = (n/n_L2) · C_L2(n_L2)
+               + [log2(n) - log2(n_L2)] · 2n · cost_mem              (5)
+
+with n in cache lines, and n_L1/n_L2 the largest output lists fitting in
+(the per-thread share of) L1/L2.  ``cost_mem`` is either the memory
+*latency* (worst case: random input interleaves reads between the two
+lists) or the inverse of the achievable *bandwidth* share (best case:
+ordered input streams one list at a time), accounting for how many
+threads access memory concurrently and where they run.  Thread
+synchronization adds R_L + R_R per merge handoff, and the bitonic
+network adds its vector-instruction cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.machine.cache import CacheHierarchy
+from repro.machine.calibration import BITONIC_STAGE_NS
+from repro.model.parameters import CapabilityModel, LinearCost
+from repro.units import CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class SortModelInputs:
+    """Workload + placement parameters of one Fig.-10 operating point."""
+
+    nbytes: int
+    n_threads: int
+    kind: str = "mcdram"           # "ddr" | "mcdram"
+    threads_per_core: int = 1
+    use_bandwidth: bool = False    # False = latency (worst case)
+
+    @property
+    def total_lines(self) -> int:
+        return max(1, self.nbytes // CACHE_LINE_BYTES)
+
+    @property
+    def effective_threads(self) -> int:
+        t = min(self.n_threads, self.total_lines)
+        return 1 << int(math.log2(max(1, t)))
+
+
+class SortMemoryModel:
+    """Evaluates Eqs. (3)-(5) against a fitted capability model."""
+
+    def __init__(
+        self,
+        capability: CapabilityModel,
+        caches: Optional[CacheHierarchy] = None,
+        network_ns_per_line: float = BITONIC_STAGE_NS,
+    ) -> None:
+        self.capability = capability
+        self.caches = caches or CacheHierarchy()
+        self.network_ns_per_line = network_ns_per_line
+
+    # -- per-level line costs -------------------------------------------------
+
+    def cost_l1(self) -> float:
+        return self.capability.RL
+
+    def cost_l2(self) -> float:
+        return self.capability.r_tile.get("S", self.capability.RL * 3)
+
+    def cost_mem(self, inputs: SortModelInputs, active_threads: int) -> float:
+        return self.capability.mem_ns_per_line(
+            inputs.kind,
+            use_bandwidth=inputs.use_bandwidth,
+            op="copy",
+            n_threads=active_threads,
+        )
+
+    # -- capacity thresholds ----------------------------------------------------
+
+    def n_l1(self, inputs: SortModelInputs) -> int:
+        """Largest output list (lines) fitting the per-thread L1 share.
+        A merge needs input + output resident, hence the /2."""
+        return max(
+            2,
+            self.caches.effective_l1_bytes(inputs.threads_per_core)
+            // CACHE_LINE_BYTES
+            // 2,
+        )
+
+    def n_l2(self, inputs: SortModelInputs) -> int:
+        threads_on_tile = 2 * inputs.threads_per_core
+        return max(
+            2,
+            self.caches.effective_l2_bytes(threads_on_tile)
+            // CACHE_LINE_BYTES
+            // 2,
+        )
+
+    # -- Eqs. (3)-(5) -------------------------------------------------------------
+
+    def c_l1(self, n: int, inputs: SortModelInputs, active: int) -> float:
+        if n < 1:
+            raise ModelError("need at least one line")
+        if n == 1:
+            return 2 * self.cost_mem(inputs, active)
+        levels = math.log2(n)
+        return (levels - 1) * 2 * n * self.cost_l1() + 2 * n * self.cost_mem(
+            inputs, active
+        )
+
+    def c_l2(self, n: int, inputs: SortModelInputs, active: int) -> float:
+        n_l1 = self.n_l1(inputs)
+        if n <= n_l1:
+            return self.c_l1(n, inputs, active)
+        pieces = n / n_l1
+        extra_levels = math.log2(n) - math.log2(n_l1)
+        return pieces * self.c_l1(n_l1, inputs, active) + extra_levels * 2 * n * self.cost_l2()
+
+    def c_mem(self, n: int, inputs: SortModelInputs, active: int) -> float:
+        n_l2 = self.n_l2(inputs)
+        if n <= n_l2:
+            return self.c_l2(n, inputs, active)
+        pieces = n / n_l2
+        extra_levels = math.log2(n) - math.log2(n_l2)
+        return pieces * self.c_l2(n_l2, inputs, active) + extra_levels * 2 * n * self.cost_mem(
+            inputs, active
+        )
+
+    # -- full parallel sort ---------------------------------------------------------
+
+    def parallel_cost_ns(self, inputs: SortModelInputs) -> float:
+        """Memory-model cost of the full parallel sort.
+
+        Chunk-local sorts run on all threads in parallel; then the merge
+        tree halves the worker count per stage, each stage paying its
+        2n traffic at the stage's achievable cost plus one flag
+        synchronization (R_L + R_R) and the network's vector cost."""
+        t = inputs.effective_threads
+        n = inputs.total_lines
+        cap = self.capability
+        chunk = max(1, n // t)
+        total = self.c_mem(chunk, inputs, active=t)
+        total += chunk * self.network_ns_per_line  # base-case networks
+        stage_out = 2 * chunk
+        active = t // 2
+        while active >= 1 and stage_out <= n and t > 1:
+            cost_line = self.cost_mem(inputs, max(1, active))
+            if stage_out <= self.n_l2(inputs):
+                cost_line = min(cost_line, self.cost_l2())
+            total += 2 * stage_out * cost_line
+            total += stage_out * self.network_ns_per_line
+            total += cap.RL + cap.RR  # merge handoff flag
+            if active == 1:
+                break
+            stage_out *= 2
+            active //= 2
+        return total
+
+
+@dataclass(frozen=True)
+class FullSortModel:
+    """Memory model + the fitted overhead model of §V-B2."""
+
+    memory: SortMemoryModel
+    overhead: LinearCost  # overhead(threads) in ns
+
+    def cost_ns(self, inputs: SortModelInputs) -> float:
+        # Overhead follows the *requested* thread count: idle workers are
+        # still created and joined.
+        return self.memory.parallel_cost_ns(inputs) + self.overhead.at(
+            inputs.n_threads
+        )
+
+    def overhead_fraction(self, inputs: SortModelInputs) -> float:
+        """Overhead relative to the memory model (the 10% efficiency
+        boundary of §V-B3)."""
+        mem = self.memory.parallel_cost_ns(inputs)
+        if mem <= 0:
+            raise ModelError("memory model cost must be positive")
+        return self.overhead.at(inputs.n_threads) / mem

@@ -1,0 +1,184 @@
+"""7-point Jacobi stencil: the counterpoint application (extension).
+
+The paper's sort study shows the capability model predicting that
+MCDRAM does *not* help.  The conclusion argues the same models should
+"decide which data has to be allocated in which memory" in flat mode —
+which needs a workload on the other side of the decision.  A Jacobi
+stencil is that workload: every sweep streams the whole grid with all
+threads active, so its achievable bandwidth *is* the aggregate table,
+and the model predicts (and the simulated machine confirms) close to
+the full MCDRAM/DDR bandwidth ratio.
+
+Functional kernel (NumPy, validated against a reference loop) +
+cost model + machine-timed simulation, mirroring the sort study's
+structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.schedules import cores_ht_of, pin_threads
+from repro.errors import ModelError, ReproError
+from repro.machine.config import MemoryKind
+from repro.machine.machine import KNLMachine
+from repro.model.parameters import CapabilityModel
+
+#: Bytes moved per grid point per sweep: read the point (neighbours come
+#: from cache) + write the result into the ping-pong buffer, float64.
+BYTES_PER_POINT = 16
+
+#: Flops per point: 6 adds + 1 scale.
+FLOPS_PER_POINT = 7
+
+#: Arithmetic intensity [flop/byte] — far below any ridge: memory-bound.
+INTENSITY = FLOPS_PER_POINT / BYTES_PER_POINT
+
+
+# -- the real kernel -----------------------------------------------------------
+
+def jacobi_step(grid: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """One 7-point Jacobi sweep over the interior of a 3D grid.
+
+    Boundary values are carried over unchanged (Dirichlet).  Vectorized
+    with array slicing — the NumPy equivalent of the AVX-512 streaming
+    loop.
+    """
+    g = np.asarray(grid, dtype=np.float64)
+    if g.ndim != 3:
+        raise ReproError(f"grid must be 3D, got shape {g.shape}")
+    if min(g.shape) < 3:
+        raise ReproError(f"grid too small for a 7-point stencil: {g.shape}")
+    if out is None:
+        out = g.copy()
+    else:
+        out[...] = g
+    out[1:-1, 1:-1, 1:-1] = (
+        g[:-2, 1:-1, 1:-1]
+        + g[2:, 1:-1, 1:-1]
+        + g[1:-1, :-2, 1:-1]
+        + g[1:-1, 2:, 1:-1]
+        + g[1:-1, 1:-1, :-2]
+        + g[1:-1, 1:-1, 2:]
+        + g[1:-1, 1:-1, 1:-1]
+    ) / 7.0
+    return out
+
+
+def jacobi_reference(grid: np.ndarray) -> np.ndarray:
+    """Scalar reference implementation (for the test oracle)."""
+    g = np.asarray(grid, dtype=np.float64)
+    out = g.copy()
+    nx, ny, nz = g.shape
+    for i in range(1, nx - 1):
+        for j in range(1, ny - 1):
+            for k in range(1, nz - 1):
+                out[i, j, k] = (
+                    g[i - 1, j, k] + g[i + 1, j, k]
+                    + g[i, j - 1, k] + g[i, j + 1, k]
+                    + g[i, j, k - 1] + g[i, j, k + 1]
+                    + g[i, j, k]
+                ) / 7.0
+    return out
+
+
+def run_jacobi(grid: np.ndarray, sweeps: int) -> np.ndarray:
+    """Ping-pong buffered multi-sweep Jacobi."""
+    if sweeps < 0:
+        raise ReproError("sweeps must be non-negative")
+    a = np.array(grid, dtype=np.float64)
+    b = np.empty_like(a)
+    for _ in range(sweeps):
+        jacobi_step(a, b)
+        a, b = b, a
+    return a
+
+
+# -- the cost model -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StencilModel:
+    """Capability-model prediction for the stencil.
+
+    Per sweep: the grid's 2x traffic at the aggregate achievable
+    bandwidth for the active thread count, plus one barrier
+    (one R_I + m·R_R round per Eq. 2 — we fold in the tuned cost)."""
+
+    capability: CapabilityModel
+
+    def sweep_ns(self, grid_bytes: int, n_threads: int, kind: str) -> float:
+        if grid_bytes <= 0:
+            raise ModelError("grid must be non-empty")
+        if n_threads < 1:
+            raise ModelError("need at least one thread")
+        cap = self.capability
+        traffic = 2 * grid_bytes
+        agg = self._aggregate_bw(n_threads, kind)
+        from repro.algorithms.barrier import tune_barrier
+
+        barrier = tune_barrier(cap, n_threads).model.best_ns if n_threads > 1 else 0.0
+        return traffic / agg + barrier
+
+    def _aggregate_bw(self, n_threads: int, kind: str) -> float:
+        cap = self.capability
+        table = cap.bw("copy", kind)
+        # Per-thread ceiling ~8 GB/s until the channels saturate.
+        return min(table, 8.0 * n_threads)
+
+    def total_ns(
+        self, grid_bytes: int, n_threads: int, kind: str, sweeps: int
+    ) -> float:
+        return sweeps * self.sweep_ns(grid_bytes, n_threads, kind)
+
+    def mcdram_benefit(self, grid_bytes: int, n_threads: int) -> float:
+        """Predicted DDR/MCDRAM time ratio — large, unlike the sort."""
+        ddr = self.sweep_ns(grid_bytes, n_threads, "ddr")
+        mcd = self.sweep_ns(grid_bytes, n_threads, "mcdram")
+        return ddr / mcd
+
+
+# -- machine-timed simulation -----------------------------------------------------
+
+def simulate_stencil_ns(
+    machine: KNLMachine,
+    grid_bytes: int,
+    n_threads: int,
+    kind: MemoryKind = MemoryKind.MCDRAM,
+    sweeps: int = 1,
+    schedule: str = "scatter",
+    noisy: bool = True,
+) -> float:
+    """Simulated wall time of ``sweeps`` Jacobi sweeps.
+
+    All threads stream their grid slab each sweep and synchronize at the
+    sweep boundary — the bandwidth-bound pattern the paper's Fig. 9
+    measurements describe.
+    """
+    if grid_bytes <= 0:
+        raise ReproError("grid must be non-empty")
+    if sweeps < 1:
+        raise ReproError("need at least one sweep")
+    if kind is MemoryKind.MCDRAM and machine.config.mcdram_flat_bytes == 0:
+        kind = MemoryKind.DDR
+    n_threads = min(n_threads, machine.topology.n_threads)
+    threads = pin_threads(machine.topology, n_threads, schedule)
+    cores_ht = cores_ht_of(machine.topology, threads)
+    per_thread_bytes = 2 * grid_bytes // n_threads
+    total = 0.0
+    for _ in range(sweeps):
+        times = machine.stream_iteration_ns(
+            "copy", max(64, per_thread_bytes), cores_ht, kind=kind,
+            nt=True, noisy=noisy, working_set_bytes=grid_bytes,
+        )
+        total += float(times.max())
+        if n_threads > 1:
+            # Sweep-boundary barrier: a handful of remote flag hops.
+            sync = machine.contention_ns(
+                min(n_threads, 8), noisy=noisy
+            ) + machine.memory_latency_ns(0, kind=kind, noisy=noisy)
+            total += 3 * sync / 2
+    return total

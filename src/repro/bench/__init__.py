@@ -1,0 +1,57 @@
+"""The systematic microbenchmark suite (paper sections III-V).
+
+Families:
+
+* :mod:`repro.bench.latency_bench` - single-line cache-to-cache latency
+  per MESIF state and placement (BenchIT-style pointer chasing);
+* :mod:`repro.bench.bandwidth_bench` - single-thread multi-line
+  copy/read bandwidth (Fig. 5, Table I);
+* :mod:`repro.bench.contention_bench` - 1:N same-line contention;
+* :mod:`repro.bench.congestion_bench` - simultaneous P2P pairs;
+* :mod:`repro.bench.stream_bench` - memory copy/read/write/triad
+  bandwidth (Table II, Fig. 9);
+* :mod:`repro.bench.suite` - run everything (:func:`characterize`).
+"""
+
+from repro.bench.runner import BenchResult, Runner, DEFAULT_ITERATIONS
+from repro.bench.stats import (
+    MedianCI,
+    BoxplotStats,
+    median_ci,
+    boxplot_stats,
+    max_median,
+    linear_fit,
+)
+from repro.bench.schedules import pin_threads, cores_ht_of, SCHEDULES
+from repro.bench.timers import SimulatedTSC, TSCSpec, WindowSync
+from repro.bench.pingpong import (
+    pingpong_round_trip,
+    one_directional,
+    pingpong_matrix,
+    half_round_trip_matches_latency,
+)
+from repro.bench.suite import Characterization, characterize
+
+__all__ = [
+    "BenchResult",
+    "Runner",
+    "DEFAULT_ITERATIONS",
+    "MedianCI",
+    "BoxplotStats",
+    "median_ci",
+    "boxplot_stats",
+    "max_median",
+    "linear_fit",
+    "pin_threads",
+    "cores_ht_of",
+    "SCHEDULES",
+    "SimulatedTSC",
+    "TSCSpec",
+    "WindowSync",
+    "pingpong_round_trip",
+    "one_directional",
+    "pingpong_matrix",
+    "half_round_trip_matches_latency",
+    "Characterization",
+    "characterize",
+]

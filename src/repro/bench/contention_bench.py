@@ -1,0 +1,74 @@
+"""1:N contention benchmark (§IV-A2).
+
+One thread on core 0 owns a one-line buffer; N other threads pull it
+simultaneously into local buffers.  The recorded sample is the time at
+which the *last* accessor finishes (max per iteration).  The results are
+linear in N — T_C(N) = α + β·N — and the fit parameters feed the
+capability model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.runner import BenchResult, Runner
+from repro.bench.schedules import pin_threads
+from repro.bench.stats import linear_fit
+from repro.errors import BenchmarkError
+from repro.machine.machine import KNLMachine
+
+
+def contention_sample_batch(machine: KNLMachine, n_accessors: int, n: int) -> np.ndarray:
+    """``n`` iterations of the N-accessor pull; each sample is the
+    completion time of the slowest accessor."""
+    cal = machine.calibration
+    ranks = np.arange(1, n_accessors + 1)
+    true = cal.contention_alpha + cal.contention_beta * ranks
+    # All accessors sampled; per iteration keep the max.
+    draws = np.vstack(
+        [machine.noise.sample_many(v, n) for v in true]
+    )  # (N, n)
+    return draws.max(axis=0)
+
+
+def contention_latency(
+    runner: Runner, n_accessors: int, schedule: str = "scatter"
+) -> BenchResult:
+    """Completion latency of N threads pulling one line at once."""
+    if n_accessors < 1:
+        raise BenchmarkError("need at least one accessor")
+    m = runner.machine
+    # The schedule decides placement; KNL's contention is directory-bound,
+    # so placement moves the numbers by <10% (the paper reports the
+    # per-core schedule).  We pin anyway so the experiment is well-formed.
+    pin_threads(m.topology, n_accessors + 1, schedule)
+    return runner.collect_vectorized(
+        name=f"contention/N={n_accessors}",
+        batch_fn=lambda n, rng: contention_sample_batch(m, n_accessors, n),
+        params={"n_accessors": n_accessors, "schedule": schedule},
+    )
+
+
+def contention_sweep(
+    runner: Runner,
+    counts: Sequence[int] = (1, 2, 4, 8, 16, 24, 32, 48, 63),
+    schedule: str = "scatter",
+) -> List[BenchResult]:
+    """Sweep the accessor count; the model layer fits α + β·N to this.
+
+    Counts beyond the machine's thread budget (accessors plus the owner)
+    are skipped, so the sweep adapts to small parts."""
+    limit = runner.machine.topology.n_threads - 1
+    usable = [n for n in counts if n <= limit]
+    if len(usable) < 2:
+        usable = list(range(1, min(limit, 4) + 1))
+    return [contention_latency(runner, n, schedule) for n in usable]
+
+
+def fit_contention(results: Sequence[BenchResult]) -> Tuple[float, float]:
+    """Fit T_C(N) = α + β·N to the sweep medians; returns (α, β)."""
+    ns = [r.params["n_accessors"] for r in results]
+    meds = [r.median for r in results]
+    return linear_fit(ns, meds)

@@ -1,0 +1,132 @@
+"""Single-line cache-to-cache latency benchmarks (BenchIT-style).
+
+One sample is the average of a pointer-chasing pass (32 dependent
+accesses), repeated; the benchmark reports the median of the samples —
+the paper's modified-BenchIT convention (§IV-A1).  Location of the second
+thread and the MESIF state of the line are the experiment axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.bench.runner import BenchResult, Runner
+from repro.machine.coherence import MESIF
+from repro.machine.machine import KNLMachine
+
+#: Pointer-chasing accesses averaged into one sample (BenchIT uses 32).
+CHASE_LENGTH = 32
+
+
+def _chase_sample_batch(
+    machine: KNLMachine,
+    reader_core: int,
+    state: MESIF,
+    owner_core: Optional[int],
+    n: int,
+) -> np.ndarray:
+    """``n`` samples, each the mean of CHASE_LENGTH dependent accesses."""
+    true = machine.line_transfer_true_ns(reader_core, state, owner_core)
+    return machine.noise.sample_mean_of(true, n, CHASE_LENGTH)
+
+
+def line_latency(
+    runner: Runner,
+    reader_core: int,
+    state: MESIF,
+    owner_core: Optional[int],
+    location_label: str,
+) -> BenchResult:
+    """Latency of reading one line held by ``owner_core`` in ``state``."""
+    m = runner.machine
+    return runner.collect_vectorized(
+        name=f"latency/{location_label}/{state.value}",
+        batch_fn=lambda n, rng: _chase_sample_batch(
+            m, reader_core, state, owner_core, n
+        ),
+        params={
+            "reader": reader_core,
+            "owner": owner_core,
+            "state": state.value,
+            "location": location_label,
+        },
+    )
+
+
+def local_latency(runner: Runner, core: int = 0) -> BenchResult:
+    """L1 load-to-use latency (the line is in the reader's own cache)."""
+    m = runner.machine
+    return runner.collect_vectorized(
+        name="latency/local/L1",
+        batch_fn=lambda n, rng: machine_local_batch(m, n),
+        params={"reader": core, "location": "local"},
+    )
+
+
+def machine_local_batch(machine: KNLMachine, n: int) -> np.ndarray:
+    true = machine.calibration.l1_ns
+    return machine.noise.sample_mean_of(true, n, CHASE_LENGTH)
+
+
+def latency_summary(
+    runner: Runner,
+    states: Iterable[MESIF] = (MESIF.MODIFIED, MESIF.EXCLUSIVE, MESIF.SHARED, MESIF.FORWARD),
+) -> Dict[str, BenchResult]:
+    """The Table-I latency block: local, same-tile per state, and the
+    remote range (min/max median across placements)."""
+    m = runner.machine
+    topo = m.topology
+    out: Dict[str, BenchResult] = {"local/L1": local_latency(runner)}
+    reader = 0
+    tile_partner = topo.cores_of_tile(topo.tile_of_core(reader).tile_id)[1]
+    for st in states:
+        out[f"tile/{st.value}"] = line_latency(
+            runner, reader, st, tile_partner, "tile"
+        )
+    # Remote: probe a spread of owner cores across the die.
+    remote_cores = [
+        c
+        for c in range(0, topo.n_cores, max(1, topo.n_cores // 16))
+        if not topo.same_tile(reader, c)
+    ]
+    for st in states:
+        results = [
+            line_latency(runner, reader, st, c, f"remote@{c}") for c in remote_cores
+        ]
+        medians = [r.median for r in results]
+        # Bundle the per-placement medians as the sample vector: its
+        # min/max is the range the paper reports.
+        out[f"remote/{st.value}"] = BenchResult(
+            name=f"latency/remote/{st.value}",
+            params={"state": st.value, "owners": remote_cores},
+            samples=np.asarray(medians),
+        )
+    return out
+
+
+def latency_per_core(
+    runner: Runner,
+    reader_core: int = 0,
+    states: Iterable[MESIF] = (MESIF.MODIFIED, MESIF.EXCLUSIVE, MESIF.INVALID),
+) -> Dict[MESIF, np.ndarray]:
+    """Figure 4: latency from core 0 to every other core, per state.
+
+    Returns, per state, the median latency vector indexed by owner core.
+    State I means the line must come from memory.
+    """
+    m = runner.machine
+    topo = m.topology
+    out: Dict[MESIF, np.ndarray] = {}
+    for st in states:
+        meds = np.empty(topo.n_cores)
+        for owner in range(topo.n_cores):
+            if owner == reader_core:
+                meds[owner] = local_latency(runner).median
+                continue
+            owner_arg = None if st is MESIF.INVALID else owner
+            res = line_latency(runner, reader_core, st, owner_arg, f"core{owner}")
+            meds[owner] = res.median
+        out[st] = meds
+    return out

@@ -1,0 +1,75 @@
+"""Thread pinning schedules used throughout the paper.
+
+* ``scatter`` — first one thread per tile, then per core, then
+  hyperthreads ("scatter" in §IV-B3; "filling tiles"/1 thread per core in
+  Fig. 9b for up to 64 threads).
+* ``compact`` — fill all four hyperthreads of a core before moving to the
+  next core ("filling cores", Fig. 9a).
+* ``fill_tiles`` — one thread per core, filling both cores of a tile
+  before the next tile ("filling tiles" in §IV-B3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import BenchmarkError
+from repro.machine.topology import Topology
+
+SCHEDULES = ("scatter", "compact", "fill_tiles")
+
+
+def pin_threads(topology: Topology, n_threads: int, schedule: str) -> List[int]:
+    """Return the global thread ids that ``n_threads`` workers pin to.
+
+    Thread ids follow the machine numbering (thread ``h`` of core ``c``
+    is ``c + h * n_cores``).
+    """
+    if n_threads < 1:
+        raise BenchmarkError("need at least one thread")
+    if n_threads > topology.n_threads:
+        raise BenchmarkError(
+            f"{n_threads} threads exceed the machine's {topology.n_threads}"
+        )
+    n_cores = topology.n_cores
+    tpc = topology.config.threads_per_core
+
+    if schedule == "compact":
+        out = []
+        for core in range(n_cores):
+            for h in range(tpc):
+                out.append(core + h * n_cores)
+                if len(out) == n_threads:
+                    return out
+        raise BenchmarkError("unreachable")  # pragma: no cover
+
+    if schedule == "scatter":
+        # One thread per tile first (core 0 of each tile), then the second
+        # core of each tile, then hyperthreads.
+        order: List[int] = []
+        for h in range(tpc):
+            for core_slot in range(topology.config.cores_per_tile):
+                for tile in range(topology.n_tiles):
+                    core = topology.cores_of_tile(tile)[core_slot]
+                    order.append(core + h * n_cores)
+        return order[:n_threads]
+
+    if schedule == "fill_tiles":
+        # Both cores of tile 0, then tile 1, ... then hyperthreads.
+        order = []
+        for h in range(tpc):
+            for tile in range(topology.n_tiles):
+                for core in topology.cores_of_tile(tile):
+                    order.append(core + h * n_cores)
+        return order[:n_threads]
+
+    raise BenchmarkError(f"unknown schedule {schedule!r}; one of {SCHEDULES}")
+
+
+def cores_ht_of(topology: Topology, thread_ids: List[int]) -> Dict[int, int]:
+    """Map core → number of pinned threads, for the bandwidth model."""
+    out: Dict[int, int] = {}
+    for t in thread_ids:
+        c = topology.core_of_thread(t)
+        out[c] = out.get(c, 0) + 1
+    return out

@@ -1,0 +1,118 @@
+"""Statistics used by the benchmark suite.
+
+The paper reports **medians** ("they are the expected performance"),
+requires them to sit within 10% of the 95% confidence interval, and draws
+boxplots with a min-max model envelope.  This module provides exactly
+those tools: medians, bootstrap CIs for the median, boxplot summaries,
+and the max-median selection used for bandwidth tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.rng import SeedLike, generator
+
+
+@dataclass(frozen=True)
+class MedianCI:
+    """Median with a bootstrap 95% confidence interval."""
+
+    median: float
+    lo: float
+    hi: float
+
+    @property
+    def half_width_pct(self) -> float:
+        """CI half-width as a fraction of the median (paper: within 10%)."""
+        if self.median == 0:
+            return 0.0
+        return max(self.hi - self.median, self.median - self.lo) / abs(self.median)
+
+    def within_pct(self, pct: float = 0.10) -> bool:
+        return self.half_width_pct <= pct
+
+
+def median_ci(
+    samples: np.ndarray,
+    confidence: float = 0.95,
+    n_boot: int = 400,
+    seed: SeedLike = None,
+) -> MedianCI:
+    """Bootstrap confidence interval for the median of ``samples``."""
+    x = np.asarray(samples, dtype=float)
+    if x.size == 0:
+        raise BenchmarkError("cannot compute a median of zero samples")
+    if x.size == 1:
+        return MedianCI(float(x[0]), float(x[0]), float(x[0]))
+    rng = generator(seed)
+    idx = rng.integers(0, x.size, size=(n_boot, x.size))
+    boots = np.median(x[idx], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(boots, [alpha, 1.0 - alpha])
+    return MedianCI(float(np.median(x)), float(lo), float(hi))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary + outliers, as drawn in Figs. 6-8."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_lo: float
+    whisker_hi: float
+    outliers: Tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(samples: Sequence[float]) -> BoxplotStats:
+    """Tukey boxplot statistics (1.5 IQR whiskers)."""
+    x = np.asarray(samples, dtype=float)
+    if x.size == 0:
+        raise BenchmarkError("cannot summarize zero samples")
+    q1, med, q3 = np.percentile(x, [25, 50, 75])
+    iqr = q3 - q1
+    lo_fence, hi_fence = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    inside = x[(x >= lo_fence) & (x <= hi_fence)]
+    outliers = tuple(float(v) for v in np.sort(x[(x < lo_fence) | (x > hi_fence)]))
+    # Whiskers reach the most extreme inlier, but never retreat inside the
+    # box (interpolated quartiles can exceed every inlier on tiny samples).
+    wlo = min(float(inside.min()), float(q1)) if inside.size else float(q1)
+    whi = max(float(inside.max()), float(q3)) if inside.size else float(q3)
+    return BoxplotStats(
+        median=float(med),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_lo=wlo,
+        whisker_hi=whi,
+        outliers=outliers,
+    )
+
+
+def max_median(medians: Sequence[float]) -> float:
+    """The paper's bandwidth headline: "the maximum median achieved
+    across a set of experiments"."""
+    arr = np.asarray(list(medians), dtype=float)
+    if arr.size == 0:
+        raise BenchmarkError("no medians to take the maximum of")
+    return float(arr.max())
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit y = alpha + beta*x; returns (alpha, beta)."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.size != ya.size:
+        raise BenchmarkError(f"length mismatch: {xa.size} vs {ya.size}")
+    if xa.size < 2:
+        raise BenchmarkError("need at least two points for a linear fit")
+    beta, alpha = np.polyfit(xa, ya, 1)
+    return float(alpha), float(beta)

@@ -1,0 +1,160 @@
+"""Full machine characterization: run every microbenchmark family and
+bundle the results for the model layer.
+
+:func:`characterize` is the package's "run the whole suite" entry point;
+its output feeds :func:`repro.model.derive_capability_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.bench import (
+    bandwidth_bench,
+    congestion_bench,
+    contention_bench,
+    latency_bench,
+    stream_bench,
+)
+from repro.bench.congestion_bench import CongestionReport
+from repro.bench.runner import BenchResult, Runner
+from repro.machine.config import MemoryKind
+from repro.machine.machine import KNLMachine
+from repro.rng import SeedLike
+
+
+@dataclass
+class Characterization:
+    """Everything the benchmark suite learned about one configuration."""
+
+    config_label: str
+    #: Table-I latency block: local/L1, tile/<state>, remote/<state>.
+    latency: Dict[str, BenchResult]
+    #: Single-thread transfer bandwidth block: read/remote, copy/....
+    c2c_bandwidth: Dict[str, float]
+    #: Fig.-5-style curves used to fit the multi-line α+β·N model.
+    multiline_curves: Dict[str, List[BenchResult]]
+    #: Contention sweep (T_C(N) samples per N).
+    contention: List[BenchResult]
+    congestion: CongestionReport
+    #: Memory latency per kind [BenchResult].
+    memory_latency: Dict[str, BenchResult]
+    #: Stream table: "<op>/<kind>" → best median GB/s (non-temporal), plus
+    #: "<op>/<kind>/peak" for the tuned STREAM peaks.
+    stream: Dict[str, float]
+    #: Fig.-9 sweeps: "<schedule>/<kind>" → list over thread counts.
+    stream_sweeps: Dict[str, List[BenchResult]] = field(default_factory=dict)
+
+    def remote_latency_median(self, state_value: str) -> float:
+        return self.latency[f"remote/{state_value}"].median
+
+    def to_text(self) -> str:
+        """Human-readable summary of the whole characterization."""
+        lines = [f"Characterization[{self.config_label}]"]
+        lines.append("  latency [ns]:")
+        for key in sorted(self.latency):
+            res = self.latency[key]
+            s = res.samples
+            if key.startswith("remote/"):
+                lines.append(
+                    f"    {key:12s} {s.min():6.1f}-{s.max():6.1f}"
+                )
+            else:
+                lines.append(f"    {key:12s} {res.median:6.1f}")
+        lines.append("  c2c bandwidth [GB/s]:")
+        for key in sorted(self.c2c_bandwidth):
+            lines.append(f"    {key:16s} {self.c2c_bandwidth[key]:6.2f}")
+        from repro.bench.contention_bench import fit_contention
+
+        alpha, beta = fit_contention(self.contention)
+        lines.append(f"  contention: {alpha:.0f} + {beta:.1f}*N ns")
+        lines.append(
+            "  congestion: "
+            + ("none" if not self.congestion.congestion_observed else
+               f"x{self.congestion.slowdown:.2f}")
+        )
+        lines.append("  memory latency [ns]:")
+        for key in sorted(self.memory_latency):
+            lines.append(
+                f"    {key:8s} {self.memory_latency[key].median:6.1f}"
+            )
+        lines.append("  stream [GB/s]:")
+        for key in sorted(self.stream):
+            lines.append(f"    {key:20s} {self.stream[key]:7.1f}")
+        return "\n".join(lines)
+
+
+def characterize(
+    machine: KNLMachine,
+    iterations: int = 100,
+    seed: SeedLike = None,
+    thread_counts: Sequence[int] = (16, 64, 128, 256),
+    include_sweeps: bool = False,
+) -> Characterization:
+    """Run the complete microbenchmark suite against a machine.
+
+    ``iterations`` controls samples per point (the paper uses 1000; the
+    defaults here keep a full characterization around a second).  Set
+    ``include_sweeps`` to also collect the Fig.-9 thread sweeps.
+    """
+    from repro.machine.coherence import MESIF
+
+    runner = Runner(machine, iterations=iterations, seed=seed)
+
+    latency = latency_bench.latency_summary(runner)
+    c2c_bw = bandwidth_bench.bandwidth_summary(runner)
+
+    multiline_curves = {
+        "copy/remote/M": bandwidth_bench.bandwidth_curve(
+            runner, MESIF.MODIFIED, "remote"
+        ),
+        "copy/tile/E": bandwidth_bench.bandwidth_curve(
+            runner, MESIF.EXCLUSIVE, "tile"
+        ),
+        "read/remote/E": bandwidth_bench.bandwidth_curve(
+            runner, MESIF.EXCLUSIVE, "remote", op="read"
+        ),
+    }
+
+    contention = contention_bench.contention_sweep(runner)
+    congestion = congestion_bench.congestion_experiment(runner)
+
+    kinds = [MemoryKind.DDR]
+    if machine.config.mcdram_flat_bytes > 0:
+        kinds.append(MemoryKind.MCDRAM)
+
+    memory_latency = {
+        k.value: stream_bench.memory_latency_bench(runner, k) for k in kinds
+    }
+
+    stream: Dict[str, float] = {}
+    for k in kinds:
+        for op in stream_bench.STREAM_OPS:
+            stream[f"{op}/{k.value}"] = stream_bench.best_median(
+                runner, op, k, thread_counts
+            )
+        for op in ("copy", "triad"):
+            stream[f"{op}/{k.value}/peak"] = stream_bench.best_median(
+                runner, op, k, thread_counts, tuned=True
+            )
+
+    sweeps: Dict[str, List[BenchResult]] = {}
+    if include_sweeps:
+        for k in kinds:
+            for sched in ("scatter", "compact"):
+                sweeps[f"{sched}/{k.value}"] = stream_bench.thread_sweep(
+                    runner, "triad", k, sched
+                )
+
+    return Characterization(
+        config_label=machine.config.label(),
+        latency=latency,
+        c2c_bandwidth=c2c_bw,
+        multiline_curves=multiline_curves,
+        contention=contention,
+        congestion=congestion,
+        memory_latency=memory_latency,
+        stream=stream,
+        stream_sweeps=sweeps,
+    )

@@ -1,0 +1,108 @@
+"""Simulated TSC timing and window-based thread synchronization.
+
+The paper's harness times iterations with the TSC counter (10 ns read
+resolution) and synchronizes threads with *window intervals*: before the
+run, the TSC skew among cores is calibrated; each iteration then starts
+at an agreed future counter value so all threads enter the measured
+region together.
+
+In the simulator the engine already provides a global virtual clock, so
+these classes exist to reproduce the *measurement* pipeline faithfully:
+quantization, per-core skew, skew calibration error, and window slack all
+shape the recorded samples the way they do on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.machine.calibration import TSC_RESOLUTION_NS
+from repro.rng import SeedLike, generator, spawn
+
+
+@dataclass(frozen=True)
+class TSCSpec:
+    """TSC behaviour: frequency, read resolution, per-core skew spread."""
+
+    ghz: float = 1.3
+    resolution_ns: float = TSC_RESOLUTION_NS
+    skew_sigma_ns: float = 12.0
+
+
+class SimulatedTSC:
+    """Per-core TSC with fixed (hidden) skew.
+
+    ``read(core, true_ns)`` converts a global virtual time into the value
+    that core's counter would show, quantized to the read resolution.
+    """
+
+    def __init__(self, n_cores: int, spec: TSCSpec = TSCSpec(), seed: SeedLike = None) -> None:
+        if n_cores < 1:
+            raise BenchmarkError("need at least one core")
+        self.spec = spec
+        rng = spawn(generator(seed), "tsc")
+        self._skew_ns = rng.normal(0.0, spec.skew_sigma_ns, n_cores)
+        self._skew_ns[0] = 0.0  # core 0 is the reference
+
+    def read(self, core: int, true_ns: float) -> float:
+        """Counter value (in ns units) core would report at ``true_ns``."""
+        raw = true_ns + self._skew_ns[core]
+        q = self.spec.resolution_ns
+        return float(np.floor(raw / q) * q)
+
+    def true_skew(self, core: int) -> float:
+        return float(self._skew_ns[core])
+
+    def calibrate_skew(self, n_rounds: int = 64, seed: SeedLike = None) -> np.ndarray:
+        """Estimate per-core skew the way the harness does: repeated
+        message exchanges with core 0, taking the median offset.
+
+        The estimate carries residual error of about one TSC quantum —
+        which is why measured windows include slack."""
+        rng = spawn(generator(seed), "skewcal")
+        q = self.spec.resolution_ns
+        est = np.empty_like(self._skew_ns)
+        for c in range(len(self._skew_ns)):
+            # Each round observes skew + quantization + exchange jitter.
+            obs = self._skew_ns[c] + rng.uniform(-q, q, n_rounds)
+            est[c] = np.median(np.floor(obs / q) * q)
+        est[0] = 0.0
+        return est
+
+
+class WindowSync:
+    """Window-interval synchronization of benchmark iterations.
+
+    Threads agree on a window start W and spin until their (skew-
+    corrected) TSC passes it.  Residual calibration error means threads
+    enter the region within ``max_entry_error_ns`` of each other, a floor
+    on cross-thread timing accuracy that the suite reports.
+    """
+
+    def __init__(self, tsc: SimulatedTSC, window_ns: float, cores: Sequence[int]) -> None:
+        if window_ns <= 0:
+            raise BenchmarkError("window length must be positive")
+        self.tsc = tsc
+        self.window_ns = window_ns
+        self.cores = list(cores)
+        self._est_skew = tsc.calibrate_skew()
+
+    def entry_times(self, window_index: int) -> Dict[int, float]:
+        """True times at which each core enters the given window."""
+        start = window_index * self.window_ns
+        out = {}
+        for c in self.cores:
+            err = self.tsc.true_skew(c) - self._est_skew[c]
+            out[c] = start + max(0.0, -err) + abs(err)
+        return out
+
+    @property
+    def max_entry_error_ns(self) -> float:
+        errs = [
+            abs(self.tsc.true_skew(c) - self._est_skew[c]) for c in self.cores
+        ]
+        return float(max(errs)) if errs else 0.0

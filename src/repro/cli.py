@@ -1,0 +1,116 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Examples::
+
+    python -m repro --list
+    python -m repro table1
+    python -m repro fig6 --iterations 100
+    python -m repro all --iterations 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import all_ids, run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-knl",
+        description=(
+            "Reproduce the tables and figures of 'Capability Models for "
+            "Manycore Memory Systems: A Case-Study with Xeon Phi KNL' "
+            "(Ramos & Hoefler, IPDPS 2017) on a simulated KNL."
+        ),
+    )
+    p.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list), 'all', or 'report' "
+             "(render archived --save-dir results as markdown)",
+    )
+    p.add_argument("--list", action="store_true", help="list experiment ids")
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="samples per benchmark point (default: per-experiment)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="RNG seed")
+    p.add_argument(
+        "--json", action="store_true", help="emit JSON instead of tables"
+    )
+    p.add_argument(
+        "--out", type=str, default=None,
+        help="also write the output to this file",
+    )
+    p.add_argument(
+        "--chart", action="store_true",
+        help="render an ASCII chart for figure experiments",
+    )
+    p.add_argument(
+        "--save-dir", type=str, default=None,
+        help="archive each result as JSON in this directory",
+    )
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for eid in all_ids():
+            print(f"  {eid}")
+        return 0
+    if args.experiment == "report":
+        if not args.save_dir:
+            print("report requires --save-dir pointing at archived results")
+            return 2
+        from repro.experiments.report import render_report
+        from repro.experiments.store import ResultStore
+
+        text = render_report(ResultStore(args.save_dir))
+        print(text)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+        return 0
+    ids = all_ids() if args.experiment == "all" else [args.experiment]
+    kw = {}
+    if args.iterations is not None:
+        kw["iterations"] = args.iterations
+    if args.seed is not None:
+        kw["seed"] = args.seed
+    store = None
+    if args.save_dir:
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.save_dir)
+    chunks = []
+    for eid in ids:
+        t0 = time.time()
+        result = run(eid, **kw)
+        if store is not None:
+            store.save(result)
+        text = result.to_json() if args.json else result.to_text()
+        if args.chart and not args.json:
+            from repro.experiments.plotting import chart_experiment
+
+            chart = chart_experiment(result)
+            if chart:
+                text += "\n\n" + chart
+        chunks.append(text)
+        print(text)
+        if not args.json:
+            print(f"[{eid} took {time.time() - t0:.1f}s]")
+        print()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

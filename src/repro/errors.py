@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch a single type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent :class:`~repro.machine.MachineConfig`."""
+
+
+class TopologyError(ReproError):
+    """An invalid topology query (unknown tile/core/thread, bad coordinates)."""
+
+
+class SimulationError(ReproError):
+    """The virtual-time engine detected an invalid program (e.g. deadlock)."""
+
+
+class ModelError(ReproError):
+    """A capability-model fit or query failed (e.g. insufficient data)."""
+
+
+class BenchmarkError(ReproError):
+    """A microbenchmark was configured with invalid parameters."""

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run via :func:`repro.experiments.run` or ``python -m repro <exp-id>``.
+"""
+
+from repro.experiments.common import ExperimentResult, default_config
+from repro.experiments.registry import all_ids, get
+
+
+def run(exp_id: str, **kw) -> ExperimentResult:
+    """Run one experiment by id (``table1``, ``fig6``, ...)."""
+    return get(exp_id)(**kw)
+
+
+__all__ = ["ExperimentResult", "default_config", "run", "all_ids", "get"]

@@ -1,0 +1,23 @@
+"""Figure 6 — barrier latency vs thread count, SNC4-flat (MCDRAM), for
+the fill-tiles and scatter schedules: model-tuned dissemination vs
+Intel-OpenMP-style and Intel-MPI-style baselines, with the min-max model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._collectives import collective_sweep
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.rng import SeedLike
+
+
+@register("fig6")
+def run(iterations: int = 40, seed: SeedLike = 29, **kw) -> ExperimentResult:
+    return collective_sweep(
+        "barrier",
+        exp_id="fig6",
+        title="Barrier vs threads, SNC4-flat MCDRAM (paper Fig. 6)",
+        iterations=iterations,
+        seed=seed,
+        **kw,
+    )

@@ -1,0 +1,20 @@
+"""Figure 7 — broadcast latency vs thread count, SNC4-flat (MCDRAM)."""
+
+from __future__ import annotations
+
+from repro.experiments._collectives import collective_sweep
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.rng import SeedLike
+
+
+@register("fig7")
+def run(iterations: int = 40, seed: SeedLike = 31, **kw) -> ExperimentResult:
+    return collective_sweep(
+        "broadcast",
+        exp_id="fig7",
+        title="Broadcast vs threads, SNC4-flat MCDRAM (paper Fig. 7)",
+        iterations=iterations,
+        seed=seed,
+        **kw,
+    )

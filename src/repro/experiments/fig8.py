@@ -1,0 +1,20 @@
+"""Figure 8 — reduce latency vs thread count, SNC4-flat (MCDRAM)."""
+
+from __future__ import annotations
+
+from repro.experiments._collectives import collective_sweep
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.rng import SeedLike
+
+
+@register("fig8")
+def run(iterations: int = 40, seed: SeedLike = 37, **kw) -> ExperimentResult:
+    return collective_sweep(
+        "reduce",
+        exp_id="fig8",
+        title="Reduce vs threads, SNC4-flat MCDRAM (paper Fig. 8)",
+        iterations=iterations,
+        seed=seed,
+        **kw,
+    )

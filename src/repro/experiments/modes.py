@@ -1,0 +1,62 @@
+"""Cross-cluster-mode model comparison (extension, registered ``modes``).
+
+§IV-A / §VII: "we can use the same performance model and adjust the
+parameters when necessary" — latency parameters barely move across the
+five cluster modes, while achievable bandwidth is where they differ.
+This experiment fits all five models and reports the spread per
+parameter group.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench import characterize
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.machine.config import ClusterMode, MachineConfig, MemoryMode
+from repro.machine.machine import KNLMachine
+from repro.model import derive_capability_model, latency_vs_bandwidth_spread
+from repro.model.parameters import CapabilityModel
+from repro.rng import SeedLike
+
+COLUMNS = (
+    "mode", "RL_ns", "remote_M_ns", "ddr_ns", "mcdram_ns",
+    "alpha_ns", "beta_ns", "triad_mcdram_GBs",
+)
+
+
+@register("modes")
+def run(iterations: int = 40, seed: SeedLike = 67) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="modes",
+        title="One model, five cluster modes: parameter spread (§IV-A)",
+        columns=COLUMNS,
+    )
+    models: List[CapabilityModel] = []
+    for mode in ClusterMode:
+        machine = KNLMachine(
+            MachineConfig(cluster_mode=mode, memory_mode=MemoryMode.FLAT),
+            seed=seed,
+        )
+        cap = derive_capability_model(
+            characterize(machine, iterations=iterations)
+        )
+        models.append(cap)
+        result.add(
+            mode=mode.value,
+            RL_ns=cap.RL,
+            remote_M_ns=cap.RR,
+            ddr_ns=cap.RI_kind("ddr"),
+            mcdram_ns=cap.RI_kind("mcdram"),
+            alpha_ns=cap.contention.alpha,
+            beta_ns=cap.contention.beta,
+            triad_mcdram_GBs=cap.bw("triad", "mcdram"),
+        )
+    lat, bw = latency_vs_bandwidth_spread(models)
+    result.note(
+        f"max latency-parameter spread across modes: {lat:.1%}; "
+        f"max bandwidth spread: {bw:.1%} — the modes differ in what you "
+        "can stream, not in what a line costs"
+    )
+    return result

@@ -1,0 +1,165 @@
+"""ASCII chart rendering for the figure experiments.
+
+The paper's figures are line/box plots; in a terminal-only environment
+the CLI renders the same series as ASCII charts (``--chart``).  Pure
+text, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+#: Glyphs cycled over series.
+MARKS = "ox+*#@%&"
+
+
+def _format_val(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[Optional[float]]],
+    width: int = 68,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render y-vs-x series as an ASCII scatter/line chart.
+
+    ``series`` maps a label to y values aligned with ``xs`` (``None``
+    entries are skipped).  ``logy`` plots a log10 axis — the shape of
+    Figs. 6-8 needs it (tuned vs MPI spans 50x).
+    """
+    if not xs:
+        raise ReproError("no x values")
+    if not series:
+        raise ReproError("no series")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ReproError(
+                f"series {label!r} has {len(ys)} points for {len(xs)} xs"
+            )
+
+    def ty(v: float) -> float:
+        if not logy:
+            return v
+        if v <= 0:
+            raise ReproError("log axis needs positive values")
+        return math.log10(v)
+
+    all_vals = [
+        ty(v) for ys in series.values() for v in ys if v is not None
+    ]
+    if not all_vals:
+        raise ReproError("no data points")
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    span_x = (x_hi - x_lo) or 1.0
+
+    def col(x: float) -> int:
+        return int(round((x - x_lo) / span_x * (width - 1)))
+
+    def row(v: float) -> int:
+        frac = (ty(v) - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for i, (label, ys) in enumerate(sorted(series.items())):
+        mark = MARKS[i % len(MARKS)]
+        pts = [(col(x), row(y)) for x, y in zip(xs, ys) if y is not None]
+        # Connect consecutive points with interpolated marks.
+        for (c0, r0), (c1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = c0 + (c1 - c0) * s // steps
+                r = r0 + (r1 - r0) * s // steps
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in pts:
+            grid[r][c] = mark
+
+    top_label = _format_val(10**hi if logy else hi)
+    bot_label = _format_val(10**lo if logy else lo)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{top_label:>10s} +" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        out.append(" " * 10 + " |" + "".join(grid[r]))
+    out.append(f"{bot_label:>10s} +" + "".join(grid[-1]))
+    axis = " " * 12 + f"{_format_val(x_lo)}" + " " * (width - 12) + f"{_format_val(x_hi)}"
+    out.append(axis)
+    legend = "   ".join(
+        f"{MARKS[i % len(MARKS)]} {label}"
+        for i, label in enumerate(sorted(series))
+    )
+    out.append(" " * 12 + legend)
+    if ylabel:
+        out.append(" " * 12 + f"[y: {ylabel}{', log' if logy else ''}]")
+    return "\n".join(out)
+
+
+def chart_for_result(result, x_col: str, y_cols: Sequence[str],
+                     filter_col: Optional[str] = None,
+                     filter_val: Optional[object] = None,
+                     logy: bool = False, ylabel: str = "") -> str:
+    """Chart an ExperimentResult's rows: ``y_cols`` vs ``x_col``."""
+    rows = result.rows
+    if filter_col is not None:
+        rows = [r for r in rows if r.get(filter_col) == filter_val]
+    if not rows:
+        raise ReproError("no rows after filtering")
+    xs = [float(r[x_col]) for r in rows]
+    series: Dict[str, List[Optional[float]]] = {}
+    for yc in y_cols:
+        vals = []
+        for r in rows:
+            v = r.get(yc)
+            vals.append(float(v) if isinstance(v, (int, float)) else None)
+        series[yc] = vals
+    title = f"{result.exp_id}: {result.title}"
+    if filter_col is not None:
+        title += f" [{filter_col}={filter_val}]"
+    return ascii_chart(xs, series, logy=logy, title=title, ylabel=ylabel)
+
+
+#: Chart specs per experiment id: (x, ys, filter, logy, ylabel).
+CHART_SPECS = {
+    "fig6": ("threads", ("tuned_med_us", "omp_med_us", "mpi_med_us",
+                         "model_best_us", "model_worst_us"),
+             ("schedule", "scatter"), True, "us"),
+    "fig7": ("threads", ("tuned_med_us", "omp_med_us", "mpi_med_us",
+                         "model_best_us", "model_worst_us"),
+             ("schedule", "scatter"), True, "us"),
+    "fig8": ("threads", ("tuned_med_us", "omp_med_us", "mpi_med_us",
+                         "model_best_us", "model_worst_us"),
+             ("schedule", "scatter"), True, "us"),
+    "fig9": ("threads", ("mcdram_GBs", "dram_GBs"),
+             ("schedule", "fill_tiles"), False, "GB/s"),
+    "fig4": ("core", ("M_ns", "E_ns", "I_ns"), None, False, "ns"),
+    "fig5": ("size_B", ("tile_M", "tile_E", "remote_M"), None, False, "GB/s"),
+}
+
+
+def chart_experiment(result) -> Optional[str]:
+    """Chart an experiment if a spec exists for it, else None."""
+    spec = CHART_SPECS.get(result.exp_id)
+    if spec is None:
+        return None
+    x, ys, filt, logy, ylabel = spec
+    fc, fv = filt if filt else (None, None)
+    return chart_for_result(
+        result, x, ys, filter_col=fc, filter_val=fv, logy=logy, ylabel=ylabel
+    )

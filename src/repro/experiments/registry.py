@@ -1,0 +1,61 @@
+"""Experiment registry: id → runner.
+
+Experiment ids follow the paper: ``table1``, ``table2``, ``fig1``,
+``fig4``-``fig10``, plus ``speedups`` (the §IV-B3 headline numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: Dict[str, Runner] = {}
+
+
+def register(exp_id: str) -> Callable[[Runner], Runner]:
+    def deco(fn: Runner) -> Runner:
+        if exp_id in _REGISTRY:
+            raise ReproError(f"experiment {exp_id!r} registered twice")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def get(exp_id: str) -> Runner:
+    _ensure_loaded()
+    if exp_id not in _REGISTRY:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[exp_id]
+
+
+def all_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import all experiment modules so their @register decorators run."""
+    from repro.experiments import (  # noqa: F401
+        table1,
+        table2,
+        fig1,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        speedups,
+        extensions,
+        parts,
+        stencil_exp,
+        modes,
+    )

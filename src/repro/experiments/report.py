@@ -1,0 +1,71 @@
+"""Markdown report generation from archived experiment results.
+
+``python -m repro report --save-dir results/`` renders everything a
+store directory holds into one EXPERIMENTS-style markdown document —
+the artifact a user attaches to a reproduction claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.store import ResultStore
+
+#: Preferred section order (stored ids not listed are appended sorted).
+PREFERRED_ORDER = (
+    "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "speedups", "ext", "parts", "stencil", "modes",
+)
+
+
+def _order(ids: Sequence[str]) -> List[str]:
+    known = [i for i in PREFERRED_ORDER if i in ids]
+    rest = sorted(i for i in ids if i not in PREFERRED_ORDER)
+    return known + rest
+
+
+def result_to_markdown(result: ExperimentResult, max_rows: int = 40) -> str:
+    """One experiment as a markdown section with a table."""
+    lines = [f"## {result.exp_id} — {result.title}", ""]
+    cols = list(result.columns)
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in result.rows[:max_rows]:
+        cells = []
+        for c in cols:
+            v = row.get(c, "")
+            cells.append(f"{v:.4g}" if isinstance(v, float) else str(v))
+        lines.append("| " + " | ".join(cells) + " |")
+    if len(result.rows) > max_rows:
+        lines.append(f"| … {len(result.rows) - max_rows} more rows … |")
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(
+    store: ResultStore,
+    title: str = "KNL capability-model reproduction — archived results",
+    ids: Optional[Sequence[str]] = None,
+) -> str:
+    """Render every (or the selected) stored result as markdown."""
+    available = store.ids()
+    if not available:
+        raise ReproError(f"no stored results in {store.directory}")
+    selected = list(ids) if ids else _order(available)
+    missing = [i for i in selected if not store.has(i)]
+    if missing:
+        raise ReproError(f"results not in store: {missing}")
+    parts = [f"# {title}", ""]
+    parts.append(
+        f"{len(selected)} experiments from `{store.directory}`. "
+        "Regenerate any of them with `python -m repro <id>`."
+    )
+    parts.append("")
+    for exp_id in selected:
+        parts.append(result_to_markdown(store.load(exp_id)))
+    return "\n".join(parts)

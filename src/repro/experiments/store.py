@@ -1,0 +1,94 @@
+"""Persistence of experiment results.
+
+Characterizing hardware is expensive; production users archive results
+and re-render/compare later.  ``ResultStore`` saves each
+:class:`ExperimentResult` as JSON under a directory keyed by experiment
+id, with round-trip loading.  The CLI exposes it via ``--save-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass
+class ResultStore:
+    """Directory-backed archive of experiment results."""
+
+    directory: str
+
+    def __post_init__(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, exp_id: str) -> str:
+        if not exp_id or "/" in exp_id or exp_id.startswith("."):
+            raise ReproError(f"invalid experiment id {exp_id!r}")
+        return os.path.join(self.directory, f"{exp_id}.json")
+
+    def save(self, result: ExperimentResult) -> str:
+        path = self._path(result.exp_id)
+        with open(path, "w") as fh:
+            fh.write(result.to_json())
+        return path
+
+    def load(self, exp_id: str) -> ExperimentResult:
+        path = self._path(exp_id)
+        if not os.path.exists(path):
+            raise ReproError(
+                f"no stored result for {exp_id!r} in {self.directory}"
+            )
+        with open(path) as fh:
+            data = json.load(fh)
+        result = ExperimentResult(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+        )
+        for row in data["rows"]:
+            result.add(**row)
+        for note in data.get("notes", []):
+            result.note(note)
+        return result
+
+    def ids(self) -> List[str]:
+        return sorted(
+            f[: -len(".json")]
+            for f in os.listdir(self.directory)
+            if f.endswith(".json")
+        )
+
+    def has(self, exp_id: str) -> bool:
+        return os.path.exists(self._path(exp_id))
+
+
+def diff_results(
+    old: ExperimentResult, new: ExperimentResult, rel_tol: float = 0.15
+) -> List[str]:
+    """Regression check between two runs of the same experiment: returns
+    human-readable discrepancies in shared numeric cells."""
+    if old.exp_id != new.exp_id:
+        raise ReproError(
+            f"comparing different experiments: {old.exp_id} vs {new.exp_id}"
+        )
+    problems: List[str] = []
+    if len(old.rows) != len(new.rows):
+        problems.append(
+            f"row count changed: {len(old.rows)} -> {len(new.rows)}"
+        )
+        return problems
+    for i, (a, b) in enumerate(zip(old.rows, new.rows)):
+        for col in old.columns:
+            va, vb = a.get(col), b.get(col)
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                ref = max(abs(float(va)), abs(float(vb)))
+                if ref and abs(float(va) - float(vb)) / ref > rel_tol:
+                    problems.append(
+                        f"row {i} col {col!r}: {va} -> {vb}"
+                    )
+    return problems

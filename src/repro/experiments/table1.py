@@ -1,0 +1,89 @@
+"""Table I — cache-to-cache benchmark results across all cluster modes.
+
+Regenerates every block of the paper's Table I: latency (local / tile /
+remote, per MESIF state), single-thread read and copy bandwidth,
+congestion, and the contention fit, for all five cluster modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench import Runner
+from repro.bench.bandwidth_bench import bandwidth_summary
+from repro.bench.congestion_bench import congestion_experiment
+from repro.bench.contention_bench import contention_sweep, fit_contention
+from repro.bench.latency_bench import latency_summary
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.machine.config import ClusterMode, MachineConfig, MemoryMode
+from repro.machine.machine import KNLMachine
+from repro.rng import SeedLike
+
+#: Paper reference values (medians; ranges collapsed to midpoints).
+PAPER = {
+    "local_l1": 3.8,
+    "tile_M": 34.0,
+    "tile_E": {"snc4": 17.0, "snc2": 18.0, "quadrant": 18.0, "hemisphere": 18.0, "a2a": 18.0},
+    "tile_SF": 14.0,
+    "remote_M": {"snc4": (107, 122), "snc2": (111, 125), "quadrant": (113, 125),
+                 "hemisphere": (114, 126), "a2a": (116, 128)},
+    "read_bw": 2.5,
+    "copy_remote": {"snc4": 7.7, "snc2": 6.7, "quadrant": 7.5, "hemisphere": 7.5, "a2a": 7.5},
+    "contention_alpha": 200.0,
+    "contention_beta": 34.0,
+}
+
+COLUMNS = (
+    "mode", "local_L1_ns", "tile_M_ns", "tile_E_ns", "tile_S_ns",
+    "remote_M_ns", "remote_E_ns", "remote_SF_ns",
+    "read_GBs", "copy_tile_M_GBs", "copy_tile_E_GBs", "copy_remote_GBs",
+    "congestion", "alpha_ns", "beta_ns",
+)
+
+
+@register("table1")
+def run(
+    iterations: int = 150,
+    seed: SeedLike = 11,
+    modes: Optional[list] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Cache-to-cache benchmark results (paper Table I)",
+        columns=COLUMNS,
+    )
+    for mode in modes or list(ClusterMode):
+        machine = KNLMachine(
+            MachineConfig(cluster_mode=mode, memory_mode=MemoryMode.FLAT),
+            seed=seed,
+        )
+        runner = Runner(machine, iterations=iterations, seed=seed)
+        lat = latency_summary(runner)
+        bw = bandwidth_summary(runner)
+        alpha, beta = fit_contention(contention_sweep(runner))
+        cong = congestion_experiment(runner)
+        remote_m = lat["remote/M"].samples
+        result.add(
+            mode=mode.value,
+            local_L1_ns=lat["local/L1"].median,
+            tile_M_ns=lat["tile/M"].median,
+            tile_E_ns=lat["tile/E"].median,
+            tile_S_ns=lat["tile/S"].median,
+            remote_M_ns=f"{remote_m.min():.0f}-{remote_m.max():.0f}",
+            remote_E_ns=f"{lat['remote/E'].samples.min():.0f}-{lat['remote/E'].samples.max():.0f}",
+            remote_SF_ns=f"{lat['remote/S'].samples.min():.0f}-{lat['remote/S'].samples.max():.0f}",
+            read_GBs=bw["read/remote"],
+            copy_tile_M_GBs=bw["copy/tile/M"],
+            copy_tile_E_GBs=bw["copy/tile/E"],
+            copy_remote_GBs=bw["copy/remote"],
+            congestion="none" if not cong.congestion_observed else f"x{cong.slowdown:.2f}",
+            alpha_ns=alpha,
+            beta_ns=beta,
+        )
+    result.note(
+        "paper: local 3.8, tile M 34 / E 17-18 / S,F 14; remote M 107-128; "
+        "read 2.5 GB/s; copy remote 6.7-7.7 GB/s; no congestion; "
+        "T_C = 200 + 34*N"
+    )
+    return result

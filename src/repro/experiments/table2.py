@@ -1,0 +1,111 @@
+"""Table II — memory benchmark results (flat and cache modes, all
+cluster modes).
+
+Regenerates the memory block of the paper's Table II: idle latency and
+the copy/read/write/triad bandwidths (randomized medians and STREAM-style
+peaks) for DRAM and MCDRAM in flat mode, and for the MCDRAM-cached DDR in
+cache mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench import Runner
+from repro.bench.stream_bench import table2_block
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.machine.config import (
+    ClusterMode,
+    MachineConfig,
+    MemoryKind,
+    MemoryMode,
+)
+from repro.machine.machine import KNLMachine
+from repro.rng import SeedLike
+
+#: Paper Table II reference (per mode: latency midpoint, copy, read,
+#: write, triad medians; peaks for copy/triad).
+PAPER_FLAT_DDR = {
+    "snc4": (135, 69, 71, 33, 71, 77, 82),
+    "snc2": (140, 69, 71, 34, 71, 77, 82),
+    "quadrant": (140, 70, 77, 36, 74, 77, 82),
+    "hemisphere": (140, 71, 77, 36, 73, 77, 82),
+    "a2a": (139, 71, 77, 36, 73, 77, 82),
+}
+PAPER_FLAT_MCDRAM = {
+    "snc4": (167, 342, 243, 147, 371, 418, 448),
+    "snc2": (165, 333, 288, 163, 347, 388, 441),
+    "quadrant": (167, 333, 314, 171, 340, 415, 441),
+    "hemisphere": (167, 315, 314, 165, 332, 372, 434),
+    "a2a": (168, 306, 314, 161, 325, 359, 427),
+}
+PAPER_CACHE = {
+    "snc4": (168, 150, 87, 56, 296, 252, 292),
+    "snc2": (166, 130, 95, 56, 246, 252, 294),
+    "quadrant": (166, 175, 124, 72, 296, 255, 309),
+    "hemisphere": (168, 134, 128, 72, 273, 237, 274),
+    "a2a": (172, 132, 118, 68, 264, 233, 269),
+}
+
+COLUMNS = (
+    "mode", "memory", "latency_ns", "copy_GBs", "read_GBs",
+    "write_GBs", "triad_GBs", "copy_peak_GBs", "triad_peak_GBs",
+)
+
+
+@register("table2")
+def run(
+    iterations: int = 60,
+    seed: SeedLike = 13,
+    modes: Optional[list] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table2",
+        title="Memory benchmark results (paper Table II)",
+        columns=COLUMNS,
+    )
+    for mode in modes or list(ClusterMode):
+        # Flat mode: DRAM and MCDRAM.
+        flat = KNLMachine(
+            MachineConfig(cluster_mode=mode, memory_mode=MemoryMode.FLAT),
+            seed=seed,
+        )
+        runner = Runner(flat, iterations=iterations, seed=seed)
+        for kind in (MemoryKind.DDR, MemoryKind.MCDRAM):
+            block = table2_block(runner, kind)
+            result.add(
+                mode=mode.value,
+                memory=f"flat/{kind.value}",
+                latency_ns=block["latency_ns"],
+                copy_GBs=block["copy_nt"],
+                read_GBs=block["read_nt"],
+                write_GBs=block["write_nt"],
+                triad_GBs=block["triad_nt"],
+                copy_peak_GBs=block["copy_stream_peak"],
+                triad_peak_GBs=block["triad_stream_peak"],
+            )
+        # Cache mode.
+        cached = KNLMachine(
+            MachineConfig(cluster_mode=mode, memory_mode=MemoryMode.CACHE),
+            seed=seed,
+        )
+        runner = Runner(cached, iterations=iterations, seed=seed)
+        block = table2_block(runner, MemoryKind.DDR)
+        result.add(
+            mode=mode.value,
+            memory="cache",
+            latency_ns=block["latency_ns"],
+            copy_GBs=block["copy_nt"],
+            read_GBs=block["read_nt"],
+            write_GBs=block["write_nt"],
+            triad_GBs=block["triad_nt"],
+            copy_peak_GBs=block["copy_stream_peak"],
+            triad_peak_GBs=block["triad_stream_peak"],
+        )
+    result.note(
+        "paper flat DDR ~70-77 GB/s copy/read/triad, 33-36 write; "
+        "flat MCDRAM 306-342 copy / 243-314 read / 147-171 write / "
+        "325-371 triad (peaks 359-448); cache mode lower + noisier"
+    )
+    return result

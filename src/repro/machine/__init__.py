@@ -1,0 +1,57 @@
+"""The simulated KNL substrate: topology, mesh, caches, coherence, memory.
+
+See :mod:`repro.machine.machine` for the :class:`KNLMachine` facade that
+the rest of the package talks to.
+"""
+
+from repro.machine.config import (
+    ClusterMode,
+    MemoryMode,
+    MemoryKind,
+    MachineConfig,
+    all_configurations,
+)
+from repro.machine.parts import part, part_names, catalog
+from repro.machine.topology import Topology, Tile
+from repro.machine.mesh import Mesh, MeshTiming
+from repro.machine.cache import CacheGeometry, CacheHierarchy, L1D, L2
+from repro.machine.coherence import MESIF, TagDirectory, DirectoryHome
+from repro.machine.memory import MemorySystem, McdramCache, Buffer, AddressInfo
+from repro.machine.calibration import Calibration, StreamCaps
+from repro.machine.bandwidth import BandwidthModel, spread_threads, smooth_min
+from repro.machine.noise import NoiseModel, NoiseParams
+from repro.machine.machine import KNLMachine
+
+__all__ = [
+    "ClusterMode",
+    "MemoryMode",
+    "MemoryKind",
+    "MachineConfig",
+    "all_configurations",
+    "part",
+    "part_names",
+    "catalog",
+    "Topology",
+    "Tile",
+    "Mesh",
+    "MeshTiming",
+    "CacheGeometry",
+    "CacheHierarchy",
+    "L1D",
+    "L2",
+    "MESIF",
+    "TagDirectory",
+    "DirectoryHome",
+    "MemorySystem",
+    "McdramCache",
+    "Buffer",
+    "AddressInfo",
+    "Calibration",
+    "StreamCaps",
+    "BandwidthModel",
+    "spread_threads",
+    "smooth_min",
+    "NoiseModel",
+    "NoiseParams",
+    "KNLMachine",
+]

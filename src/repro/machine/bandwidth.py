@@ -1,0 +1,244 @@
+"""Memory-bandwidth saturation model (shape of the paper's Fig. 9).
+
+Aggregate achievable bandwidth grows with the number of cores streaming
+until the memory channels saturate:
+
+* a single thread achieves ~8 GB/s in either memory;
+* DDR saturates with ~16 cores (6 channels, ~77-90 GB/s);
+* MCDRAM (8 EDCs, 300-450 GB/s) needs all 64 cores with the scatter
+  schedule, or 256 threads with the compact schedule;
+* hyperthreads on one core add a little latency hiding (not 2x/4x);
+* without non-temporal stores, writes pay read-for-ownership.
+
+We model the aggregate as a smooth minimum of "demand" (sum of per-core
+stream rates) and "capability" (the channel-limited cap), which gives the
+gradual knee visible in Fig. 9 rather than a hard clip.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.machine.calibration import (
+    CACHE_MODE_REFERENCE_WS,
+    CORE_BW_SINGLE,
+    HT_SCALE,
+    NO_NT_WRITE_FACTOR,
+    SATURATION_SHARPNESS,
+    Calibration,
+    StreamCaps,
+)
+from repro.machine.config import MemoryKind, MemoryMode
+from repro.machine.memory import McdramCache
+
+#: Ops recognized by the stream model; write traffic share per op, used to
+#: apply the read-for-ownership penalty when NT stores are not used.
+STREAM_OPS: Mapping[str, float] = {
+    "copy": 0.5,   # one read + one write per element
+    "read": 0.0,
+    "write": 1.0,
+    "triad": 1.0 / 3.0,  # two reads + one write
+}
+
+
+def smooth_min(demand: float, cap: float, p: float = SATURATION_SHARPNESS) -> float:
+    """Smooth approximation of ``min(demand, cap)``.
+
+    Uses the p-norm form ``d*c / (d^p + c^p)^(1/p)``; approaches the hard
+    min as p grows, and sits ~`2^(-1/p)` below it when ``d == c`` (the
+    rounded knee).
+    """
+    if demand <= 0 or cap <= 0:
+        return 0.0
+    d, c = float(demand), float(cap)
+    # Work in log space to avoid overflow for large p-norms.
+    m = max(d, c)
+    return d * c / (m * ((d / m) ** p + (c / m) ** p) ** (1.0 / p))
+
+
+def per_core_rate(op: str, ht: int, nt: bool) -> float:
+    """Achievable stream rate [GB/s] of one core running ``ht`` threads."""
+    if op not in STREAM_OPS:
+        raise BenchmarkError(f"unknown stream op {op!r}; one of {sorted(STREAM_OPS)}")
+    if ht not in HT_SCALE:
+        raise BenchmarkError(f"threads per core must be 1-4, got {ht}")
+    base = CORE_BW_SINGLE[op] * HT_SCALE[ht]
+    if not nt:
+        wshare = STREAM_OPS[op]
+        base *= 1.0 - wshare * (1.0 - NO_NT_WRITE_FACTOR)
+    return base
+
+
+class BandwidthModel:
+    """Aggregate achievable memory bandwidth for one configuration.
+
+    ``core_ghz_scale`` and ``ddr_mts_scale`` adapt the 7210-calibrated
+    tables to other SKUs: per-core stream rates track the core clock and
+    the DDR ceiling tracks the DIMM transfer rate.
+    """
+
+    def __init__(self, calibration: Calibration, memory_mode: MemoryMode,
+                 mcdram_cache: McdramCache,
+                 core_ghz_scale: float = 1.0,
+                 ddr_mts_scale: float = 1.0) -> None:
+        self.calibration = calibration
+        self.memory_mode = memory_mode
+        self.mcdram_cache = mcdram_cache
+        self.core_ghz_scale = core_ghz_scale
+        self.ddr_mts_scale = ddr_mts_scale
+
+    # -- caps -----------------------------------------------------------------
+
+    def _caps(self, kind: MemoryKind) -> StreamCaps:
+        if self._behind_mcdram_cache(kind):
+            return self.calibration.stream_cache
+        return self.calibration.stream_flat[kind]
+
+    def _behind_mcdram_cache(self, kind: MemoryKind) -> bool:
+        """DDR traffic goes through the MCDRAM cache in cache mode and in
+        hybrid mode (where part of the MCDRAM fronts DDR); flat-MCDRAM
+        accesses never do."""
+        if kind is not MemoryKind.DDR:
+            return self.memory_mode is MemoryMode.CACHE
+        return self.memory_mode in (MemoryMode.CACHE, MemoryMode.HYBRID)
+
+    def cap(self, op: str, kind: MemoryKind, tuned: bool = False) -> float:
+        """Channel-limited aggregate cap [GB/s] for an op against a kind.
+
+        ``tuned`` selects the STREAM-style peak (sequential, carefully
+        scheduled) instead of the randomized-benchmark ceiling.
+        """
+        caps = self._caps(kind)
+        value = caps.peak_of(op) if tuned else caps.median_of(op)
+        if kind is MemoryKind.DDR and not self._behind_mcdram_cache(kind):
+            value *= self.ddr_mts_scale
+        return value
+
+    # -- aggregate ------------------------------------------------------------
+
+    def aggregate(
+        self,
+        op: str,
+        kind: MemoryKind,
+        cores_ht: Mapping[int, int],
+        nt: bool = True,
+        tuned: bool = False,
+        working_set_bytes: int = None,
+    ) -> float:
+        """Aggregate achievable bandwidth [GB/s].
+
+        ``cores_ht`` maps core id → number of threads streaming on it.
+        ``working_set_bytes`` matters only in cache mode, where the hit
+        rate of the MCDRAM cache scales the cap.
+        """
+        if not cores_ht:
+            raise BenchmarkError("cores_ht must name at least one core")
+        demand = self.core_ghz_scale * sum(
+            per_core_rate(op, ht, nt) for ht in cores_ht.values()
+        )
+        cap = self.cap(op, kind, tuned)
+        if not nt:
+            # Without non-temporal stores every written line is first read
+            # for ownership — the RFO traffic consumes channel bandwidth,
+            # so the aggregate cap drops with the op's write share.
+            wshare = STREAM_OPS[op]
+            cap *= 1.0 - wshare * (1.0 - NO_NT_WRITE_FACTOR)
+        if self._behind_mcdram_cache(kind):
+            cap *= self._cache_mode_scale(working_set_bytes)
+            # A perfectly-hitting cache cannot beat flat MCDRAM itself.
+            ceiling = self.calibration.stream_flat[MemoryKind.MCDRAM]
+            cap = min(cap, ceiling.peak_of(op) if tuned else ceiling.median_of(op))
+        return smooth_min(demand, cap)
+
+    def _cache_mode_scale(self, working_set_bytes: int = None) -> float:
+        """Scale the cache-mode cap by the MCDRAM hit rate.
+
+        The calibration's cache-mode caps were taken on a 16 GB cache at
+        a reference working set (~2x the cache); smaller sets hit more
+        and approach flat-MCDRAM behaviour, much larger sets degrade
+        toward DDR.  The reference hit rate is always evaluated against
+        the 16 GB geometry the table was measured on, so hybrid mode's
+        smaller cache scales consistently.
+        """
+        if working_set_bytes is None:
+            return 1.0
+        p = self.mcdram_cache.hit_probability(working_set_bytes)
+        p_ref = McdramCache(16 * (1 << 30)).hit_probability(
+            CACHE_MODE_REFERENCE_WS
+        )
+        # Effective service rate is a harmonic blend of the hit path and
+        # the miss path (miss ≈ 4x slower: DDR plus the tag check).
+        def blend(hit: float) -> float:
+            return 1.0 / (hit / 1.0 + (1.0 - hit) / 0.25)
+
+        return blend(p) / blend(p_ref)
+
+    # -- per-thread convenience -------------------------------------------------
+
+    def per_thread(
+        self,
+        op: str,
+        kind: MemoryKind,
+        cores_ht: Mapping[int, int],
+        **kw,
+    ) -> float:
+        """Bandwidth seen by each participating thread (fair share)."""
+        n_threads = sum(cores_ht.values())
+        return self.aggregate(op, kind, cores_ht, **kw) / n_threads
+
+    def saturation_curve(
+        self,
+        op: str,
+        kind: MemoryKind,
+        thread_counts: np.ndarray,
+        schedule: str = "scatter",
+        n_cores: int = 64,
+        **kw,
+    ) -> np.ndarray:
+        """Aggregate bandwidth for a sweep of thread counts.
+
+        ``schedule`` is ``"scatter"`` (1 thread/core, then 2, then 4) or
+        ``"compact"`` (fill each core's 4 threads before the next core).
+        Mirrors the two schedules of Fig. 9.
+        """
+        out = np.empty(len(thread_counts), dtype=float)
+        for i, n in enumerate(thread_counts):
+            out[i] = self.aggregate(op, kind, spread_threads(int(n), schedule, n_cores), **kw)
+        return out
+
+
+def spread_threads(n_threads: int, schedule: str, n_cores: int) -> Mapping[int, int]:
+    """Distribute ``n_threads`` over cores per a schedule name.
+
+    Returns core id → thread count.  ``compact`` packs 4 threads per core;
+    ``scatter`` uses one thread per core until all cores are busy, then
+    adds hyperthreads round-robin.
+    """
+    if n_threads < 1:
+        raise BenchmarkError("need at least one thread")
+    if schedule == "compact":
+        full, rem = divmod(n_threads, 4)
+        if full > n_cores or (full == n_cores and rem):
+            raise BenchmarkError(
+                f"{n_threads} threads exceed {n_cores} cores x 4 HT"
+            )
+        d = {c: 4 for c in range(full)}
+        if rem:
+            d[full] = rem
+        return d
+    if schedule == "scatter":
+        if n_threads > 4 * n_cores:
+            raise BenchmarkError(
+                f"{n_threads} threads exceed {n_cores} cores x 4 HT"
+            )
+        base, extra = divmod(n_threads, n_cores)
+        if base == 0:
+            return {c: 1 for c in range(n_threads)}
+        d = {c: base for c in range(n_cores)}
+        for c in range(extra):
+            d[c] += 1
+        return d
+    raise BenchmarkError(f"unknown schedule {schedule!r} (scatter|compact)")

@@ -1,0 +1,87 @@
+"""Cache geometry of the KNL core and tile.
+
+Each Knight core has a private 32 KB, 8-way L1 data cache (two 64 B load
+ports, one store port); each tile shares a 1 MB, 16-way L2 between its two
+cores.  These figures drive (a) whether a working set fits at each level
+and (b) the effective per-thread capacity used by the sort model
+(Eqs. 4-5), where the share of L1/L2 depends on how many threads run on
+the same core or tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import CACHE_LINE_BYTES, KIB, MIB
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/associativity of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache size and associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "cache size must be a whole number of sets "
+                f"(size={self.size_bytes}, assoc={self.associativity})"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+    def set_index(self, address: int) -> int:
+        """Set index of a physical address."""
+        return (address // self.line_bytes) % self.n_sets
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a contiguous working set of ``nbytes`` fits."""
+        return nbytes <= self.size_bytes
+
+
+#: KNL L1 data cache: 32 KB, 8-way.
+L1D = CacheGeometry(size_bytes=32 * KIB, associativity=8)
+
+#: KNL tile L2: 1 MB shared between the tile's two cores, 16-way.
+L2 = CacheGeometry(size_bytes=1 * MIB, associativity=16)
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """The private L1 + tile-shared L2 seen by one thread.
+
+    ``threads_on_core`` and ``threads_on_tile`` scale the *effective*
+    per-thread capacity: hyperthreads share the core's L1; both cores of
+    a tile (and their hyperthreads) share the tile's L2.
+    """
+
+    l1: CacheGeometry = L1D
+    l2: CacheGeometry = L2
+
+    def effective_l1_bytes(self, threads_on_core: int = 1) -> int:
+        if threads_on_core < 1:
+            raise ValueError("threads_on_core must be >= 1")
+        return self.l1.size_bytes // threads_on_core
+
+    def effective_l2_bytes(self, threads_on_tile: int = 1) -> int:
+        if threads_on_tile < 1:
+            raise ValueError("threads_on_tile must be >= 1")
+        return self.l2.size_bytes // threads_on_tile
+
+    def level_of(self, nbytes: int, threads_on_core: int = 1, threads_on_tile: int = 1) -> str:
+        """Which level a working set of ``nbytes`` lives in: l1/l2/mem."""
+        if nbytes <= self.effective_l1_bytes(threads_on_core):
+            return "l1"
+        if nbytes <= self.effective_l2_bytes(threads_on_tile):
+            return "l2"
+        return "mem"

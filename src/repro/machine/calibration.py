@@ -1,0 +1,305 @@
+"""Ground-truth timing parameters of the simulated KNL part.
+
+This module is the "silicon": it encodes, per cluster mode, the latency
+and bandwidth characteristics that the paper measured on a Xeon Phi 7210
+(Tables I and II).  The rest of the package treats these numbers the way
+software treats real hardware — the microbenchmark suite *measures* them
+(through the machine model, with noise), and the capability models are
+fitted from those measurements, never read from here.  Tests compare
+fitted models against this ground truth to validate the methodology.
+
+Latency entries are ``(lo, hi)`` ranges in nanoseconds covering placement
+across the die (the paper reports a range where placement matters and a
+single median otherwise; single values become tight ranges here, since
+mesh distance always moves the needle a little).  Bandwidth entries are
+GB/s medians of the random-buffer benchmarks plus STREAM-style peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.machine.config import ClusterMode, MemoryKind
+from repro.machine.coherence import MESIF
+
+Range = Tuple[float, float]
+
+# ---------------------------------------------------------------------------
+# Table I — cache-to-cache transfers
+# ---------------------------------------------------------------------------
+
+#: Local L1 load-to-use latency [ns] (state-independent).
+L1_LATENCY_NS = 3.8
+
+#: Same-tile L2 latency [ns] per state of the line in the *other* core's
+#: view; M pays the write-back, S/F are clean shared hits.
+TILE_LATENCY_NS: Mapping[MESIF, float] = {
+    MESIF.MODIFIED: 34.0,
+    MESIF.EXCLUSIVE: 17.5,
+    MESIF.SHARED: 14.0,
+    MESIF.FORWARD: 14.0,
+}
+
+#: Remote (other-tile) cache-to-cache latency ranges [ns] per cluster mode
+#: and MESIF state, from Table I.  Single-median modes get a ±6 ns spread
+#: centred on the reported value (mesh distance variation).
+REMOTE_LATENCY_NS: Mapping[ClusterMode, Mapping[MESIF, Range]] = {
+    ClusterMode.SNC4: {
+        MESIF.MODIFIED: (107.0, 122.0),
+        MESIF.EXCLUSIVE: (98.0, 114.0),
+        MESIF.SHARED: (96.0, 118.0),
+        MESIF.FORWARD: (96.0, 118.0),
+    },
+    ClusterMode.SNC2: {
+        MESIF.MODIFIED: (111.0, 125.0),
+        MESIF.EXCLUSIVE: (104.0, 117.0),
+        MESIF.SHARED: (104.0, 118.0),
+        MESIF.FORWARD: (104.0, 118.0),
+    },
+    ClusterMode.QUADRANT: {
+        MESIF.MODIFIED: (113.0, 125.0),
+        MESIF.EXCLUSIVE: (110.0, 122.0),
+        MESIF.SHARED: (107.0, 117.0),
+        MESIF.FORWARD: (107.0, 117.0),
+    },
+    ClusterMode.HEMISPHERE: {
+        MESIF.MODIFIED: (114.0, 126.0),
+        MESIF.EXCLUSIVE: (110.0, 122.0),
+        MESIF.SHARED: (107.0, 117.0),
+        MESIF.FORWARD: (107.0, 117.0),
+    },
+    ClusterMode.A2A: {
+        MESIF.MODIFIED: (116.0, 128.0),
+        MESIF.EXCLUSIVE: (110.0, 122.0),
+        MESIF.SHARED: (109.0, 117.0),
+        MESIF.FORWARD: (109.0, 117.0),
+    },
+}
+
+#: Single-thread multi-line *read* plateau bandwidth [GB/s], vectorized,
+#: from a remote cache into registers (Table I: 2.5 across modes).
+REMOTE_READ_BW: Mapping[ClusterMode, float] = {m: 2.5 for m in ClusterMode}
+
+#: Non-vectorized read plateau (paper §IV-A4: "read bandwidth goes from
+#: 1 GB/s to 2.5 GB/s" with vectorization).
+REMOTE_READ_BW_NOVEC = 1.0
+
+#: Single-thread multi-line *copy* plateau bandwidth [GB/s] by location of
+#: the source line (same tile, per state) and remote tile, per Table I.
+COPY_BW_TILE: Mapping[ClusterMode, Mapping[MESIF, float]] = {
+    ClusterMode.SNC4: {MESIF.MODIFIED: 6.7, MESIF.EXCLUSIVE: 7.6},
+    ClusterMode.SNC2: {MESIF.MODIFIED: 6.7, MESIF.EXCLUSIVE: 6.7},
+    ClusterMode.QUADRANT: {MESIF.MODIFIED: 7.5, MESIF.EXCLUSIVE: 9.2},
+    ClusterMode.HEMISPHERE: {MESIF.MODIFIED: 7.4, MESIF.EXCLUSIVE: 9.2},
+    ClusterMode.A2A: {MESIF.MODIFIED: 7.5, MESIF.EXCLUSIVE: 9.2},
+}
+
+COPY_BW_REMOTE: Mapping[ClusterMode, float] = {
+    ClusterMode.SNC4: 7.7,
+    ClusterMode.SNC2: 6.7,
+    ClusterMode.QUADRANT: 7.5,
+    ClusterMode.HEMISPHERE: 7.5,
+    ClusterMode.A2A: 7.5,
+}
+
+#: Non-vectorized copy plateau (§IV-A4: "copy from 6 GB/s to 9 GB/s,
+#: except for SNC2, where it is still 6.7").
+COPY_BW_NOVEC = 6.0
+
+#: 1:N contention model T_C(N) = alpha + beta*N [ns] (Table I, same in all
+#: modes for the one-thread-per-core schedule).
+CONTENTION_ALPHA_NS = 200.0
+CONTENTION_BETA_NS = 34.0
+
+#: P2P pairs showed no congestion: per-link spare capacity factor >= this.
+CONGESTION_HEADROOM = 8.0
+
+#: Raw capacity of one mesh ring link [GB/s]: one 64 B line per mesh
+#: cycle at ~1.3 GHz.  Far above any single pair's ~7.5 GB/s demand —
+#: which is *why* the paper measured no congestion — but saturable if
+#: enough pairs are forced through one link (a layout the paper could
+#: not construct because tile locations are hidden; the simulator can).
+LINK_BW_GBS = 83.0
+
+# ---------------------------------------------------------------------------
+# Table II — memory latency and bandwidth
+# ---------------------------------------------------------------------------
+
+#: Flat-mode idle memory latency ranges [ns] per cluster mode and kind.
+MEMORY_LATENCY_NS: Mapping[ClusterMode, Mapping[MemoryKind, Range]] = {
+    ClusterMode.SNC4: {
+        MemoryKind.DDR: (130.0, 140.0),
+        MemoryKind.MCDRAM: (160.0, 175.0),
+    },
+    ClusterMode.SNC2: {
+        MemoryKind.DDR: (134.0, 146.0),
+        MemoryKind.MCDRAM: (160.0, 170.0),
+    },
+    ClusterMode.QUADRANT: {
+        MemoryKind.DDR: (136.0, 144.0),
+        MemoryKind.MCDRAM: (163.0, 171.0),
+    },
+    ClusterMode.HEMISPHERE: {
+        MemoryKind.DDR: (136.0, 144.0),
+        MemoryKind.MCDRAM: (163.0, 171.0),
+    },
+    ClusterMode.A2A: {
+        MemoryKind.DDR: (135.0, 143.0),
+        MemoryKind.MCDRAM: (164.0, 172.0),
+    },
+}
+
+#: Cache-mode memory latency ranges [ns] (DDR behind the MCDRAM cache).
+CACHE_MODE_LATENCY_NS: Mapping[ClusterMode, Range] = {
+    ClusterMode.SNC4: (158.0, 178.0),
+    ClusterMode.SNC2: (161.0, 171.0),
+    ClusterMode.QUADRANT: (162.0, 170.0),
+    ClusterMode.HEMISPHERE: (164.0, 172.0),
+    ClusterMode.A2A: (168.0, 176.0),
+}
+
+
+@dataclass(frozen=True)
+class StreamCaps:
+    """Aggregate bandwidth capabilities [GB/s] for one memory target.
+
+    ``median`` is the best median achievable with the paper's randomized
+    benchmark (non-temporal where applicable); ``peak`` is the tuned
+    STREAM figure.  Ops without a STREAM counterpart reuse the median as
+    peak.
+    """
+
+    copy: float
+    read: float
+    write: float
+    triad: float
+    copy_peak: float = 0.0
+    triad_peak: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.copy_peak == 0.0:
+            object.__setattr__(self, "copy_peak", self.copy)
+        if self.triad_peak == 0.0:
+            object.__setattr__(self, "triad_peak", self.triad)
+
+    def median_of(self, op: str) -> float:
+        return {"copy": self.copy, "read": self.read,
+                "write": self.write, "triad": self.triad}[op]
+
+    def peak_of(self, op: str) -> float:
+        return {"copy": self.copy_peak, "read": self.read,
+                "write": self.write, "triad": self.triad_peak}[op]
+
+
+#: Flat-mode capabilities per cluster mode and kind (Table II).
+STREAM_FLAT: Mapping[ClusterMode, Mapping[MemoryKind, StreamCaps]] = {
+    ClusterMode.SNC4: {
+        MemoryKind.DDR: StreamCaps(69, 71, 33, 71, copy_peak=77, triad_peak=82),
+        MemoryKind.MCDRAM: StreamCaps(342, 243, 147, 371, copy_peak=418, triad_peak=448),
+    },
+    ClusterMode.SNC2: {
+        MemoryKind.DDR: StreamCaps(69, 71, 34, 71, copy_peak=77, triad_peak=82),
+        MemoryKind.MCDRAM: StreamCaps(333, 288, 163, 347, copy_peak=388, triad_peak=441),
+    },
+    ClusterMode.QUADRANT: {
+        MemoryKind.DDR: StreamCaps(70, 77, 36, 74, copy_peak=77, triad_peak=82),
+        MemoryKind.MCDRAM: StreamCaps(333, 314, 171, 340, copy_peak=415, triad_peak=441),
+    },
+    ClusterMode.HEMISPHERE: {
+        MemoryKind.DDR: StreamCaps(71, 77, 36, 73, copy_peak=77, triad_peak=82),
+        MemoryKind.MCDRAM: StreamCaps(315, 314, 165, 332, copy_peak=372, triad_peak=434),
+    },
+    ClusterMode.A2A: {
+        MemoryKind.DDR: StreamCaps(71, 77, 36, 73, copy_peak=77, triad_peak=82),
+        MemoryKind.MCDRAM: StreamCaps(306, 314, 161, 325, copy_peak=359, triad_peak=427),
+    },
+}
+
+#: Cache-mode capabilities per cluster mode (working set larger than the
+#: MCDRAM cache; medians include the DDR-check penalty and the paper's
+#: high variability).
+STREAM_CACHE: Mapping[ClusterMode, StreamCaps] = {
+    ClusterMode.SNC4: StreamCaps(150, 87, 56, 296, copy_peak=252, triad_peak=292),
+    ClusterMode.SNC2: StreamCaps(130, 95, 56, 246, copy_peak=252, triad_peak=294),
+    ClusterMode.QUADRANT: StreamCaps(175, 124, 72, 296, copy_peak=255, triad_peak=309),
+    ClusterMode.HEMISPHERE: StreamCaps(134, 128, 72, 273, copy_peak=237, triad_peak=274),
+    ClusterMode.A2A: StreamCaps(132, 118, 68, 264, copy_peak=233, triad_peak=269),
+}
+
+#: Reference working set [bytes] at which cache-mode medians were taken
+#: (buffers drawn from a pool about twice the MCDRAM size).
+CACHE_MODE_REFERENCE_WS = 32 * (1 << 30)
+
+# ---------------------------------------------------------------------------
+# Per-core saturation parameters (shape of Fig. 9)
+# ---------------------------------------------------------------------------
+
+#: Single-thread achievable memory bandwidth [GB/s] per op, vector + NT
+#: where applicable.  The paper: "the achievable bandwidth for a
+#: single-thread is around 8 GB/s in both memories".
+CORE_BW_SINGLE: Mapping[str, float] = {
+    "copy": 8.0,
+    "read": 7.0,
+    "write": 3.8,
+    "triad": 9.0,
+}
+
+#: Without non-temporal stores, writes pay a read-for-ownership: the
+#: effective per-core store bandwidth halves.
+NO_NT_WRITE_FACTOR = 0.52
+
+#: Per-core scaling from running 2 / 3 / 4 hyperthreads (latency hiding;
+#: 3 arises when a thread count doesn't divide the core count evenly).
+HT_SCALE: Mapping[int, float] = {1: 1.0, 2: 1.18, 3: 1.26, 4: 1.32}
+
+#: Smooth-min exponent for the saturation curve (higher = sharper knee).
+SATURATION_SHARPNESS = 8.0
+
+# ---------------------------------------------------------------------------
+# Misc timing glue
+# ---------------------------------------------------------------------------
+
+#: Extra nanoseconds for a flag *store* that must invalidate remote copies
+#: before completing (the polling-isolation concern in §IV-B1).
+FLAG_INVALIDATE_NS = 45.0
+
+#: Cost of one AVX-512 bitonic-network pass over a cache line of 16 ints
+#: (~10 vector ops at ~1 op/cycle, 1.3 GHz) — used by the sort model.
+BITONIC_STAGE_NS = 8.0
+
+#: Measurement floor: resolution of the TSC read (paper §III-B).
+TSC_RESOLUTION_NS = 10.0
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Bundle of ground-truth parameters for one cluster mode."""
+
+    cluster_mode: ClusterMode
+    l1_ns: float = L1_LATENCY_NS
+    tile_ns: Mapping[MESIF, float] = field(default_factory=lambda: dict(TILE_LATENCY_NS))
+    remote_ns: Mapping[MESIF, Range] = None
+    memory_ns: Mapping[MemoryKind, Range] = None
+    cache_mode_ns: Range = None
+    remote_read_bw: float = 0.0
+    copy_bw_tile: Mapping[MESIF, float] = None
+    copy_bw_remote: float = 0.0
+    contention_alpha: float = CONTENTION_ALPHA_NS
+    contention_beta: float = CONTENTION_BETA_NS
+    stream_flat: Mapping[MemoryKind, StreamCaps] = None
+    stream_cache: StreamCaps = None
+
+    @staticmethod
+    def for_mode(mode: ClusterMode) -> "Calibration":
+        return Calibration(
+            cluster_mode=mode,
+            remote_ns=REMOTE_LATENCY_NS[mode],
+            memory_ns=MEMORY_LATENCY_NS[mode],
+            cache_mode_ns=CACHE_MODE_LATENCY_NS[mode],
+            remote_read_bw=REMOTE_READ_BW[mode],
+            copy_bw_tile=COPY_BW_TILE[mode],
+            copy_bw_remote=COPY_BW_REMOTE[mode],
+            stream_flat=STREAM_FLAT[mode],
+            stream_cache=STREAM_CACHE[mode],
+        )

@@ -1,0 +1,147 @@
+"""MESIF coherence states and the distributed tag directory (CHA).
+
+Every tile's Cache/Home Agent (CHA) owns a slice of the distributed tag
+directory that keeps the L2 caches coherent with a MESIF protocol.  The
+*cluster mode* decides which CHA is home for a given cache-line address:
+
+* **A2A** — addresses hash uniformly over all active CHAs.
+* **Quadrant / Hemisphere** — the home CHA lies in the same quadrant /
+  hemisphere as the memory controller that serves the line (transparent
+  to software).
+* **SNC4 / SNC2** — like quadrant/hemisphere, but memory is allocated in
+  the requesting cluster, so home lookups stay cluster-local for local
+  allocations.
+
+The directory home matters because an L2 miss first travels to the home
+CHA and is then forwarded to the owner tile or memory controller
+(paper Figure 3); the cluster mode therefore changes the mesh distance of
+the indirection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.config import ClusterMode
+from repro.machine.topology import Topology
+from repro.units import CACHE_LINE_BYTES
+
+
+class MESIF(enum.Enum):
+    """Cache-line state in the MESIF protocol.
+
+    M (modified) and E (exclusive) lines are served by the owning cache;
+    reading an M line additionally forces a write-back.  S (shared) and
+    F (forward) behave alike on KNL within 5-15%; F designates the single
+    sharer responsible for forwarding.  I (invalid) lines must be fetched
+    from memory.
+    """
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    FORWARD = "F"
+    INVALID = "I"
+
+    @property
+    def is_dirty(self) -> bool:
+        return self is MESIF.MODIFIED
+
+    @property
+    def in_cache(self) -> bool:
+        return self is not MESIF.INVALID
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer — cheap stateless address hash."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class DirectoryHome:
+    """Result of a directory-home lookup: the CHA tile owning the entry."""
+
+    tile_id: int
+    cluster: int
+
+
+class TagDirectory:
+    """Distributed tag directory: address → home CHA under a cluster mode."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def home(
+        self,
+        address: int,
+        mode: Optional[ClusterMode] = None,
+        memory_cluster: Optional[int] = None,
+        memory_domain: Optional[int] = None,
+    ) -> DirectoryHome:
+        """Home CHA of a cache-line ``address``.
+
+        ``memory_cluster`` is the affinity index of the memory resource
+        serving the line, expressed over ``memory_domain`` domains (2 for
+        an IMC's hemisphere, 4 for an EDC's quadrant; defaults to the
+        mode's own domain count).  Quadrant/hemisphere/SNC modes constrain
+        the home CHA to the matching domain.  If ``memory_cluster`` is
+        omitted, the address hash decides (uniform interleaving).
+        """
+        mode = mode or self.topology.config.cluster_mode
+        line = address // CACHE_LINE_BYTES
+        h = _mix64(line)
+        if mode is ClusterMode.A2A or mode.n_clusters == 1:
+            tiles = self.topology.tiles
+            tile = tiles[h % len(tiles)]
+            return DirectoryHome(tile_id=tile.tile_id, cluster=tile.quadrant)
+
+        n = mode.n_clusters
+        if memory_cluster is None:
+            cluster = h % n
+        else:
+            cluster = self._translate_cluster(
+                memory_cluster, memory_domain or n, n, h
+            )
+        candidates = self.topology.tiles_in_cluster(cluster, mode)
+        tile_id = candidates[_mix64(line ^ 0xD1F) % len(candidates)]
+        return DirectoryHome(tile_id=tile_id, cluster=cluster)
+
+    @staticmethod
+    def _translate_cluster(cluster: int, from_domain: int, to_domain: int,
+                           h: int) -> int:
+        """Map an affinity index between domain granularities.
+
+        Quadrant q (4-domain) lies in hemisphere q % 2 (2-domain); a
+        hemisphere-affine resource maps to one of its two quadrants by
+        the address hash (its channels interleave across both).
+        """
+        if from_domain == to_domain:
+            return cluster % to_domain
+        if from_domain == 4 and to_domain == 2:
+            return cluster % 2
+        if from_domain == 2 and to_domain == 4:
+            return (cluster % 2) + 2 * (h & 1)
+        return cluster % to_domain
+
+    def homes_for_range(
+        self,
+        base: int,
+        nbytes: int,
+        mode: Optional[ClusterMode] = None,
+        memory_cluster: Optional[int] = None,
+    ) -> np.ndarray:
+        """Vector of home tile ids for every line in ``[base, base+nbytes)``."""
+        n_lines = max(1, -(-nbytes // CACHE_LINE_BYTES))
+        return np.array(
+            [
+                self.home(base + i * CACHE_LINE_BYTES, mode, memory_cluster).tile_id
+                for i in range(n_lines)
+            ]
+        )

@@ -1,0 +1,304 @@
+"""Physical memory system: DDR4 + MCDRAM, address map, memory modes.
+
+The KNL 7210 has two DDR4 memory controllers (IMCs) with three channels
+each (6 channels, 96 GB total here) and eight MCDRAM controllers (EDCs)
+serving 16 GB of on-package memory.
+
+Address layout follows the paper (§II-D):
+
+* In A2A / quadrant / hemisphere modes, addresses interleave uniformly
+  over all channels of the backing memory kind.
+* In **flat** mode, DDR occupies the bottom of the address space and
+  MCDRAM the range above it.
+* In **SNC** modes, each cluster receives a contiguous address range; in
+  flat mode that range splits into a DDR portion and an MCDRAM portion,
+  each interleaved over the cluster's own channels (a quadrant's DDR
+  interleaves over the 3 channels of the closest IMC).
+* In **cache** mode, all addresses are DDR-backed and MCDRAM acts as a
+  direct-mapped, memory-side cache with 64 B lines (inclusive of modified
+  L2 lines; evictions snoop L2).
+* **Hybrid** mode splits MCDRAM into a cache part and a flat part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.config import MachineConfig, MemoryKind, MemoryMode
+from repro.machine.topology import EDC_COORDS, IMC_COORDS, Topology
+from repro.units import CACHE_LINE_BYTES
+
+#: DDR channels per IMC and total.
+DDR_CHANNELS_PER_IMC = 3
+N_DDR_CHANNELS = DDR_CHANNELS_PER_IMC * len(IMC_COORDS)
+N_EDCS = len(EDC_COORDS)
+
+#: Interleaving granularity across channels (one line, as on real KNL).
+INTERLEAVE_BYTES = CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class AddressInfo:
+    """Resolution of a physical address to its backing memory resource."""
+
+    kind: MemoryKind
+    #: Affinity index of the serving controller (see ``cluster_domain``).
+    cluster: int
+    #: Number of domains ``cluster`` is expressed over: 2 for an IMC's
+    #: hemisphere, 4 for an EDC's quadrant, or the SNC mode's domain count.
+    cluster_domain: int
+    #: Channel index within the kind (0-5 for DDR, 0-7 for MCDRAM/EDC).
+    channel: int
+    #: Grid coordinate of the serving controller (for mesh distances).
+    controller_coord: Tuple[int, int]
+    #: Whether the address can be resident in the MCDRAM memory-side cache.
+    cacheable_in_mcdram: bool
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """An allocation handle returned by :meth:`MemorySystem.alloc`."""
+
+    base: int
+    nbytes: int
+    kind: MemoryKind
+    cluster: Optional[int]
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def line_addresses(self, step: int = CACHE_LINE_BYTES):
+        """Iterate the line-aligned addresses covered by this buffer."""
+        return range(self.base, self.end, step)
+
+
+def _edc_cluster(edc_index: int) -> int:
+    from repro.machine.topology import quadrant_of_coords
+
+    r, c = EDC_COORDS[edc_index]
+    return quadrant_of_coords(r, c)
+
+
+def _imc_cluster(imc_index: int) -> int:
+    from repro.machine.topology import hemisphere_of_coords
+
+    r, c = IMC_COORDS[imc_index]
+    return hemisphere_of_coords(r, c)
+
+
+class MemorySystem:
+    """Address map + allocator for one configured machine.
+
+    The allocator is a simple per-region bump allocator: benchmarks use it
+    to obtain addresses whose interleaving and affinity are realistic,
+    which is all the timing model needs.
+    """
+
+    def __init__(self, config: MachineConfig, topology: Topology) -> None:
+        self.config = config
+        self.topology = topology
+        self._mcdram_flat = config.mcdram_flat_bytes
+        self._ddr = config.ddr_bytes
+        # Address space: DDR first, flat-MCDRAM above (paper: "MCDRAM range
+        # above the DDR range").
+        self._ddr_base = 0
+        self._mcdram_base = self._ddr
+        self._limit = self._ddr + self._mcdram_flat
+        # Bump pointers per (kind, cluster) region.
+        self._next = {}
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def addressable_bytes(self) -> int:
+        return self._limit
+
+    @property
+    def mcdram_cache_bytes(self) -> int:
+        return self.config.mcdram_cache_bytes
+
+    def kind_of(self, address: int) -> MemoryKind:
+        if not 0 <= address < self._limit:
+            raise ConfigurationError(
+                f"address {address:#x} outside addressable range "
+                f"[0, {self._limit:#x})"
+            )
+        return MemoryKind.DDR if address < self._mcdram_base else MemoryKind.MCDRAM
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, address: int) -> AddressInfo:
+        """Resolve an address to kind, cluster, channel, controller coord."""
+        kind = self.kind_of(address)
+        mode = self.config.cluster_mode
+        line = address // INTERLEAVE_BYTES
+
+        if kind is MemoryKind.DDR:
+            offset = address - self._ddr_base
+            if mode.is_sub_numa:
+                n = mode.n_clusters
+                region = self._ddr // n
+                cluster = min(offset // region, n - 1)
+                domain = n
+                # DDR channels of the closest IMC (3 per IMC). SNC4 quadrants
+                # share their hemisphere's IMC.
+                hemi = cluster % 2 if n == 4 else cluster
+                imc = self.topology.imc_of_hemisphere(hemi)
+                channel = imc * DDR_CHANNELS_PER_IMC + int(
+                    line % DDR_CHANNELS_PER_IMC
+                )
+            else:
+                channel = int(line % N_DDR_CHANNELS)
+                imc = channel // DDR_CHANNELS_PER_IMC
+                cluster = _imc_cluster(imc)
+                domain = 2
+            coord = IMC_COORDS[channel // DDR_CHANNELS_PER_IMC]
+            cacheable = self.config.memory_mode in (
+                MemoryMode.CACHE,
+                MemoryMode.HYBRID,
+            )
+            return AddressInfo(
+                kind=kind,
+                cluster=cluster,
+                cluster_domain=domain,
+                channel=channel,
+                controller_coord=coord,
+                cacheable_in_mcdram=cacheable,
+            )
+
+        # MCDRAM (flat portion).
+        offset = address - self._mcdram_base
+        if mode.is_sub_numa:
+            n = mode.n_clusters
+            domain = n
+            region = max(1, self._mcdram_flat // n)
+            cluster = min(offset // region, n - 1)
+            # EDCs of this cluster. SNC2 clusters are hemispheres with 4
+            # EDCs each; SNC4 quadrants have 2 each.
+            if n == 4:
+                edcs = self.topology.edcs_of_quadrant(cluster)
+            else:
+                edcs = tuple(
+                    i
+                    for i in range(N_EDCS)
+                    if _edc_cluster(i) in (cluster, cluster + 2)
+                )
+            edc = edcs[int(line % len(edcs))]
+        else:
+            edc = int(line % N_EDCS)
+            cluster = _edc_cluster(edc)
+            domain = 4
+        return AddressInfo(
+            kind=kind,
+            cluster=cluster,
+            cluster_domain=domain,
+            channel=edc,
+            controller_coord=EDC_COORDS[edc],
+            cacheable_in_mcdram=False,
+        )
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(
+        self,
+        nbytes: int,
+        kind: MemoryKind = MemoryKind.DDR,
+        cluster: Optional[int] = None,
+        align: int = CACHE_LINE_BYTES,
+    ) -> Buffer:
+        """Allocate ``nbytes`` in the requested memory kind (and cluster,
+        for NUMA-aware allocation under SNC modes).
+
+        In cache mode all allocations are DDR-backed; requesting MCDRAM
+        there raises :class:`ConfigurationError` (as ``numactl`` would
+        fail on a real cache-mode KNL, where MCDRAM is not addressable).
+        """
+        if nbytes <= 0:
+            raise ConfigurationError(f"allocation size must be positive: {nbytes}")
+        if kind is MemoryKind.MCDRAM and self._mcdram_flat == 0:
+            raise ConfigurationError(
+                f"MCDRAM is not addressable in {self.config.memory_mode.value} mode"
+            )
+        mode = self.config.cluster_mode
+        if cluster is not None and not mode.is_sub_numa:
+            raise ConfigurationError(
+                "NUMA-aware (cluster) allocation requires an SNC mode, "
+                f"machine is in {mode.value}"
+            )
+
+        base, limit = self._region(kind, cluster)
+        key = (kind, cluster)
+        ptr = self._next.get(key, base)
+        ptr = -(-ptr // align) * align
+        if ptr + nbytes > limit:
+            raise ConfigurationError(
+                f"out of memory in region {kind.value}/{cluster}: "
+                f"requested {nbytes} bytes at {ptr:#x}, limit {limit:#x}"
+            )
+        self._next[key] = ptr + nbytes
+        return Buffer(base=ptr, nbytes=nbytes, kind=kind, cluster=cluster)
+
+    def _region(
+        self, kind: MemoryKind, cluster: Optional[int]
+    ) -> Tuple[int, int]:
+        """(base, limit) of the allocatable region for kind/cluster."""
+        if kind is MemoryKind.DDR:
+            base, size = self._ddr_base, self._ddr
+        else:
+            base, size = self._mcdram_base, self._mcdram_flat
+        if cluster is None:
+            return base, base + size
+        n = self.config.cluster_mode.n_clusters
+        if not 0 <= cluster < n:
+            raise ConfigurationError(
+                f"cluster {cluster} out of range for "
+                f"{self.config.cluster_mode.value} (n={n})"
+            )
+        region = size // n
+        return base + cluster * region, base + (cluster + 1) * region
+
+    def reset_allocator(self) -> None:
+        """Forget all allocations (fresh address space)."""
+        self._next.clear()
+
+
+class McdramCache:
+    """Analytic model of MCDRAM as a direct-mapped memory-side cache.
+
+    We do not track individual lines (working sets in the paper reach
+    gigabytes); instead we model the *hit probability* of a random access
+    given the total working set touched by the benchmark, which is what
+    determines achievable bandwidth and its variability in cache mode.
+
+    For a direct-mapped cache of size C accessed over a working set W with
+    uniformly random placement, a line survives in cache with probability
+    ≈ C/W when W > C; when W ≤ C, conflict misses still occur because two
+    hot lines can map to the same set — we approximate the resident
+    fraction by ``1 - W/(2C) · conflict_pressure`` capped to [floor, 1].
+    """
+
+    #: Fraction of same-set collisions that actually alternate (thrash).
+    CONFLICT_PRESSURE = 0.15
+
+    def __init__(self, cache_bytes: int) -> None:
+        if cache_bytes < 0:
+            raise ConfigurationError("cache size must be non-negative")
+        self.cache_bytes = cache_bytes
+
+    @property
+    def enabled(self) -> bool:
+        return self.cache_bytes > 0
+
+    def hit_probability(self, working_set_bytes: int) -> float:
+        """Expected hit rate for random accesses over a working set."""
+        if working_set_bytes <= 0:
+            raise ConfigurationError("working set must be positive")
+        if not self.enabled:
+            return 0.0
+        w, c = float(working_set_bytes), float(self.cache_bytes)
+        if w <= c:
+            return max(0.0, min(1.0, 1.0 - (w / (2 * c)) * self.CONFLICT_PRESSURE))
+        return c / w

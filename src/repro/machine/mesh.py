@@ -1,0 +1,123 @@
+"""Mesh-of-rings interconnect model.
+
+KNL connects the tiles, memory controllers, and I/O through a 2D
+"mesh of rings": every row and column is a half ring (not a torus — a
+message reaching the edge is re-injected in the opposite direction).
+Packets route Y-first then X, and a ring stop holds a packet until a gap
+opens on the ring.
+
+For timing we model a traversal as a fixed injection cost plus a per-hop
+cost, with hop count equal to the YX path length.  The paper measured
+*no* congestion between simultaneous point-to-point pairs, so ring links
+are modeled with ample capacity; :meth:`Mesh.link_utilization` exists so
+the congestion benchmark can verify that links indeed stay uncontended
+under pairwise traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.machine.topology import GRID_COLS, GRID_ROWS, Topology
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshTiming:
+    """Per-hop timing constants of the mesh (in nanoseconds).
+
+    Defaults give the ~15 ns latency spread across the die observed in the
+    paper's Figure 4 (remote latencies ranging e.g. 107-122 ns in SNC4).
+    """
+
+    injection_ns: float = 1.6
+    hop_ns: float = 0.77  # one mesh cycle per hop at ~1.3 GHz
+
+
+class Mesh:
+    """Routing and distance queries over a configured topology."""
+
+    def __init__(self, topology: Topology, timing: MeshTiming = None) -> None:
+        self.topology = topology
+        self.timing = timing or MeshTiming()
+
+    # -- routing -------------------------------------------------------------
+
+    @staticmethod
+    def route(src: Coord, dst: Coord) -> List[Coord]:
+        """YX route from ``src`` to ``dst``: move along Y (rows) first,
+        then along X (columns).  Returns the full list of stops visited,
+        including both endpoints.
+        """
+        (r0, c0), (r1, c1) = src, dst
+        if not (0 <= r0 < GRID_ROWS and 0 <= r1 < GRID_ROWS):
+            raise ValueError(f"row out of range in route {src}->{dst}")
+        if not (0 <= c0 < GRID_COLS and 0 <= c1 < GRID_COLS):
+            raise ValueError(f"col out of range in route {src}->{dst}")
+        stops = [(r0, c0)]
+        step = 1 if r1 >= r0 else -1
+        for r in range(r0 + step, r1 + step, step) if r0 != r1 else []:
+            stops.append((r, c0))
+        step = 1 if c1 >= c0 else -1
+        for c in range(c0 + step, c1 + step, step) if c0 != c1 else []:
+            stops.append((r1, c))
+        return stops
+
+    @staticmethod
+    def hops(src: Coord, dst: Coord) -> int:
+        """Number of ring hops on the YX route (Manhattan distance)."""
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    def traverse_ns(self, src: Coord, dst: Coord) -> float:
+        """Noise-free time for one packet to cross the mesh ``src`` → ``dst``."""
+        if src == dst:
+            return 0.0
+        return self.timing.injection_ns + self.timing.hop_ns * self.hops(src, dst)
+
+    # -- convenience distances ------------------------------------------------
+
+    def tile_coord(self, tile_id: int) -> Coord:
+        t = self.topology.tile(tile_id)
+        return (t.row, t.col)
+
+    def tile_distance_ns(self, tile_a: int, tile_b: int) -> float:
+        return self.traverse_ns(self.tile_coord(tile_a), self.tile_coord(tile_b))
+
+    def core_distance_ns(self, core_a: int, core_b: int) -> float:
+        ta = self.topology.tile_of_core(core_a)
+        tb = self.topology.tile_of_core(core_b)
+        return self.traverse_ns((ta.row, ta.col), (tb.row, tb.col))
+
+    def max_hops(self) -> int:
+        """Largest hop count between any two active tiles (diameter)."""
+        coords = [self.tile_coord(t.tile_id) for t in self.topology.tiles]
+        return max(
+            self.hops(a, b) for a in coords for b in coords
+        )
+
+    # -- link accounting (used by the congestion benchmark) -------------------
+
+    @staticmethod
+    def links_on_route(src: Coord, dst: Coord) -> List[Tuple[Coord, Coord]]:
+        """Directed links traversed by the YX route."""
+        stops = Mesh.route(src, dst)
+        return list(zip(stops[:-1], stops[1:]))
+
+    def link_utilization(
+        self, flows: Iterable[Tuple[Coord, Coord]]
+    ) -> Dict[Tuple[Coord, Coord], int]:
+        """Count how many of the given flows cross each directed link.
+
+        The paper observed no latency increase for simultaneous P2P pairs;
+        each ring link carries one cache line per mesh cycle, far above the
+        per-pair demand, so overlap does not translate into queueing.  The
+        congestion benchmark uses this to report the maximum overlap it
+        managed to create.
+        """
+        usage: Dict[Tuple[Coord, Coord], int] = {}
+        for src, dst in flows:
+            for link in self.links_on_route(src, dst):
+                usage[link] = usage.get(link, 0) + 1
+        return usage

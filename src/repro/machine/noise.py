@@ -1,0 +1,122 @@
+"""Measurement-noise model.
+
+Real microbenchmark samples jitter from pipeline effects, TLB walks, the
+OS tick, and mesh traffic.  The machine model injects multiplicative
+lognormal jitter plus occasional outlier spikes, so the statistical
+machinery the paper relies on (medians, 95% confidence intervals,
+boxplots, min-max envelopes) is exercised for real.  SNC2 — experimental
+on early steppings, with visibly higher variance in the paper — gets a
+wider jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.config import ClusterMode
+from repro.machine.calibration import TSC_RESOLUTION_NS
+from repro.rng import SeedLike, generator, spawn
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Shape of the sampling noise."""
+
+    #: Sigma of the multiplicative lognormal jitter.
+    sigma: float = 0.025
+    #: Probability that a sample is an outlier spike.
+    outlier_p: float = 0.006
+    #: Outlier magnitude range (multiplicative).
+    outlier_lo: float = 1.5
+    outlier_hi: float = 4.0
+    #: Quantization floor (TSC read resolution), ns.
+    quantum_ns: float = TSC_RESOLUTION_NS
+
+    @staticmethod
+    def for_mode(mode: ClusterMode) -> "NoiseParams":
+        if mode.is_experimental:  # SNC2: visibly higher variance
+            return NoiseParams(sigma=0.055, outlier_p=0.015)
+        return NoiseParams()
+
+
+class NoiseModel:
+    """Draws noisy samples around noise-free model values."""
+
+    def __init__(self, params: NoiseParams, seed: SeedLike = None) -> None:
+        self.params = params
+        self._rng = spawn(generator(seed), "noise")
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def sample(self, value_ns: float, scale: float = 1.0) -> float:
+        """One noisy sample of a quantity whose true value is ``value_ns``.
+
+        ``scale`` multiplies the jitter width (cache-mode bandwidth runs
+        use ~3x, matching the paper's "much more variability").  Scalar
+        fast path — the virtual-time engine calls this per op.
+        """
+        if value_ns < 0:
+            raise ValueError(f"true value must be non-negative: {value_ns}")
+        p = self.params
+        rng = self._rng
+        v = value_ns * math.exp(rng.standard_normal() * p.sigma * scale)
+        if rng.random() < p.outlier_p * scale:
+            v *= rng.uniform(p.outlier_lo, p.outlier_hi)
+        if p.quantum_ns > 0:
+            v = max(round(v / p.quantum_ns), 1.0) * p.quantum_ns
+        return float(v)
+
+    def sample_many(
+        self, value_ns: float, n: int, scale: float = 1.0
+    ) -> np.ndarray:
+        """Vector of ``n`` noisy samples (vectorized hot path)."""
+        if value_ns < 0:
+            raise ValueError(f"true value must be non-negative: {value_ns}")
+        p = self.params
+        sigma = p.sigma * scale
+        vals = value_ns * self._rng.lognormal(mean=0.0, sigma=sigma, size=n)
+        spikes = self._rng.random(n) < p.outlier_p * scale
+        if spikes.any():
+            mags = self._rng.uniform(p.outlier_lo, p.outlier_hi, int(spikes.sum()))
+            vals[spikes] *= mags
+        # Quantize to the TSC resolution, but never round a short event to 0:
+        # the instrument reports at least one quantum per timed region.
+        if p.quantum_ns > 0:
+            vals = np.maximum(np.round(vals / p.quantum_ns), 1.0) * p.quantum_ns
+        return vals
+
+    def sample_mean_of(
+        self, value_ns: float, n: int, batch: int, scale: float = 1.0
+    ) -> np.ndarray:
+        """``n`` samples, each the mean of a timed batch of ``batch``
+        back-to-back events (the BenchIT convention).
+
+        Quantization applies to the *measured total*, not each event —
+        which is how a pointer-chase loop resolves 3.8 ns L1 hits with a
+        10 ns timer.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        p = self.params
+        draws = value_ns * self._rng.lognormal(0.0, p.sigma * scale, (n, batch))
+        spikes = self._rng.random((n, batch)) < p.outlier_p * scale
+        if spikes.any():
+            draws[spikes] *= self._rng.uniform(
+                p.outlier_lo, p.outlier_hi, int(spikes.sum())
+            )
+        totals = draws.sum(axis=1)
+        if p.quantum_ns > 0:
+            totals = np.maximum(np.round(totals / p.quantum_ns), 1.0) * p.quantum_ns
+        return totals / batch
+
+    def jitter_only(self, value: float, scale: float = 1.0) -> float:
+        """Lognormal jitter without outliers or quantization (for
+        quantities that are aggregates of many events, e.g. a whole
+        multi-megabyte stream iteration)."""
+        sigma = self.params.sigma * scale
+        return float(value * self._rng.lognormal(0.0, sigma))

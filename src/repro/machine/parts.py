@@ -1,0 +1,61 @@
+"""Catalog of shipping Knights Landing SKUs.
+
+The paper measures a Xeon Phi 7210; the methodology is part-agnostic, so
+the catalog lets users instantiate the other launch SKUs and re-run the
+pipeline (a cross-part study lives in the ``parts`` extension
+experiment).  Frequencies/core counts/memory speeds per Intel ARK;
+latency structure is shared (same die), while bandwidth ceilings scale
+with core clock and DDR transfer rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.machine.config import ClusterMode, MachineConfig, MemoryMode
+
+#: name -> (active tiles, core GHz, DDR MT/s)
+_SPECS: Mapping[str, tuple] = {
+    "7210": (32, 1.3, 2133),
+    "7230": (32, 1.3, 2400),
+    "7250": (34, 1.4, 2400),
+    "7290": (36, 1.5, 2400),
+}
+
+
+def part_names() -> tuple:
+    return tuple(sorted(_SPECS))
+
+
+def part(
+    name: str,
+    cluster_mode: ClusterMode = ClusterMode.QUADRANT,
+    memory_mode: MemoryMode = MemoryMode.FLAT,
+    **overrides,
+) -> MachineConfig:
+    """MachineConfig for a shipping SKU (``"7210"`` ... ``"7290"``)."""
+    if name not in _SPECS:
+        raise ConfigurationError(
+            f"unknown KNL part {name!r}; catalog: {part_names()}"
+        )
+    tiles, ghz, mts = _SPECS[name]
+    kwargs = dict(
+        cluster_mode=cluster_mode,
+        memory_mode=memory_mode,
+        n_active_tiles=tiles,
+        core_ghz=ghz,
+        ddr_mts=mts,
+    )
+    kwargs.update(overrides)
+    return MachineConfig(**kwargs)
+
+
+def catalog(
+    cluster_mode: ClusterMode = ClusterMode.QUADRANT,
+    memory_mode: MemoryMode = MemoryMode.FLAT,
+) -> Dict[str, MachineConfig]:
+    """All SKUs at one cluster/memory configuration."""
+    return {
+        name: part(name, cluster_mode, memory_mode) for name in part_names()
+    }

@@ -1,0 +1,69 @@
+"""Capability models fitted from benchmark measurements."""
+
+from repro.model.parameters import (
+    CapabilityModel,
+    LinearCost,
+    DEFAULT_COMPUTE_NS_PER_LINE,
+)
+from repro.model.minmax import MinMaxModel
+from repro.model.fitting import (
+    FitCI,
+    fit_contention,
+    fit_contention_with_ci,
+    fit_multiline,
+    fit_overhead,
+    plateau_bandwidth,
+)
+from repro.model.derive import derive_capability_model
+from repro.model.advisor import (
+    BufferSpec,
+    Placement,
+    buffer_cost_ns,
+    recommend_placement,
+)
+from repro.model.compare import (
+    ModelComparison,
+    ParameterDiff,
+    compare_models,
+    latency_vs_bandwidth_spread,
+)
+from repro.model.validation import (
+    ValidationReport,
+    validate_against_machine,
+    validate_self_consistency,
+)
+from repro.model.roofline import (
+    Roofline,
+    roofline_from_capability,
+    roofline_speedup_prediction,
+    KNL_PEAK_DP_GFLOPS,
+)
+
+__all__ = [
+    "CapabilityModel",
+    "LinearCost",
+    "DEFAULT_COMPUTE_NS_PER_LINE",
+    "MinMaxModel",
+    "FitCI",
+    "fit_contention",
+    "fit_contention_with_ci",
+    "fit_multiline",
+    "fit_overhead",
+    "plateau_bandwidth",
+    "derive_capability_model",
+    "BufferSpec",
+    "Placement",
+    "buffer_cost_ns",
+    "recommend_placement",
+    "ModelComparison",
+    "ParameterDiff",
+    "compare_models",
+    "latency_vs_bandwidth_spread",
+    "ValidationReport",
+    "validate_against_machine",
+    "validate_self_consistency",
+    "Roofline",
+    "roofline_from_capability",
+    "roofline_speedup_prediction",
+    "KNL_PEAK_DP_GFLOPS",
+]

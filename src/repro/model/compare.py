@@ -1,0 +1,90 @@
+"""Comparison of capability models across configurations.
+
+The paper's observation (§IV-A): "we can use the same performance model
+and adjust the parameters when necessary" — the cluster modes differ
+mainly in achievable bandwidth, barely in latency.  This module
+quantifies exactly that: a structured diff of two (or many) fitted
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.model.parameters import CapabilityModel
+
+
+@dataclass(frozen=True)
+class ParameterDiff:
+    name: str
+    a: float
+    b: float
+
+    @property
+    def rel(self) -> float:
+        ref = max(abs(self.a), abs(self.b))
+        return abs(self.a - self.b) / ref if ref else 0.0
+
+
+@dataclass
+class ModelComparison:
+    """Pairwise diff between two fitted models."""
+
+    label_a: str
+    label_b: str
+    diffs: List[ParameterDiff] = field(default_factory=list)
+
+    def add(self, name: str, a: float, b: float) -> None:
+        self.diffs.append(ParameterDiff(name, a, b))
+
+    def max_rel(self, prefix: str = "") -> float:
+        vals = [d.rel for d in self.diffs if d.name.startswith(prefix)]
+        if not vals:
+            raise ModelError(f"no parameters with prefix {prefix!r}")
+        return max(vals)
+
+    def to_text(self) -> str:
+        lines = [f"model diff: {self.label_a} vs {self.label_b}"]
+        for d in sorted(self.diffs, key=lambda d: -d.rel):
+            lines.append(
+                f"  {d.name:24s} {d.a:9.1f} {d.b:9.1f}  {d.rel:6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def compare_models(a: CapabilityModel, b: CapabilityModel) -> ModelComparison:
+    cmp = ModelComparison(label_a=a.config_label, label_b=b.config_label)
+    cmp.add("latency/local", a.RL, b.RL)
+    for st in sorted(set(a.r_tile) & set(b.r_tile)):
+        cmp.add(f"latency/tile_{st}", a.r_tile[st], b.r_tile[st])
+    for st in sorted(set(a.r_remote) & set(b.r_remote)):
+        cmp.add(f"latency/remote_{st}", a.r_remote[st], b.r_remote[st])
+    for k in sorted(set(a.r_memory) & set(b.r_memory)):
+        cmp.add(f"latency/memory_{k}", a.r_memory[k], b.r_memory[k])
+    cmp.add("contention/alpha", a.contention.alpha, b.contention.alpha)
+    cmp.add("contention/beta", a.contention.beta, b.contention.beta)
+    for key in sorted(set(a.stream) & set(b.stream)):
+        cmp.add(f"bandwidth/{key}", a.stream[key], b.stream[key])
+    return cmp
+
+
+def latency_vs_bandwidth_spread(
+    models: Sequence[CapabilityModel],
+) -> Tuple[float, float]:
+    """Across a set of fitted models (e.g. the five cluster modes), the
+    maximum relative spread of (latency parameters, bandwidth tables).
+
+    The paper's claim corresponds to latency_spread ≪ bandwidth_spread.
+    """
+    if len(models) < 2:
+        raise ModelError("need at least two models to compare")
+    lat_max = 0.0
+    bw_max = 0.0
+    base = models[0]
+    for other in models[1:]:
+        cmp = compare_models(base, other)
+        lat_max = max(lat_max, cmp.max_rel("latency/"))
+        bw_max = max(bw_max, cmp.max_rel("bandwidth/"))
+    return lat_max, bw_max

@@ -1,0 +1,61 @@
+"""Derive a :class:`CapabilityModel` from a :class:`Characterization`.
+
+This closes the measurement half of the paper's loop: benchmarks → fitted
+model.  Nothing here reads the machine's calibration tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.suite import Characterization
+from repro.errors import ModelError
+from repro.model.fitting import fit_contention, fit_multiline
+from repro.model.parameters import CapabilityModel, LinearCost
+
+
+def derive_capability_model(char: Characterization) -> CapabilityModel:
+    """Fit all capability-model parameters from benchmark results."""
+    lat = char.latency
+    try:
+        r_local = lat["local/L1"].median
+    except KeyError as e:
+        raise ModelError(f"characterization missing latency block: {e}") from e
+
+    r_tile: Dict[str, float] = {}
+    r_remote: Dict[str, float] = {}
+    for key, res in lat.items():
+        if key.startswith("tile/"):
+            r_tile[key.split("/", 1)[1]] = res.median
+        elif key.startswith("remote/"):
+            r_remote[key.split("/", 1)[1]] = res.median
+    if "M" not in r_remote:
+        raise ModelError("characterization lacks remote M-state latency")
+
+    r_memory = {k: res.median for k, res in char.memory_latency.items()}
+
+    contention = fit_contention(char.contention)
+
+    multiline: Dict[str, LinearCost] = {}
+    if "copy/remote/M" in char.multiline_curves:
+        multiline["remote"] = fit_multiline(char.multiline_curves["copy/remote/M"])
+    if "copy/tile/E" in char.multiline_curves:
+        multiline["tile"] = fit_multiline(char.multiline_curves["copy/tile/E"])
+    if "read/remote/E" in char.multiline_curves:
+        multiline["read"] = fit_multiline(char.multiline_curves["read/remote/E"])
+
+    congestion = 1.0
+    if char.congestion.congestion_observed:
+        congestion = char.congestion.slowdown
+
+    return CapabilityModel(
+        config_label=char.config_label,
+        r_local=r_local,
+        r_tile=r_tile,
+        r_remote=r_remote,
+        r_memory=r_memory,
+        contention=contention,
+        multiline=multiline,
+        stream=dict(char.stream),
+        congestion_factor=congestion,
+    )

@@ -1,0 +1,123 @@
+"""Regression fits that turn benchmark medians into model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.runner import BenchResult
+from repro.bench.stats import linear_fit
+from repro.errors import ModelError
+from repro.model.parameters import LinearCost
+from repro.units import CACHE_LINE_BYTES, lines_in
+
+
+def fit_contention(results: Sequence[BenchResult]) -> LinearCost:
+    """Fit T_C(N) = α + β·N to a contention sweep."""
+    if len(results) < 2:
+        raise ModelError("contention fit needs at least two accessor counts")
+    ns = [int(r.params["n_accessors"]) for r in results]
+    meds = [r.median for r in results]
+    alpha, beta = linear_fit(ns, meds)
+    if beta <= 0:
+        raise ModelError(
+            f"contention fit produced non-increasing cost (beta={beta:.2f})"
+        )
+    return LinearCost(alpha=alpha, beta=beta)
+
+
+def fit_multiline(curve: Sequence[BenchResult]) -> LinearCost:
+    """Fit T(N_lines) = α + β·N to a bandwidth-vs-size curve.
+
+    The curve's samples are bandwidths (GB/s); convert each point's
+    median back to a transfer time before fitting.
+    """
+    if len(curve) < 2:
+        raise ModelError("multiline fit needs at least two sizes")
+    xs: List[float] = []
+    ys: List[float] = []
+    for r in curve:
+        nbytes = int(r.params["nbytes"])
+        n = lines_in(nbytes)
+        t_ns = nbytes / r.median  # median GB/s -> ns
+        xs.append(n)
+        ys.append(t_ns)
+    alpha, beta = linear_fit(xs, ys)
+    # A tiny or slightly negative intercept can come out of noisy small
+    # sizes; clamp to zero rather than carry an unphysical negative cost.
+    return LinearCost(alpha=max(0.0, alpha), beta=beta)
+
+
+def plateau_bandwidth(fit: LinearCost) -> float:
+    """Asymptotic bandwidth [GB/s] implied by a multi-line fit."""
+    if fit.beta <= 0:
+        raise ModelError(f"non-positive per-line cost: {fit.beta}")
+    return CACHE_LINE_BYTES / fit.beta
+
+
+@dataclass(frozen=True)
+class FitCI:
+    """Bootstrap 95% confidence intervals for a linear fit's (α, β)."""
+
+    alpha: Tuple[float, float]
+    beta: Tuple[float, float]
+
+    def contains(self, alpha: float, beta: float) -> bool:
+        return (
+            self.alpha[0] <= alpha <= self.alpha[1]
+            and self.beta[0] <= beta <= self.beta[1]
+        )
+
+    @property
+    def beta_half_width(self) -> float:
+        return 0.5 * (self.beta[1] - self.beta[0])
+
+
+def fit_contention_with_ci(
+    results: Sequence[BenchResult],
+    n_boot: int = 300,
+    seed: int = 0,
+) -> Tuple[LinearCost, FitCI]:
+    """Contention fit plus bootstrap CIs.
+
+    Each bootstrap replicate resamples every point's iteration samples
+    (with replacement), refits, and the 2.5/97.5 percentiles of the
+    replicate parameters form the intervals — the same discipline the
+    paper applies to its reported medians.
+    """
+    fit = fit_contention(results)
+    rng = np.random.default_rng(seed)
+    ns = np.array([int(r.params["n_accessors"]) for r in results], dtype=float)
+    alphas = np.empty(n_boot)
+    betas = np.empty(n_boot)
+    for b in range(n_boot):
+        meds = np.array(
+            [
+                np.median(
+                    r.samples[rng.integers(0, r.samples.size, r.samples.size)]
+                )
+                for r in results
+            ]
+        )
+        beta, alpha = np.polyfit(ns, meds, 1)
+        alphas[b], betas[b] = alpha, beta
+    ci = FitCI(
+        alpha=tuple(np.quantile(alphas, [0.025, 0.975])),
+        beta=tuple(np.quantile(betas, [0.025, 0.975])),
+    )
+    return fit, ci
+
+
+def fit_overhead(
+    thread_counts: Sequence[int], residual_ns: Sequence[float]
+) -> LinearCost:
+    """Fit the sort study's overhead model: linear regression of the
+    (measured − memory-model) residual of 1 KB sorts vs thread count."""
+    if len(thread_counts) != len(residual_ns):
+        raise ModelError("length mismatch in overhead fit")
+    if len(thread_counts) < 2:
+        raise ModelError("overhead fit needs at least two thread counts")
+    alpha, beta = linear_fit(list(thread_counts), list(residual_ns))
+    return LinearCost(alpha=max(0.0, alpha), beta=max(0.0, beta))

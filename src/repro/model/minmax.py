@@ -1,0 +1,69 @@
+"""Min-max models (§IV-B).
+
+Polling makes exact prediction impossible — "we cannot predict which
+thread wins and how often a cache line is moved" — so each algorithm is
+modeled with a best case and a worst case; measured distributions should
+fall inside the envelope, and optimization targets the best case because
+"the worst rarely happens in practice".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class MinMaxModel:
+    """A [best, worst] cost envelope in nanoseconds."""
+
+    best_ns: float
+    worst_ns: float
+
+    def __post_init__(self) -> None:
+        if self.best_ns < 0 or self.worst_ns < self.best_ns:
+            raise ModelError(
+                f"invalid envelope: best={self.best_ns}, worst={self.worst_ns}"
+            )
+
+    def __add__(self, other: "MinMaxModel") -> "MinMaxModel":
+        return MinMaxModel(self.best_ns + other.best_ns, self.worst_ns + other.worst_ns)
+
+    def scale(self, k: float) -> "MinMaxModel":
+        if k < 0:
+            raise ModelError("scale factor must be non-negative")
+        return MinMaxModel(self.best_ns * k, self.worst_ns * k)
+
+    @staticmethod
+    def exact(ns: float) -> "MinMaxModel":
+        return MinMaxModel(ns, ns)
+
+    @staticmethod
+    def envelope(models: Iterable["MinMaxModel"]) -> "MinMaxModel":
+        """Max over parallel branches: best = max of bests, worst = max of
+        worsts (the slowest branch decides)."""
+        ms = list(models)
+        if not ms:
+            raise ModelError("empty envelope")
+        return MinMaxModel(
+            max(m.best_ns for m in ms), max(m.worst_ns for m in ms)
+        )
+
+    # -- validation against measurements ------------------------------------
+
+    def covers(self, samples: np.ndarray, quantile: float = 0.5,
+               tolerance: float = 0.35) -> bool:
+        """Whether the given measurement quantile falls in the envelope,
+        with a relative tolerance (models overestimate at high thread
+        counts in the paper too — Figs. 6-8 discussion)."""
+        q = float(np.quantile(np.asarray(samples, dtype=float), quantile))
+        lo = self.best_ns * (1.0 - tolerance)
+        hi = self.worst_ns * (1.0 + tolerance)
+        return lo <= q <= hi
+
+    def midpoint(self) -> float:
+        return 0.5 * (self.best_ns + self.worst_ns)

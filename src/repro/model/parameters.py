@@ -1,0 +1,154 @@
+"""The capability model: fitted parameters describing what the memory
+system can actually deliver.
+
+This is the paper's central artifact.  Every entry is *measured* (fitted
+from benchmark medians), not copied from documentation:
+
+* ``r_local`` (R_L) — read a line from the local cache;
+* ``r_tile[state]`` — read a line from the same tile's L2;
+* ``r_remote[state]`` (R_R) — read a line from a remote tile;
+* ``r_memory[kind]`` (R_I) — read a line from memory (state I);
+* ``contention_alpha/beta`` — T_C(N) = α + β·N for N same-line readers;
+* ``multiline[location]`` — (α, β): N-line transfer costs α + β·N;
+* ``stream[op/kind]`` — achievable aggregate memory bandwidth;
+* ``congestion`` — latency multiplier under concurrent P2P pairs (1.0).
+
+The model deliberately smooths over <10-15% placement differences — the
+paper's observation is that one model with adjusted parameters covers all
+cluster modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.units import CACHE_LINE_BYTES, lines_in
+
+#: Default per-line compute cost [ns] for reduction arithmetic on a line
+#: of 16 ints with AVX-512 (one vector op + bookkeeping at 1.3 GHz).
+DEFAULT_COMPUTE_NS_PER_LINE = 8.0
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """T(N) = alpha + beta * N (N in cache lines or accessor counts)."""
+
+    alpha: float
+    beta: float
+
+    def at(self, n: float) -> float:
+        if n < 0:
+            raise ModelError(f"count must be non-negative: {n}")
+        return self.alpha + self.beta * n
+
+
+@dataclass(frozen=True)
+class CapabilityModel:
+    """Fitted capability model of one machine configuration."""
+
+    config_label: str
+    r_local: float
+    r_tile: Mapping[str, float]
+    r_remote: Mapping[str, float]
+    r_memory: Mapping[str, float]
+    contention: LinearCost
+    multiline: Mapping[str, LinearCost]
+    stream: Mapping[str, float]
+    congestion_factor: float = 1.0
+    compute_ns_per_line: float = DEFAULT_COMPUTE_NS_PER_LINE
+
+    # -- canonical scalars used by the optimization formulas ----------------
+
+    @property
+    def RL(self) -> float:
+        """Cost of reading a line from local cache."""
+        return self.r_local
+
+    @property
+    def RR(self) -> float:
+        """Cost of reading a line from a remote cache (freshly written
+        lines are Modified, so the M-state figure is the operative one)."""
+        return self.r_remote["M"]
+
+    def RR_state(self, state: str) -> float:
+        return self.r_remote[state]
+
+    @property
+    def RI(self) -> float:
+        """Cost of reading a line from memory (state I).
+
+        Uses the DDR figure when present (flags evicted to memory land in
+        DDR unless allocated in MCDRAM); falls back to the single
+        available kind otherwise."""
+        if "ddr" in self.r_memory:
+            return self.r_memory["ddr"]
+        return next(iter(self.r_memory.values()))
+
+    def RI_kind(self, kind: str) -> float:
+        if kind not in self.r_memory:
+            raise ModelError(
+                f"no memory latency for kind {kind!r}; have {sorted(self.r_memory)}"
+            )
+        return self.r_memory[kind]
+
+    # -- composite costs ------------------------------------------------------
+
+    def T_C(self, n: int) -> float:
+        """Contention: completion of N simultaneous same-line readers."""
+        if n == 0:
+            return 0.0
+        return self.contention.at(n)
+
+    def multiline_ns(self, location: str, nbytes: int) -> float:
+        """Single-thread transfer of ``nbytes`` from ``location``
+        ('tile', 'remote'), in ns."""
+        if location not in self.multiline:
+            raise ModelError(
+                f"no multiline fit for {location!r}; have {sorted(self.multiline)}"
+            )
+        return self.multiline[location].at(lines_in(nbytes))
+
+    def bw(self, op: str, kind: str, peak: bool = False) -> float:
+        """Achievable aggregate memory bandwidth [GB/s]."""
+        key = f"{op}/{kind}/peak" if peak else f"{op}/{kind}"
+        if key not in self.stream:
+            raise ModelError(f"no stream entry {key!r}; have {sorted(self.stream)}")
+        return self.stream[key]
+
+    def mem_ns_per_line(self, kind: str, use_bandwidth: bool, op: str = "triad",
+                        n_threads: int = 1) -> float:
+        """cost_mem for the sort model: either the memory latency (worst
+        case, random interleave) or the inverse of the per-thread
+        bandwidth share (best case, streaming)."""
+        if not use_bandwidth:
+            return self.RI_kind(kind)
+        agg = self.bw(op, kind)
+        per_thread = agg / max(1, n_threads)
+        per_thread = min(per_thread, 8.0)  # single-thread ceiling (§V-B)
+        return CACHE_LINE_BYTES / per_thread
+
+    # -- reporting -------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"CapabilityModel[{self.config_label}]"]
+        lines.append(f"  R_L (local)      : {self.r_local:7.1f} ns")
+        for st, v in sorted(self.r_tile.items()):
+            lines.append(f"  tile {st}          : {v:7.1f} ns")
+        for st, v in sorted(self.r_remote.items()):
+            lines.append(f"  remote {st}        : {v:7.1f} ns")
+        for k, v in sorted(self.r_memory.items()):
+            lines.append(f"  memory {k:7s}  : {v:7.1f} ns")
+        lines.append(
+            f"  contention       : {self.contention.alpha:.0f} + "
+            f"{self.contention.beta:.1f}*N ns"
+        )
+        for loc, lc in sorted(self.multiline.items()):
+            lines.append(
+                f"  multiline {loc:7s}: {lc.alpha:.0f} + {lc.beta:.2f}*lines ns"
+            )
+        for key, v in sorted(self.stream.items()):
+            lines.append(f"  stream {key:18s}: {v:7.1f} GB/s")
+        lines.append(f"  congestion       : x{self.congestion_factor:.2f}")
+        return "\n".join(lines)

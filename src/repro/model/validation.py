@@ -1,0 +1,109 @@
+"""Cross-validation of a fitted capability model.
+
+Two validators:
+
+* :func:`validate_against_machine` — compares fitted parameters with the
+  machine's noise-free ground truth (only possible on the simulator; on
+  hardware there is no ground truth, which is the paper's point).
+* :func:`validate_self_consistency` — hardware-compatible checks between
+  independent measurements (e.g. half a ping-pong round trip vs the
+  one-line latency; the multi-line plateau vs the bandwidth table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bench.pingpong import pingpong_round_trip
+from repro.bench.runner import Runner
+from repro.errors import ModelError
+from repro.machine.coherence import MESIF
+from repro.machine.machine import KNLMachine
+from repro.model.fitting import plateau_bandwidth
+from repro.model.parameters import CapabilityModel
+
+
+@dataclass
+class ValidationReport:
+    """Per-parameter relative errors and an overall verdict."""
+
+    errors: Dict[str, float] = field(default_factory=dict)
+    tolerance: float = 0.15
+
+    def add(self, name: str, fitted: float, truth: float) -> None:
+        if truth == 0:
+            raise ModelError(f"zero ground truth for {name}")
+        self.errors[name] = abs(fitted - truth) / abs(truth)
+
+    @property
+    def worst(self) -> float:
+        return max(self.errors.values()) if self.errors else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.worst <= self.tolerance
+
+    def failing(self) -> List[str]:
+        return sorted(
+            k for k, v in self.errors.items() if v > self.tolerance
+        )
+
+    def to_text(self) -> str:
+        lines = [f"validation ({'OK' if self.ok else 'FAIL'}, "
+                 f"tolerance {self.tolerance:.0%}):"]
+        for k in sorted(self.errors):
+            flag = "" if self.errors[k] <= self.tolerance else "  <-- out of band"
+            lines.append(f"  {k:28s} {self.errors[k]:6.1%}{flag}")
+        return "\n".join(lines)
+
+
+def validate_against_machine(
+    cap: CapabilityModel, machine: KNLMachine, tolerance: float = 0.15
+) -> ValidationReport:
+    """Fitted parameters vs the simulator's calibration tables."""
+    report = ValidationReport(tolerance=tolerance)
+    cal = machine.calibration
+    report.add("r_local", cap.RL, cal.l1_ns)
+    for state in ("M", "E", "S"):
+        report.add(
+            f"tile_{state}", cap.r_tile[state], cal.tile_ns[MESIF(state)]
+        )
+    for state in ("M", "E"):
+        lo, hi = cal.remote_ns[MESIF(state)]
+        report.add(f"remote_{state}", cap.r_remote[state], 0.5 * (lo + hi))
+    report.add("contention_alpha", cap.contention.alpha, cal.contention_alpha)
+    report.add("contention_beta", cap.contention.beta, cal.contention_beta)
+    if "remote" in cap.multiline:
+        report.add(
+            "copy_plateau_remote",
+            plateau_bandwidth(cap.multiline["remote"]),
+            cal.copy_bw_remote,
+        )
+    return report
+
+
+def validate_self_consistency(
+    cap: CapabilityModel, runner: Runner, tolerance: float = 0.3
+) -> ValidationReport:
+    """Hardware-compatible cross-checks between measurement families."""
+    report = ValidationReport(tolerance=tolerance)
+    machine = runner.machine
+    # 1. Half a ping-pong round trip vs the fitted remote M latency.
+    peer = machine.topology.cores_of_tile(machine.topology.n_tiles // 2)[0]
+    rt = pingpong_round_trip(runner, 0, peer).median
+    report.add("pingpong_vs_latency", rt / 2.0, cap.RR)
+    # 2. Contention at N=1 vs alpha + beta.
+    report.add(
+        "contention_intercept",
+        cap.T_C(1),
+        cap.contention.alpha + cap.contention.beta,
+    )
+    # 3. Multi-line alpha vs the one-line latency (same phenomenon).
+    if "remote" in cap.multiline:
+        report.add(
+            "multiline_alpha_vs_latency",
+            cap.multiline["remote"].alpha,
+            cap.RR,
+        )
+    return report

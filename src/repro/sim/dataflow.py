@@ -1,0 +1,183 @@
+"""Static dataflow verification of engine programs.
+
+The engine checks programs dynamically (deadlock, double writes); this
+module proves properties *statically*, before any run:
+
+* every polled flag has exactly one writer (and vice versa no flag is
+  written twice);
+* the dependency graph (program order + write→poll edges) is acyclic —
+  i.e. no schedule of the engine can deadlock;
+* data *provenance*: each thread's payload-carrying transfers propagate
+  tokens, so one can assert that a broadcast plan delivers the root's
+  token to every participant, or that a reduce plan gathers every
+  participant's token at the root.
+
+Program builders (collectives, baselines) are tested against this —
+the timing model can be wrong by a constant, but the communication
+structure must be *correct*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.program import Compute, LocalCopy, PollFlag, Program, WriteFlag
+
+Node = Tuple[int, int]  # (thread, op index)
+
+
+@dataclass
+class DataflowResult:
+    """Outcome of a successful static verification."""
+
+    #: Tokens held by each thread when its program ends.  A token is the
+    #: id of the thread that originated the data (via Compute/LocalCopy).
+    tokens: Dict[int, FrozenSet[int]]
+    #: Writer thread of each flag.
+    flag_writer: Dict[str, int]
+    #: Number of poll edges in the dependency graph.
+    n_edges: int
+
+    def holds(self, thread: int, token: int) -> bool:
+        return token in self.tokens.get(thread, frozenset())
+
+    def holders_of(self, token: int) -> Set[int]:
+        return {t for t, toks in self.tokens.items() if token in toks}
+
+
+def verify_dataflow(programs: Sequence[Program]) -> DataflowResult:
+    """Statically verify a program set; raises :class:`SimulationError`
+    on structural defects (unmatched polls, double writes, cycles)."""
+    threads = [p.thread for p in programs]
+    if len(set(threads)) != len(threads):
+        raise SimulationError("duplicate thread ids")
+    progs = {p.thread: p for p in programs}
+
+    # Index flags.
+    flag_writer: Dict[str, Node] = {}
+    pollers: Dict[str, List[Node]] = {}
+    for t, p in progs.items():
+        for i, op in enumerate(p.ops):
+            if isinstance(op, WriteFlag):
+                if op.flag in flag_writer:
+                    raise SimulationError(
+                        f"flag {op.flag!r} written twice "
+                        f"({flag_writer[op.flag]} and {(t, i)})"
+                    )
+                flag_writer[op.flag] = (t, i)
+            elif isinstance(op, PollFlag):
+                pollers.setdefault(op.flag, []).append((t, i))
+
+    unmatched = sorted(set(pollers) - set(flag_writer))
+    if unmatched:
+        raise SimulationError(
+            f"polled flags never written: {unmatched[:5]}"
+            + ("..." if len(unmatched) > 5 else "")
+        )
+
+    # Dependency graph: program-order edges + write -> poll edges.
+    indeg: Dict[Node, int] = {}
+    succ: Dict[Node, List[Node]] = {}
+    for t, p in progs.items():
+        for i in range(len(p.ops)):
+            indeg.setdefault((t, i), 0)
+    def add_edge(a: Node, b: Node) -> None:
+        succ.setdefault(a, []).append(b)
+        indeg[b] = indeg.get(b, 0) + 1
+
+    n_edges = 0
+    for t, p in progs.items():
+        for i in range(1, len(p.ops)):
+            add_edge((t, i - 1), (t, i))
+    for flag, nodes in pollers.items():
+        w = flag_writer[flag]
+        for n in nodes:
+            add_edge(w, n)
+            n_edges += 1
+
+    # Kahn topological order; leftover nodes => a dependency cycle.
+    order: List[Node] = []
+    ready = deque(n for n, d in indeg.items() if d == 0)
+    while ready:
+        n = ready.popleft()
+        order.append(n)
+        for m in succ.get(n, ()):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                ready.append(m)
+    if len(order) != len(indeg):
+        stuck = sorted(n for n, d in indeg.items() if d > 0)[:6]
+        raise SimulationError(
+            f"cyclic flag dependencies (static deadlock); e.g. at {stuck}"
+        )
+
+    # Token propagation in topological order.
+    held: Dict[int, Set[int]] = {t: set() for t in threads}
+    flag_tokens: Dict[str, FrozenSet[int]] = {}
+    for t, i in order:
+        op = progs[t].ops[i]
+        if isinstance(op, (Compute, LocalCopy)):
+            held[t].add(t)
+        elif isinstance(op, WriteFlag):
+            flag_tokens[op.flag] = frozenset(held[t])
+        elif isinstance(op, PollFlag) and op.payload_bytes > 0:
+            held[t] |= flag_tokens.get(op.flag, frozenset())
+
+    return DataflowResult(
+        tokens={t: frozenset(s) for t, s in held.items()},
+        flag_writer={f: n[0] for f, n in flag_writer.items()},
+        n_edges=n_edges,
+    )
+
+
+# -- collective-specific assertions ------------------------------------------
+
+
+def assert_broadcast_delivers(
+    programs: Sequence[Program], root_thread: int
+) -> DataflowResult:
+    """Every participant ends up holding the root's token."""
+    result = verify_dataflow(programs)
+    missing = [
+        p.thread
+        for p in programs
+        if p.thread != root_thread and not result.holds(p.thread, root_thread)
+    ]
+    if missing:
+        raise SimulationError(
+            f"broadcast does not deliver to threads {missing[:8]}"
+        )
+    return result
+
+
+def assert_reduce_gathers(
+    programs: Sequence[Program], root_thread: int
+) -> DataflowResult:
+    """The root ends up holding every participant's token."""
+    result = verify_dataflow(programs)
+    missing = [
+        p.thread
+        for p in programs
+        if not result.holds(root_thread, p.thread)
+    ]
+    if missing:
+        raise SimulationError(
+            f"reduce misses contributions from {missing[:8]}"
+        )
+    return result
+
+
+def assert_allreduce_complete(programs: Sequence[Program]) -> DataflowResult:
+    """Everyone ends up holding everyone's token."""
+    result = verify_dataflow(programs)
+    all_tokens = {p.thread for p in programs}
+    for p in programs:
+        missing = all_tokens - set(result.tokens[p.thread])
+        if missing:
+            raise SimulationError(
+                f"thread {p.thread} misses tokens {sorted(missing)[:8]}"
+            )
+    return result

@@ -1,0 +1,167 @@
+"""Op-sequence description of a kernel running on one thread.
+
+A :class:`Program` is a list of ops bound to a thread id.  Ops carry only
+*what* happens; the engine asks the machine model for the cost at run
+time (so the same program runs on any configuration, noisy or not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.machine.coherence import MESIF
+from repro.machine.config import MemoryKind
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for program operations."""
+
+
+@dataclass(frozen=True)
+class Delay(Op):
+    """Fixed local work of ``ns`` nanoseconds (no memory traffic)."""
+
+    ns: float
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise ValueError(f"delay must be non-negative: {self.ns}")
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Vector compute over ``nbytes`` at ``ns_per_line`` per cache line
+    (e.g. bitonic-network stages, reduction arithmetic)."""
+
+    nbytes: int
+    ns_per_line: float
+
+
+@dataclass(frozen=True)
+class LocalCopy(Op):
+    """Copy ``nbytes`` within the thread's own cache hierarchy."""
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class CopyFrom(Op):
+    """Copy ``nbytes`` that live in another core's cache into a local
+    buffer — uncontended (use :class:`PollFlag` with a payload for the
+    contended consumer side of a handoff)."""
+
+    owner_core: int
+    nbytes: int
+    state: MESIF = MESIF.MODIFIED
+    vectorized: bool = True
+
+
+@dataclass(frozen=True)
+class MemRead(Op):
+    """Stream ``nbytes`` from memory (single thread)."""
+
+    nbytes: int
+    kind: MemoryKind = MemoryKind.DDR
+
+
+@dataclass(frozen=True)
+class MemWrite(Op):
+    """Stream ``nbytes`` to memory (single thread, NT by default)."""
+
+    nbytes: int
+    kind: MemoryKind = MemoryKind.DDR
+    nt: bool = True
+
+
+@dataclass(frozen=True)
+class WriteFlag(Op):
+    """Publish a flag.
+
+    The writer only pays the store; the flag becomes *visible* after the
+    machine's visibility delay (read-for-ownership of a cold line, plus
+    an invalidation round when ``n_pollers`` threads spin on it).
+    ``cold`` marks a line not previously owned by the writer (benchmarks
+    draw fresh buffers every iteration, so this defaults to True).
+    """
+
+    flag: str
+    n_pollers: int = 0
+    cold: bool = True
+
+
+@dataclass(frozen=True)
+class PollFlag(Op):
+    """Spin until ``flag`` is set, then pull the flag line (and an
+    optional payload of ``payload_bytes`` from the writer's cache).
+
+    Concurrent pollers of the same flag serialize per the machine's
+    contention model T_C(N) = α + β·N.
+    """
+
+    flag: str
+    payload_bytes: int = 0
+    payload_state: MESIF = MESIF.MODIFIED
+
+
+@dataclass
+class Program:
+    """Ops executed sequentially by one thread."""
+
+    thread: int
+    ops: List[Op] = field(default_factory=list)
+
+    # -- fluent builders ----------------------------------------------------
+
+    def delay(self, ns: float) -> "Program":
+        self.ops.append(Delay(ns))
+        return self
+
+    def compute(self, nbytes: int, ns_per_line: float) -> "Program":
+        self.ops.append(Compute(nbytes, ns_per_line))
+        return self
+
+    def local_copy(self, nbytes: int) -> "Program":
+        self.ops.append(LocalCopy(nbytes))
+        return self
+
+    def copy_from(
+        self,
+        owner_core: int,
+        nbytes: int,
+        state: MESIF = MESIF.MODIFIED,
+        vectorized: bool = True,
+    ) -> "Program":
+        self.ops.append(CopyFrom(owner_core, nbytes, state, vectorized))
+        return self
+
+    def mem_read(self, nbytes: int, kind: MemoryKind = MemoryKind.DDR) -> "Program":
+        self.ops.append(MemRead(nbytes, kind))
+        return self
+
+    def mem_write(
+        self, nbytes: int, kind: MemoryKind = MemoryKind.DDR, nt: bool = True
+    ) -> "Program":
+        self.ops.append(MemWrite(nbytes, kind, nt))
+        return self
+
+    def write_flag(self, flag: str, n_pollers: int = 0, cold: bool = True) -> "Program":
+        self.ops.append(WriteFlag(flag, n_pollers, cold))
+        return self
+
+    def poll_flag(
+        self,
+        flag: str,
+        payload_bytes: int = 0,
+        payload_state: MESIF = MESIF.MODIFIED,
+    ) -> "Program":
+        self.ops.append(PollFlag(flag, payload_bytes, payload_state))
+        return self
+
+    def extend(self, ops: Sequence[Op]) -> "Program":
+        self.ops.extend(ops)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)

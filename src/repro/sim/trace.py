@@ -1,0 +1,103 @@
+"""Execution traces of the virtual-time engine.
+
+With ``Engine(record_trace=True)`` every op's (thread, start, end) is
+recorded, enabling timeline inspection, critical-path analysis, and the
+invariant checks in the test suite (per-thread intervals never overlap;
+polls never complete before the flag is visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.program import Op
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed op."""
+
+    thread: int
+    op_index: int
+    op: Op
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class Trace:
+    """Ordered collection of trace events from one engine run."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self.events: Tuple[TraceEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.start_ns, e.thread, e.op_index))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_thread(self, thread: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.thread == thread]
+
+    def validate(self) -> None:
+        """Per-thread intervals must be ordered and non-overlapping."""
+        by_thread: Dict[int, List[TraceEvent]] = {}
+        for e in self.events:
+            if e.end_ns < e.start_ns:
+                raise SimulationError(
+                    f"negative-duration event: {e.thread}#{e.op_index}"
+                )
+            by_thread.setdefault(e.thread, []).append(e)
+        for thread, evs in by_thread.items():
+            evs.sort(key=lambda e: e.op_index)
+            for a, b in zip(evs, evs[1:]):
+                if b.start_ns < a.end_ns - 1e-9:
+                    raise SimulationError(
+                        f"overlapping ops on thread {thread}: "
+                        f"#{a.op_index} ends {a.end_ns}, "
+                        f"#{b.op_index} starts {b.start_ns}"
+                    )
+
+    def busy_ns(self, thread: int) -> float:
+        """Total time the thread spent executing (not blocked)."""
+        return sum(e.duration_ns for e in self.for_thread(thread))
+
+    def critical_events(self) -> List[TraceEvent]:
+        """Events on the makespan path: walk back from the last-finishing
+        event through the latest-ending predecessor on the same thread."""
+        if not self.events:
+            return []
+        last = max(self.events, key=lambda e: e.end_ns)
+        path = [last]
+        current = last
+        while True:
+            preds = [
+                e
+                for e in self.for_thread(current.thread)
+                if e.op_index < current.op_index
+            ]
+            if not preds:
+                break
+            current = max(preds, key=lambda e: e.op_index)
+            path.append(current)
+        path.reverse()
+        return path
+
+    def to_text(self, max_events: int = 50) -> str:
+        lines = ["thread  op#  start_ns      end_ns        op"]
+        for e in self.events[:max_events]:
+            lines.append(
+                f"{e.thread:6d}  {e.op_index:3d}  {e.start_ns:12.1f}  "
+                f"{e.end_ns:12.1f}  {type(e.op).__name__}"
+            )
+        if len(self.events) > max_events:
+            lines.append(f"... ({len(self.events) - max_events} more)")
+        return "\n".join(lines)

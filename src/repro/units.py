@@ -1,0 +1,78 @@
+"""Units and physical constants used throughout the package.
+
+Conventions
+-----------
+* Time is expressed in **nanoseconds** (float) at the machine-model layer.
+  Experiment-level results convert to seconds where the paper plots seconds.
+* Bandwidth is expressed in **GB/s** where 1 GB = 1e9 bytes (the convention
+  used by STREAM and by the paper's tables).  Note that ``bytes / ns``
+  happens to equal GB/s numerically, which keeps conversions trivial.
+* Sizes are in bytes.
+"""
+
+from __future__ import annotations
+
+#: Size of a cache line on KNL, in bytes.
+CACHE_LINE_BYTES = 64
+
+#: KiB/MiB/GiB in bytes.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: 1 GB (decimal, STREAM convention) in bytes.
+GB = 10**9
+
+#: Nanoseconds per second.
+NS_PER_S = 1e9
+
+#: Core clock of the KNL 7210 used in the paper, in GHz.
+CORE_CLOCK_GHZ = 1.3
+
+#: Duration of one core cycle in nanoseconds.
+CYCLE_NS = 1.0 / CORE_CLOCK_GHZ
+
+
+def lines_in(nbytes: int) -> int:
+    """Number of cache lines covering ``nbytes`` (ceiling division).
+
+    >>> lines_in(1)
+    1
+    >>> lines_in(64)
+    1
+    >>> lines_in(65)
+    2
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    return -(-nbytes // CACHE_LINE_BYTES)
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def s_to_ns(s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return s * NS_PER_S
+
+
+def gbps(nbytes: float, ns: float) -> float:
+    """Bandwidth in GB/s for ``nbytes`` moved in ``ns`` nanoseconds.
+
+    Raises :class:`ZeroDivisionError` if ``ns`` is zero.
+    """
+    return nbytes / ns
+
+
+def transfer_ns(nbytes: float, bandwidth_gbps: float) -> float:
+    """Time in ns to move ``nbytes`` at ``bandwidth_gbps`` GB/s."""
+    if bandwidth_gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+    return nbytes / bandwidth_gbps
+
+
+def cycles_to_ns(cycles: float) -> float:
+    """Convert core cycles (at 1.3 GHz) to nanoseconds."""
+    return cycles * CYCLE_NS

@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Expensive artifacts (machines, characterizations, fitted capability
+models) are session-scoped: the suite builds them once and the tests
+inspect them from many angles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Runner, characterize
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryMode,
+)
+from repro.model import derive_capability_model
+
+SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def snc4_flat_config() -> MachineConfig:
+    return MachineConfig(
+        cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT
+    )
+
+
+@pytest.fixture(scope="session")
+def machine(snc4_flat_config) -> KNLMachine:
+    """The paper's headline configuration: SNC4-flat."""
+    return KNLMachine(snc4_flat_config, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def quiet_machine(snc4_flat_config) -> KNLMachine:
+    """Noise-free twin for deterministic assertions."""
+    return KNLMachine(snc4_flat_config, seed=SEED, noise=False)
+
+
+@pytest.fixture(scope="session")
+def cache_machine() -> KNLMachine:
+    return KNLMachine(
+        MachineConfig(
+            cluster_mode=ClusterMode.QUADRANT, memory_mode=MemoryMode.CACHE
+        ),
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(machine) -> Runner:
+    return Runner(machine, iterations=50, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def characterization(machine):
+    return characterize(machine, iterations=50, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def capability(characterization):
+    return derive_capability_model(characterization)

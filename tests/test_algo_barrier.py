@@ -1,0 +1,101 @@
+"""Dissemination barrier: Eq.-(2) optimizer and program generation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import barrier_cost, rounds_for, tune_barrier
+from repro.algorithms.barrier import barrier_programs
+from repro.bench import pin_threads
+from repro.errors import ModelError, SimulationError
+from repro.sim import Engine
+
+
+class TestRoundsFor:
+    def test_binary(self):
+        assert rounds_for(64, 1) == 6
+
+    def test_higher_arity_fewer_rounds(self):
+        assert rounds_for(64, 3) == 3
+        assert rounds_for(64, 7) == 2
+        assert rounds_for(64, 63) == 1
+
+    def test_trivial(self):
+        assert rounds_for(1, 1) == 0
+
+
+class TestTuneBarrier:
+    def test_constraint_satisfied(self, capability):
+        for n in (2, 16, 64, 256):
+            tb = tune_barrier(capability, n)
+            assert (tb.arity + 1) ** tb.rounds >= n
+
+    def test_optimal_among_all_arities(self, capability):
+        n = 64
+        tb = tune_barrier(capability, n)
+        best = min(barrier_cost(capability, n, m) for m in range(1, n))
+        assert tb.model.best_ns == pytest.approx(best)
+
+    def test_chooses_moderate_arity_at_64(self, capability):
+        # With RI ~ RR, the sweet spot is m=2..4 (r=3-4 rounds), not
+        # binary or flat.
+        tb = tune_barrier(capability, 64)
+        assert 2 <= tb.arity <= 7
+
+    def test_single_thread_free(self, capability):
+        tb = tune_barrier(capability, 1)
+        assert tb.model.best_ns == 0.0
+
+    def test_invalid(self, capability):
+        with pytest.raises(ModelError):
+            tune_barrier(capability, 0)
+
+    def test_describe(self, capability):
+        assert "rounds" in tune_barrier(capability, 16).describe()
+
+
+class TestBarrierPrograms:
+    def test_all_threads_have_programs(self, machine, capability):
+        threads = pin_threads(machine.topology, 16, "scatter")
+        tb = tune_barrier(capability, 16)
+        progs = barrier_programs(threads, tb.rounds, tb.arity)
+        assert sorted(p.thread for p in progs) == sorted(threads)
+
+    def test_executes_without_deadlock(self, quiet_machine, capability):
+        for n in (2, 3, 16, 64):
+            threads = pin_threads(quiet_machine.topology, n, "scatter")
+            tb = tune_barrier(capability, n)
+            progs = barrier_programs(threads, tb.rounds, tb.arity)
+            res = Engine(quiet_machine, noisy=False).run(progs)
+            assert res.makespan_ns > 0
+
+    def test_everyone_waits_for_everyone(self, quiet_machine, capability):
+        # All finish times are within one round of each other: nobody can
+        # leave the barrier long before the slowest.
+        n = 32
+        threads = pin_threads(quiet_machine.topology, n, "scatter")
+        tb = tune_barrier(capability, n)
+        progs = barrier_programs(threads, tb.rounds, tb.arity)
+        res = Engine(quiet_machine, noisy=False).run(progs)
+        finishes = np.array([res.finish_of(t) for t in threads])
+        spread = finishes.max() - finishes.min()
+        assert spread < res.makespan_ns * 0.5
+
+    def test_small_n_large_m_dedup(self, quiet_machine, capability):
+        # Wrapped peers must not produce duplicate flag writes.
+        threads = pin_threads(quiet_machine.topology, 2, "scatter")
+        progs = barrier_programs(threads, rounds=1, arity=3)
+        res = Engine(quiet_machine, noisy=False).run(progs)
+        assert res.makespan_ns > 0
+
+    def test_measured_within_envelope(self, machine, capability):
+        n = 64
+        threads = pin_threads(machine.topology, n, "scatter")
+        tb = tune_barrier(capability, n)
+        progs = barrier_programs(threads, tb.rounds, tb.arity)
+        samples = [
+            Engine(machine, noisy=True).run(
+                barrier_programs(threads, tb.rounds, tb.arity)
+            ).makespan_ns
+            for _ in range(10)
+        ]
+        assert tb.model.covers(np.array(samples), tolerance=0.5)

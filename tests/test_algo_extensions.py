@@ -1,0 +1,142 @@
+"""Extensions: hierarchical barrier (the rejected design), allreduce,
+and the roofline comparison."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    hierarchical_barrier_programs,
+    hierarchical_vs_global,
+    mpi_allreduce_programs,
+    plan_allreduce,
+    run_episodes,
+    speedup,
+    tune_barrier,
+    tune_hierarchical_barrier,
+)
+from repro.algorithms.barrier import barrier_programs
+from repro.bench import pin_threads
+from repro.errors import ModelError
+from repro.model import (
+    KNL_PEAK_DP_GFLOPS,
+    Roofline,
+    roofline_from_capability,
+    roofline_speedup_prediction,
+)
+from repro.sim import Engine
+
+
+class TestHierarchicalBarrier:
+    def test_model_prefers_global(self, capability):
+        """§IV-B2: the intra-tile stages do not pay for themselves."""
+        for n in (16, 64):
+            assert hierarchical_vs_global(capability, n, 2) > 1.0
+
+    def test_execution_confirms_model(self, machine, capability):
+        n = 64
+        threads = pin_threads(machine.topology, n, "fill_tiles")
+        hb = tune_hierarchical_barrier(capability, n, 2)
+        tb = tune_barrier(capability, n)
+        s_hier = run_episodes(
+            machine,
+            lambda: hierarchical_barrier_programs(
+                machine.topology, threads, hb.rounds, hb.arity
+            ),
+            12,
+        )
+        s_glob = run_episodes(
+            machine, lambda: barrier_programs(threads, tb.rounds, tb.arity), 12
+        )
+        assert np.median(s_hier) > np.median(s_glob)
+
+    def test_programs_complete(self, quiet_machine, capability):
+        threads = pin_threads(quiet_machine.topology, 32, "fill_tiles")
+        hb = tune_hierarchical_barrier(capability, 32, 2)
+        res = Engine(quiet_machine, noisy=False).run(
+            hierarchical_barrier_programs(
+                quiet_machine.topology, threads, hb.rounds, hb.arity
+            )
+        )
+        assert res.makespan_ns > 0
+        assert len(res.finish_ns) == 32
+
+    def test_leader_count(self, capability):
+        hb = tune_hierarchical_barrier(capability, 64, 2)
+        assert hb.n_leaders == 32
+        assert hb.max_intra == 2
+
+    def test_validation(self, capability):
+        with pytest.raises(ModelError):
+            tune_hierarchical_barrier(capability, 0, 2)
+        with pytest.raises(ModelError):
+            tune_hierarchical_barrier(capability, 8, 0)
+
+    def test_single_thread_degenerate(self, capability):
+        hb = tune_hierarchical_barrier(capability, 1, 2)
+        assert hb.model.best_ns == 0.0
+
+
+class TestAllreduce:
+    def test_model_is_sum_of_parts(self, machine, capability):
+        threads = pin_threads(machine.topology, 16, "scatter")
+        plan = plan_allreduce(capability, machine.topology, threads)
+        assert plan.model.best_ns == pytest.approx(
+            plan.reduce_plan.model.best_ns + plan.broadcast_plan.model.best_ns
+        )
+
+    def test_executes(self, quiet_machine, capability):
+        threads = pin_threads(quiet_machine.topology, 32, "scatter")
+        plan = plan_allreduce(capability, quiet_machine.topology, threads)
+        res = Engine(quiet_machine, noisy=False).run(plan.programs())
+        assert res.makespan_ns > 0
+
+    def test_beats_mpi_style(self, machine, capability):
+        threads = pin_threads(machine.topology, 64, "scatter")
+        plan = plan_allreduce(capability, machine.topology, threads)
+        s_tuned = run_episodes(machine, plan.programs, 8)
+        s_mpi = run_episodes(
+            machine, lambda: mpi_allreduce_programs(threads), 8
+        )
+        assert speedup(s_mpi, s_tuned) > 8.0
+
+    def test_costs_more_than_reduce_alone(self, machine, capability):
+        threads = pin_threads(machine.topology, 32, "scatter")
+        plan = plan_allreduce(capability, machine.topology, threads)
+        s_ar = run_episodes(machine, plan.programs, 8)
+        s_rd = run_episodes(machine, plan.reduce_plan.programs, 8)
+        assert np.median(s_ar) > np.median(s_rd)
+
+
+class TestRoofline:
+    def test_attainable_min_form(self):
+        rl = Roofline(peak_gflops=1000.0, peak_bandwidth_gbps=100.0)
+        assert rl.attainable_gflops(1.0) == 100.0   # memory-bound
+        assert rl.attainable_gflops(100.0) == 1000.0  # compute-bound
+        assert rl.ridge_intensity == 10.0
+        assert rl.is_memory_bound(5.0)
+        assert not rl.is_memory_bound(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Roofline(0.0, 1.0)
+        rl = Roofline(1.0, 1.0)
+        with pytest.raises(ModelError):
+            rl.attainable_gflops(-1.0)
+
+    def test_from_capability(self, capability):
+        rl = roofline_from_capability(capability, "mcdram")
+        assert rl.peak_bandwidth_gbps == capability.bw("triad", "mcdram")
+        assert rl.peak_gflops == KNL_PEAK_DP_GFLOPS
+
+    def test_roofline_overpredicts_mcdram_win(self, capability):
+        """The paper's §VI contrast: a roofline promises the bandwidth
+        ratio (~5x) for any memory-bound kernel; the capability model's
+        sort analysis says ~1.25x.  Both are computed here."""
+        pred = roofline_speedup_prediction(capability, intensity=0.25)
+        assert pred > 3.5  # the naive promise
+        # versus the capability model's answer (tested in apps):
+        # mcdram_benefit(...) ~= 1.25 — see tests/test_apps_models.py.
+
+    def test_compute_bound_kernel_sees_no_difference(self, capability):
+        pred = roofline_speedup_prediction(capability, intensity=50.0)
+        assert pred == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""JSON round-trips of tuned artifacts."""
+
+import json
+
+import pytest
+
+from repro.algorithms import Tree, tune_barrier, tune_tree
+from repro.algorithms.serialize import (
+    barrier_from_dict,
+    barrier_to_dict,
+    capability_from_dict,
+    capability_from_json,
+    capability_to_dict,
+    capability_to_json,
+    linear_from_dict,
+    linear_to_dict,
+    minmax_from_dict,
+    minmax_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.errors import ModelError
+from repro.model.minmax import MinMaxModel
+from repro.model.parameters import LinearCost
+
+
+class TestTreeRoundTrip:
+    def test_binomial(self):
+        t = Tree.binomial(16)
+        t2 = tree_from_dict(tree_to_dict(t))
+        assert tree_to_dict(t2) == tree_to_dict(t)
+
+    def test_tuned_tree(self, capability):
+        t = tune_tree(capability, 32).tree
+        t2 = tree_from_dict(tree_to_dict(t))
+        assert t2.degrees() == t.degrees()
+        assert t2.levels() == t.levels()
+
+    def test_json_serializable(self):
+        json.dumps(tree_to_dict(Tree.flat(8)))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ModelError):
+            tree_from_dict({})
+        with pytest.raises(ModelError):
+            tree_from_dict({"root": {"children": []}})  # missing rank
+        with pytest.raises(ModelError):
+            # duplicate ranks fail validation
+            tree_from_dict(
+                {"root": {"rank": 0, "children": [
+                    {"rank": 1, "children": []},
+                    {"rank": 1, "children": []},
+                ]}}
+            )
+
+
+class TestScalarModels:
+    def test_minmax(self):
+        m = MinMaxModel(10.0, 20.0)
+        assert minmax_from_dict(minmax_to_dict(m)) == m
+
+    def test_linear(self):
+        lc = LinearCost(200.0, 34.0)
+        assert linear_from_dict(linear_to_dict(lc)) == lc
+
+    def test_barrier(self, capability):
+        tb = tune_barrier(capability, 64)
+        tb2 = barrier_from_dict(barrier_to_dict(tb))
+        assert tb2 == tb
+
+
+class TestCapabilityRoundTrip:
+    def test_dict_round_trip(self, capability):
+        d = capability_to_dict(capability)
+        cap2 = capability_from_dict(d)
+        assert cap2.RR == capability.RR
+        assert cap2.contention == capability.contention
+        assert cap2.stream == dict(capability.stream)
+
+    def test_json_round_trip(self, capability):
+        text = capability_to_json(capability)
+        cap2 = capability_from_json(text)
+        assert cap2.RL == capability.RL
+        assert cap2.multiline["remote"] == capability.multiline["remote"]
+
+    def test_tuning_from_restored_model_identical(self, capability):
+        cap2 = capability_from_json(capability_to_json(capability))
+        a = tune_barrier(capability, 64)
+        b = tune_barrier(cap2, 64)
+        assert (a.rounds, a.arity) == (b.rounds, b.arity)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ModelError):
+            capability_from_dict({"config_label": "x"})

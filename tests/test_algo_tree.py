@@ -1,0 +1,136 @@
+"""Generic trees and the Eq.-(1) optimizer."""
+
+import math
+
+import pytest
+
+from repro.algorithms import Tree, TreeNode, evaluate_tree, tune_tree
+from repro.algorithms.tree_opt import LevelCost
+from repro.errors import ModelError
+
+
+class TestTreeStructure:
+    def test_flat(self):
+        t = Tree.flat(5)
+        assert t.root.degree == 4
+        assert t.root.depth() == 1
+        t.validate()
+
+    def test_flat_nonzero_root(self):
+        t = Tree.flat(4, root=2)
+        assert t.root.rank == 2
+        t.validate()
+
+    def test_binomial_sizes(self):
+        for n in (1, 2, 7, 16, 64):
+            t = Tree.binomial(n)
+            t.validate()
+            assert t.n == n
+
+    def test_binomial_depth_logarithmic(self):
+        t = Tree.binomial(64)
+        assert t.root.depth() == 6
+
+    def test_binomial_largest_child_first(self):
+        t = Tree.binomial(64)
+        sizes = [c.subtree_size() for c in t.root.children]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_parent_of(self):
+        t = Tree.flat(4)
+        assert t.parent_of(0) is None
+        assert t.parent_of(3) == 0
+
+    def test_parent_of_missing(self):
+        with pytest.raises(ModelError):
+            Tree.flat(4).parent_of(9)
+
+    def test_levels(self):
+        t = Tree.binomial(8)
+        levels = t.levels()
+        assert levels[0] == [0]
+        assert sum(len(l) for l in levels) == 8
+
+    def test_from_child_counts(self):
+        t = Tree.from_child_counts([2, 1, 0, 0])
+        t.validate()
+        assert t.root.degree == 2
+
+    def test_from_child_counts_validates(self):
+        with pytest.raises(ModelError):
+            Tree.from_child_counts([5, 0, 0])  # too many children
+        with pytest.raises(ModelError):
+            Tree.from_child_counts([1, 0, 0])  # rank 2 unreachable
+
+    def test_validate_catches_duplicates(self):
+        bad = Tree(TreeNode(0, [TreeNode(1), TreeNode(1)]))
+        with pytest.raises(ModelError):
+            bad.validate()
+
+    def test_ascii_mentions_all_ranks(self):
+        art = Tree.binomial(8).to_ascii()
+        for r in range(8):
+            assert str(r) in art
+
+
+class TestLevelCost:
+    def test_best_below_worst(self, capability):
+        lc = LevelCost(capability)
+        for k in (1, 3, 8):
+            assert lc.best(k) < lc.worst(k)
+
+    def test_monotone_in_k(self, capability):
+        lc = LevelCost(capability)
+        assert lc.best(1) < lc.best(4) < lc.best(16)
+
+    def test_reduce_costs_more(self, capability):
+        bc = LevelCost(capability, is_reduce=False)
+        rd = LevelCost(capability, is_reduce=True)
+        assert rd.best(4) > bc.best(4)
+
+    def test_payload_adds_cost(self, capability):
+        small = LevelCost(capability, payload_bytes=64)
+        big = LevelCost(capability, payload_bytes=64 * 64)
+        assert big.best(2) > small.best(2)
+
+
+class TestTuneTree:
+    def test_singleton(self, capability):
+        tuned = tune_tree(capability, 1)
+        assert tuned.tree.n == 1
+        assert tuned.model.best_ns == 0.0
+
+    def test_covers_all_ranks(self, capability):
+        for n in (2, 5, 17, 32):
+            tuned = tune_tree(capability, n)
+            tuned.tree.validate()
+            assert tuned.tree.n == n
+
+    def test_beats_flat_and_binomial_for_32(self, capability):
+        tuned = tune_tree(capability, 32)
+        flat = evaluate_tree(capability, Tree.flat(32))
+        binom = evaluate_tree(capability, Tree.binomial(32))
+        assert tuned.model.best_ns <= flat.best_ns + 1e-6
+        assert tuned.model.best_ns <= binom.best_ns + 1e-6
+
+    def test_cost_monotone_in_n(self, capability):
+        costs = [tune_tree(capability, n).model.best_ns for n in (2, 8, 32)]
+        assert costs == sorted(costs)
+
+    def test_nontrivial_degrees(self, capability):
+        # The optimal 32-tile tree is neither flat nor binary.
+        tuned = tune_tree(capability, 32)
+        k_root = tuned.tree.root.degree
+        assert 2 <= k_root <= 16
+
+    def test_max_degree_respected(self, capability):
+        tuned = tune_tree(capability, 32, max_degree=2)
+        assert all(nd.degree <= 2 for nd in tuned.tree.root.walk())
+
+    def test_invalid_n(self, capability):
+        with pytest.raises(ModelError):
+            tune_tree(capability, 0)
+
+    def test_worst_at_least_best(self, capability):
+        tuned = tune_tree(capability, 24, is_reduce=True)
+        assert tuned.model.worst_ns >= tuned.model.best_ns

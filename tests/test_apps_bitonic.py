@@ -1,0 +1,107 @@
+"""Bitonic merge network: functional correctness."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    WIDTH,
+    bitonic_merge_16,
+    merge_sorted,
+    network_passes_for_merge,
+    sort_blocks_16,
+)
+from repro.errors import ReproError
+
+
+class TestMerge16:
+    def test_basic_merge(self):
+        a = np.arange(16, dtype=np.int32)
+        b = np.arange(16, 32, dtype=np.int32)
+        lo, hi = bitonic_merge_16(a, b)
+        assert np.array_equal(lo, a)
+        assert np.array_equal(hi, b)
+
+    def test_interleaved(self):
+        a = np.arange(0, 32, 2, dtype=np.int32)
+        b = np.arange(1, 32, 2, dtype=np.int32)
+        lo, hi = bitonic_merge_16(a, b)
+        assert np.array_equal(
+            np.concatenate([lo, hi]), np.arange(32, dtype=np.int32)
+        )
+
+    def test_random_pairs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a = np.sort(rng.integers(-1000, 1000, 16).astype(np.int32))
+            b = np.sort(rng.integers(-1000, 1000, 16).astype(np.int32))
+            lo, hi = bitonic_merge_16(a, b)
+            expect = np.sort(np.concatenate([a, b]))
+            assert np.array_equal(np.concatenate([lo, hi]), expect)
+
+    def test_batched(self):
+        rng = np.random.default_rng(4)
+        a = np.sort(rng.integers(0, 100, (8, 16)), axis=1)
+        b = np.sort(rng.integers(0, 100, (8, 16)), axis=1)
+        lo, hi = bitonic_merge_16(a, b)
+        assert lo.shape == hi.shape == (8, 16)
+        merged = np.concatenate([lo, hi], axis=1)
+        expect = np.sort(np.concatenate([a, b], axis=1), axis=1)
+        assert np.array_equal(merged, expect)
+
+    def test_duplicates(self):
+        a = np.full(16, 7, dtype=np.int32)
+        b = np.full(16, 7, dtype=np.int32)
+        lo, hi = bitonic_merge_16(a, b)
+        assert (lo == 7).all() and (hi == 7).all()
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ReproError):
+            bitonic_merge_16(np.zeros(8), np.zeros(8))
+
+
+class TestSortBlocks:
+    def test_sorts_each_block(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 100, 64).astype(np.int32)
+        out = sort_blocks_16(x)
+        for i in range(0, 64, WIDTH):
+            block = out[i: i + WIDTH]
+            assert np.array_equal(block, np.sort(x[i: i + WIDTH]))
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ReproError):
+            sort_blocks_16(np.zeros(20))
+
+
+class TestMergeSorted:
+    def test_merges_multiples_of_16(self):
+        rng = np.random.default_rng(6)
+        for na, nb in ((16, 16), (32, 16), (64, 128), (16, 256)):
+            a = np.sort(rng.integers(-500, 500, na).astype(np.int32))
+            b = np.sort(rng.integers(-500, 500, nb).astype(np.int32))
+            out = merge_sorted(a, b)
+            assert np.array_equal(out, np.sort(np.concatenate([a, b])))
+
+    def test_empty_side(self):
+        a = np.sort(np.random.default_rng(7).integers(0, 9, 16).astype(np.int32))
+        assert np.array_equal(merge_sorted(a, np.empty(0, np.int32)), a)
+        assert np.array_equal(merge_sorted(np.empty(0, np.int32), a), a)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ReproError):
+            merge_sorted(np.zeros(10), np.zeros(16))
+
+    def test_all_equal_keys(self):
+        a = np.zeros(32, np.int32)
+        b = np.zeros(32, np.int32)
+        assert np.array_equal(merge_sorted(a, b), np.zeros(64, np.int32))
+
+
+class TestNetworkPasses:
+    def test_counts(self):
+        assert network_passes_for_merge(1) == 1
+        assert network_passes_for_merge(10) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            network_passes_for_merge(0)

@@ -1,0 +1,101 @@
+"""Parallel merge sort: functional correctness + simulated timing shape."""
+
+import numpy as np
+import pytest
+
+from repro.apps import parallel_mergesort, sequential_mergesort, sort_stages
+from repro.apps.mergesort import simulate_sort_ns
+from repro.errors import ReproError
+from repro.machine import MemoryKind
+from repro.units import KIB, MIB
+
+
+class TestFunctional:
+    def test_sequential_matches_numpy(self):
+        rng = np.random.default_rng(8)
+        for n in (16, 64, 1024, 4096):
+            x = rng.integers(-(10**6), 10**6, n).astype(np.int32)
+            assert np.array_equal(sequential_mergesort(x), np.sort(x))
+
+    def test_sequential_rejects_ragged(self):
+        with pytest.raises(ReproError):
+            sequential_mergesort(np.zeros(10, np.int32))
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8, 16])
+    def test_parallel_matches_numpy(self, threads):
+        rng = np.random.default_rng(9)
+        x = rng.integers(-(10**6), 10**6, 2048).astype(np.int32)
+        assert np.array_equal(parallel_mergesort(x, threads), np.sort(x))
+
+    def test_parallel_more_threads_than_blocks(self):
+        rng = np.random.default_rng(10)
+        x = rng.integers(0, 100, 32).astype(np.int32)
+        assert np.array_equal(parallel_mergesort(x, 64), np.sort(x))
+
+    def test_parallel_non_power_of_two_threads(self):
+        rng = np.random.default_rng(11)
+        x = rng.integers(0, 10**4, 512).astype(np.int32)
+        assert np.array_equal(parallel_mergesort(x, 6), np.sort(x))
+
+    def test_sorted_input_stable(self):
+        x = np.arange(256, dtype=np.int32)
+        assert np.array_equal(parallel_mergesort(x, 4), x)
+
+    def test_reverse_input(self):
+        x = np.arange(255, -1, -1, dtype=np.int32)
+        assert np.array_equal(parallel_mergesort(x, 4), np.sort(x))
+
+
+class TestStages:
+    def test_halving(self):
+        stages = sort_stages(total_lines=1024, n_threads=8)
+        assert [s.active_threads for s in stages] == [4, 2, 1]
+
+    def test_output_doubles(self):
+        stages = sort_stages(total_lines=1024, n_threads=8)
+        outs = [s.output_lines_per_merge for s in stages]
+        assert outs == [256, 512, 1024]
+
+    def test_single_thread_no_stages(self):
+        assert sort_stages(64, 1) == []
+
+
+class TestSimulatedTiming:
+    def test_big_sorts_cost_more(self, quiet_machine):
+        small = simulate_sort_ns(quiet_machine, 1 * MIB, 8, noisy=False)
+        big = simulate_sort_ns(quiet_machine, 16 * MIB, 8, noisy=False)
+        assert big > 4 * small
+
+    def test_threads_help_large_inputs(self, quiet_machine):
+        t1 = simulate_sort_ns(quiet_machine, 256 * MIB, 1, noisy=False)
+        t32 = simulate_sort_ns(quiet_machine, 256 * MIB, 32, noisy=False)
+        assert t32 < t1 / 2
+
+    def test_threads_hurt_tiny_inputs(self, quiet_machine):
+        t1 = simulate_sort_ns(quiet_machine, 1 * KIB, 1, noisy=False)
+        t64 = simulate_sort_ns(quiet_machine, 1 * KIB, 64, noisy=False)
+        assert t64 > 5 * t1  # spawn overhead swamps the work
+
+    def test_mcdram_vs_dram_negligible(self, quiet_machine):
+        """The paper's headline: MCDRAM does not help this sort."""
+        mcd = simulate_sort_ns(
+            quiet_machine, 64 * MIB, 64, kind=MemoryKind.MCDRAM, noisy=False
+        )
+        ddr = simulate_sort_ns(
+            quiet_machine, 64 * MIB, 64, kind=MemoryKind.DDR, noisy=False
+        )
+        assert ddr / mcd < 1.5  # nothing like the 5x raw bandwidth gap
+
+    def test_cache_mode_falls_back_to_ddr_allocation(self, cache_machine):
+        v = simulate_sort_ns(
+            cache_machine, 1 * MIB, 8, kind=MemoryKind.MCDRAM, noisy=False
+        )
+        assert v > 0
+
+    def test_too_small_rejected(self, quiet_machine):
+        with pytest.raises(ReproError):
+            simulate_sort_ns(quiet_machine, 32, 1)
+
+    def test_noise_varies_runs(self, machine):
+        runs = {simulate_sort_ns(machine, 1 * MIB, 8) for _ in range(5)}
+        assert len(runs) > 1

@@ -1,0 +1,152 @@
+"""Sort memory model (Eqs. 3-5), overhead model, efficiency analysis."""
+
+import pytest
+
+from repro.apps import (
+    FullSortModel,
+    SortMemoryModel,
+    SortModelInputs,
+    calibrate_overhead,
+    efficiency_profile,
+    mcdram_benefit,
+)
+from repro.apps.mergesort import simulate_sort_ns
+from repro.errors import ModelError
+from repro.machine import MemoryKind
+from repro.model.parameters import LinearCost
+from repro.units import GIB, KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def memory_model(capability):
+    return SortMemoryModel(capability)
+
+
+@pytest.fixture(scope="module")
+def full_model(memory_model, machine):
+    def measure(nbytes, t):
+        return simulate_sort_ns(machine, nbytes, t, kind=MemoryKind.MCDRAM)
+
+    calib = calibrate_overhead(memory_model, measure, repetitions=5)
+    return FullSortModel(memory_model, calib.model)
+
+
+class TestInputs:
+    def test_effective_threads_power_of_two(self):
+        inp = SortModelInputs(1 * MIB, 100)
+        assert inp.effective_threads == 64
+
+    def test_effective_threads_clamped_by_lines(self):
+        inp = SortModelInputs(1 * KIB, 256)  # 16 lines
+        assert inp.effective_threads == 16
+
+
+class TestEquations:
+    def test_c_l1_matches_formula(self, memory_model, capability):
+        # Eq. 3 with n = 8 lines: (log2(8)-1)*2n*costL1 + 2n*costmem.
+        inputs = SortModelInputs(8 * 64, 1, "ddr", use_bandwidth=False)
+        got = memory_model.c_l1(8, inputs, active=1)
+        expect = 2 * 16 * capability.RL + 16 * capability.RI_kind("ddr")
+        assert got == pytest.approx(expect)
+
+    def test_c_l2_reduces_to_l1_when_fits(self, memory_model):
+        inputs = SortModelInputs(8 * 64, 1, "ddr")
+        assert memory_model.c_l2(8, inputs, 1) == memory_model.c_l1(8, inputs, 1)
+
+    def test_c_mem_reduces_to_l2_when_fits(self, memory_model):
+        inputs = SortModelInputs(8 * 64, 1, "ddr")
+        assert memory_model.c_mem(8, inputs, 1) == memory_model.c_l2(8, inputs, 1)
+
+    def test_cost_increases_with_level(self, memory_model):
+        inputs = SortModelInputs(1 * GIB, 1, "ddr")
+        n_l1 = memory_model.n_l1(inputs)
+        n_l2 = memory_model.n_l2(inputs)
+        big = 4 * n_l2
+        per_line_l1 = memory_model.c_l1(n_l1, inputs, 1) / n_l1
+        per_line_mem = memory_model.c_mem(big, inputs, 1) / big
+        assert per_line_mem > per_line_l1
+
+    def test_thresholds_shrink_with_sharing(self, memory_model):
+        solo = SortModelInputs(1 * MIB, 1, threads_per_core=1)
+        shared = SortModelInputs(1 * MIB, 1, threads_per_core=4)
+        assert memory_model.n_l1(shared) < memory_model.n_l1(solo)
+
+    def test_invalid_line_count(self, memory_model):
+        with pytest.raises(ModelError):
+            memory_model.c_l1(0, SortModelInputs(64, 1), 1)
+
+
+class TestParallelCost:
+    def test_latency_variant_is_upper_bound(self, memory_model):
+        lat = memory_model.parallel_cost_ns(
+            SortModelInputs(16 * MIB, 16, "mcdram", use_bandwidth=False)
+        )
+        bw = memory_model.parallel_cost_ns(
+            SortModelInputs(16 * MIB, 16, "mcdram", use_bandwidth=True)
+        )
+        assert lat > bw
+
+    def test_more_threads_cheaper_memory_model(self, memory_model):
+        c1 = memory_model.parallel_cost_ns(SortModelInputs(256 * MIB, 1, "mcdram", use_bandwidth=True))
+        c64 = memory_model.parallel_cost_ns(SortModelInputs(256 * MIB, 64, "mcdram", use_bandwidth=True))
+        assert c64 < c1
+
+    def test_model_tracks_simulation_large_sizes(self, memory_model, quiet_machine):
+        """§V-B2: 'our memory model works well when the memory access cost
+        dominates (above 16 MB)'."""
+        for t in (8, 64):
+            inputs = SortModelInputs(64 * MIB, t, "mcdram", use_bandwidth=True)
+            model = memory_model.parallel_cost_ns(inputs)
+            sim = simulate_sort_ns(
+                quiet_machine, 64 * MIB, t, kind=MemoryKind.MCDRAM, noisy=False
+            )
+            assert model == pytest.approx(sim, rel=0.6)
+
+
+class TestOverheadModel:
+    def test_slope_recovers_spawn_cost(self, full_model):
+        from repro.apps.mergesort import PER_THREAD_SPAWN_NS
+
+        assert full_model.overhead.beta == pytest.approx(
+            PER_THREAD_SPAWN_NS, rel=0.25
+        )
+
+    def test_full_above_memory(self, full_model):
+        inputs = SortModelInputs(4 * MIB, 16, "mcdram", use_bandwidth=True)
+        assert full_model.cost_ns(inputs) > full_model.memory.parallel_cost_ns(
+            inputs
+        )
+
+    def test_overhead_fraction_grows_with_threads(self, full_model):
+        small = full_model.overhead_fraction(
+            SortModelInputs(4 * MIB, 2, "mcdram", use_bandwidth=True)
+        )
+        big = full_model.overhead_fraction(
+            SortModelInputs(4 * MIB, 256, "mcdram", use_bandwidth=True)
+        )
+        assert big > small
+
+
+class TestEfficiency:
+    THREADS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def test_4mb_boundary_around_8(self, full_model):
+        prof = efficiency_profile(full_model, 4 * MIB, self.THREADS)
+        assert prof.efficiency_boundary in (4, 8, 16)
+
+    def test_1gb_efficient_throughout(self, full_model):
+        prof = efficiency_profile(full_model, 1 * GIB, self.THREADS)
+        assert prof.efficiency_boundary == 256
+
+    def test_1kb_never_efficient_beyond_two(self, full_model):
+        prof = efficiency_profile(full_model, 1 * KIB, self.THREADS)
+        assert (prof.efficiency_boundary or 0) <= 2
+
+    def test_mcdram_benefit_negligible(self, full_model):
+        """The paper's punchline: no MCDRAM win for this sort."""
+        ratio = mcdram_benefit(full_model, 1 * GIB, 256)
+        assert 0.9 < ratio < 1.6  # nowhere near the 5x raw-bandwidth gap
+
+    def test_empty_thread_counts_rejected(self, full_model):
+        with pytest.raises(ModelError):
+            efficiency_profile(full_model, 1 * MIB, ())

@@ -1,0 +1,137 @@
+"""Stencil application: functional correctness + the MCDRAM contrast."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    StencilModel,
+    jacobi_reference,
+    jacobi_step,
+    run_jacobi,
+    simulate_stencil_ns,
+)
+from repro.apps.stencil import INTENSITY
+from repro.errors import ModelError, ReproError
+from repro.machine import MemoryKind
+from repro.units import GIB, MIB
+
+
+class TestFunctional:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        g = rng.random((6, 5, 7))
+        assert np.allclose(jacobi_step(g), jacobi_reference(g))
+
+    def test_boundaries_unchanged(self):
+        rng = np.random.default_rng(2)
+        g = rng.random((5, 5, 5))
+        out = jacobi_step(g)
+        assert np.array_equal(out[0], g[0])
+        assert np.array_equal(out[-1], g[-1])
+        assert np.array_equal(out[:, 0], g[:, 0])
+
+    def test_constant_field_is_fixed_point(self):
+        g = np.full((8, 8, 8), 3.5)
+        assert np.allclose(run_jacobi(g, 10), g)
+
+    def test_smoothing_contracts_range(self):
+        rng = np.random.default_rng(3)
+        g = rng.random((10, 10, 10))
+        out = run_jacobi(g, 5)
+        inner = out[1:-1, 1:-1, 1:-1]
+        assert inner.max() - inner.min() < g.max() - g.min()
+
+    def test_out_buffer_reused(self):
+        g = np.random.default_rng(4).random((5, 5, 5))
+        buf = np.empty_like(g)
+        out = jacobi_step(g, buf)
+        assert out is buf
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            jacobi_step(np.zeros((4, 4)))
+        with pytest.raises(ReproError):
+            jacobi_step(np.zeros((2, 4, 4)))
+        with pytest.raises(ReproError):
+            run_jacobi(np.zeros((4, 4, 4)), -1)
+
+
+class TestModel:
+    def test_memory_bound_intensity(self):
+        assert INTENSITY < 1.0
+
+    def test_mcdram_benefit_large_at_scale(self, capability):
+        model = StencilModel(capability)
+        benefit = model.mcdram_benefit(4 * GIB, 256)
+        assert benefit > 3.5  # close to the bandwidth ratio
+
+    def test_no_benefit_for_single_thread(self, capability):
+        model = StencilModel(capability)
+        assert model.mcdram_benefit(4 * GIB, 1) == pytest.approx(1.0, abs=0.1)
+
+    def test_sweep_scales_with_grid(self, capability):
+        model = StencilModel(capability)
+        assert model.sweep_ns(2 * GIB, 64, "mcdram") > 1.8 * model.sweep_ns(
+            1 * GIB, 64, "mcdram"
+        )
+
+    def test_validation(self, capability):
+        model = StencilModel(capability)
+        with pytest.raises(ModelError):
+            model.sweep_ns(0, 64, "ddr")
+        with pytest.raises(ModelError):
+            model.sweep_ns(1 * GIB, 0, "ddr")
+
+
+class TestSimulation:
+    def test_model_tracks_simulation(self, quiet_machine, capability):
+        model = StencilModel(capability)
+        for t in (16, 256):
+            sim = simulate_stencil_ns(
+                quiet_machine, 4 * GIB, t, MemoryKind.MCDRAM, noisy=False
+            )
+            assert model.total_ns(4 * GIB, t, "mcdram", 1) == pytest.approx(
+                sim, rel=0.25
+            )
+
+    def test_measured_benefit_matches_model(self, quiet_machine, capability):
+        model = StencilModel(capability)
+        ddr = simulate_stencil_ns(
+            quiet_machine, 4 * GIB, 256, MemoryKind.DDR, noisy=False
+        )
+        mcd = simulate_stencil_ns(
+            quiet_machine, 4 * GIB, 256, MemoryKind.MCDRAM, noisy=False
+        )
+        assert ddr / mcd == pytest.approx(
+            model.mcdram_benefit(4 * GIB, 256), rel=0.2
+        )
+
+    def test_contrast_with_sort(self, quiet_machine):
+        """The headline: same machine, same pipeline — stencil gains ~5x
+        from MCDRAM, the sort ~1.25x."""
+        from repro.apps.mergesort import simulate_sort_ns
+
+        stencil_gain = simulate_stencil_ns(
+            quiet_machine, 1 * GIB, 256, MemoryKind.DDR, noisy=False
+        ) / simulate_stencil_ns(
+            quiet_machine, 1 * GIB, 256, MemoryKind.MCDRAM, noisy=False
+        )
+        sort_gain = simulate_sort_ns(
+            quiet_machine, 1 * GIB, 256, kind=MemoryKind.DDR, noisy=False
+        ) / simulate_sort_ns(
+            quiet_machine, 1 * GIB, 256, kind=MemoryKind.MCDRAM, noisy=False
+        )
+        assert stencil_gain > 3.0
+        assert sort_gain < 1.6
+        assert stencil_gain > 2.5 * sort_gain
+
+    def test_sweeps_accumulate(self, quiet_machine):
+        one = simulate_stencil_ns(quiet_machine, 64 * MIB, 16, sweeps=1, noisy=False)
+        five = simulate_stencil_ns(quiet_machine, 64 * MIB, 16, sweeps=5, noisy=False)
+        assert five == pytest.approx(5 * one, rel=0.05)
+
+    def test_validation(self, quiet_machine):
+        with pytest.raises(ReproError):
+            simulate_stencil_ns(quiet_machine, 0, 16)
+        with pytest.raises(ReproError):
+            simulate_stencil_ns(quiet_machine, 1 * MIB, 16, sweeps=0)

@@ -1,0 +1,89 @@
+"""Ping-pong benchmarks and the model-validation utilities."""
+
+import pytest
+
+from repro.bench import (
+    half_round_trip_matches_latency,
+    one_directional,
+    pingpong_matrix,
+    pingpong_round_trip,
+)
+from repro.errors import BenchmarkError, ModelError
+from repro.machine import MESIF
+from repro.model import (
+    ValidationReport,
+    validate_against_machine,
+    validate_self_consistency,
+)
+
+
+class TestPingPong:
+    def test_round_trip_twice_one_way(self, runner, quiet_machine):
+        peer = 40
+        rt = pingpong_round_trip(runner, 0, peer).median
+        one_way = quiet_machine.line_transfer_true_ns(0, MESIF.MODIFIED, peer)
+        assert rt == pytest.approx(2 * one_way, rel=0.15)
+
+    def test_tile_partner_fast(self, runner):
+        rt_tile = pingpong_round_trip(runner, 0, 1).median
+        rt_remote = pingpong_round_trip(runner, 0, 40).median
+        assert rt_tile < rt_remote / 2
+
+    def test_validation_errors(self, runner):
+        with pytest.raises(BenchmarkError):
+            pingpong_round_trip(runner, 0, 0)
+        with pytest.raises(BenchmarkError):
+            pingpong_round_trip(runner, 0, 1, hops=3)
+
+    def test_matrix_covers_strided_peers(self, runner):
+        # Stride 16 over 64 cores: peers 16, 32, 48 (reference 0 skipped).
+        matrix = pingpong_matrix(runner, stride=16)
+        assert sorted(matrix) == [16, 32, 48]
+
+    def test_consistency_helper(self, runner):
+        assert half_round_trip_matches_latency(runner, 0, 32)
+
+
+class TestOneDirectional:
+    def test_scales_with_bytes(self, runner):
+        small = one_directional(runner, 10, 0, 64).median
+        big = one_directional(runner, 10, 0, 64 * 1024).median
+        assert big > 20 * small
+
+    def test_matches_multiline_model(self, runner, quiet_machine):
+        res = one_directional(runner, 10, 0, 8192)
+        expect = quiet_machine.multiline_true_ns(0, 8192, MESIF.MODIFIED, 10)
+        assert res.median == pytest.approx(expect, rel=0.1)
+
+
+class TestValidationReport:
+    def test_add_and_verdict(self):
+        rep = ValidationReport(tolerance=0.1)
+        rep.add("good", 100.0, 101.0)
+        assert rep.ok
+        rep.add("bad", 100.0, 50.0)
+        assert not rep.ok
+        assert rep.failing() == ["bad"]
+        assert "FAIL" in rep.to_text()
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ModelError):
+            ValidationReport().add("x", 1.0, 0.0)
+
+    def test_empty_ok(self):
+        assert ValidationReport().ok
+
+
+class TestModelValidation:
+    def test_fit_recovers_ground_truth(self, capability, machine):
+        """Closes the methodology loop: every fitted parameter within
+        15% of the (hidden) calibration."""
+        report = validate_against_machine(capability, machine)
+        assert report.ok, report.to_text()
+        assert report.worst < 0.15
+
+    def test_self_consistency_on_hardware_compatible_checks(
+        self, capability, runner
+    ):
+        report = validate_self_consistency(capability, runner)
+        assert report.ok, report.to_text()

@@ -1,0 +1,63 @@
+"""Runner mechanics and the full characterization suite."""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchResult, Runner, characterize
+from repro.errors import BenchmarkError
+from repro.machine import MemoryKind
+
+
+class TestRunner:
+    def test_collect_sample_count(self, machine):
+        r = Runner(machine, iterations=17, seed=1)
+        res = r.collect("x", lambda rng: 1.0)
+        assert res.samples.shape == (17,)
+
+    def test_collect_vectorized_shape_checked(self, machine):
+        r = Runner(machine, iterations=5, seed=1)
+        with pytest.raises(BenchmarkError):
+            r.collect_vectorized("x", lambda n, rng: np.zeros(n + 1))
+
+    def test_iterations_validated(self, machine):
+        with pytest.raises(BenchmarkError):
+            Runner(machine, iterations=0)
+
+    def test_result_stats(self):
+        res = BenchResult("x", {}, np.array([1.0, 2.0, 3.0]))
+        assert res.median == 2.0
+        assert "median=2.00" in res.describe()
+
+    def test_override_iterations(self, machine):
+        r = Runner(machine, iterations=5, seed=1)
+        res = r.collect("x", lambda rng: 1.0, iterations=9)
+        assert res.samples.size == 9
+
+
+class TestCharacterization:
+    def test_has_all_blocks(self, characterization):
+        c = characterization
+        assert "local/L1" in c.latency
+        assert "read/remote" in c.c2c_bandwidth
+        assert len(c.contention) >= 2
+        assert c.congestion is not None
+        assert "ddr" in c.memory_latency
+        assert "mcdram" in c.memory_latency
+        assert "triad/mcdram" in c.stream
+        assert "copy/ddr/peak" in c.stream
+
+    def test_config_label(self, characterization):
+        assert characterization.config_label == "snc4-flat"
+
+    def test_remote_latency_median_helper(self, characterization):
+        v = characterization.remote_latency_median("M")
+        assert 100.0 < v < 130.0
+
+    def test_cache_mode_has_no_mcdram_block(self, cache_machine):
+        c = characterize(cache_machine, iterations=10, seed=2)
+        assert "mcdram" not in c.memory_latency
+        assert "triad/mcdram" not in c.stream
+
+    def test_sweeps_optional(self, machine):
+        c = characterize(machine, iterations=10, seed=2, include_sweeps=True)
+        assert "scatter/mcdram" in c.stream_sweeps

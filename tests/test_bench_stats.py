@@ -1,0 +1,95 @@
+"""Statistics toolkit: medians, CIs, boxplots, fits."""
+
+import numpy as np
+import pytest
+
+from repro.bench import boxplot_stats, linear_fit, max_median, median_ci
+from repro.errors import BenchmarkError
+
+
+class TestMedianCI:
+    def test_median_exact(self):
+        ci = median_ci(np.array([1.0, 2.0, 3.0, 4.0, 100.0]), seed=1)
+        assert ci.median == 3.0
+
+    def test_ci_brackets_median(self):
+        rng = np.random.default_rng(0)
+        ci = median_ci(rng.normal(50, 5, 500), seed=1)
+        assert ci.lo <= ci.median <= ci.hi
+
+    def test_tight_for_many_samples(self):
+        rng = np.random.default_rng(0)
+        ci = median_ci(rng.normal(100, 3, 2000), seed=1)
+        assert ci.within_pct(0.10)
+        assert ci.half_width_pct < 0.02
+
+    def test_single_sample(self):
+        ci = median_ci(np.array([42.0]))
+        assert (ci.lo, ci.median, ci.hi) == (42.0, 42.0, 42.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            median_ci(np.array([]))
+
+    def test_zero_median_half_width(self):
+        ci = median_ci(np.array([0.0, 0.0, 0.0]))
+        assert ci.half_width_pct == 0.0
+
+
+class TestBoxplot:
+    def test_five_numbers(self):
+        bp = boxplot_stats(np.arange(1, 101, dtype=float))
+        assert bp.median == pytest.approx(50.5)
+        assert bp.q1 == pytest.approx(25.75)
+        assert bp.q3 == pytest.approx(75.25)
+        assert bp.whisker_lo == 1.0
+        assert bp.whisker_hi == 100.0
+        assert bp.outliers == ()
+
+    def test_outliers_detected(self):
+        data = np.concatenate([np.full(50, 10.0), [1000.0]])
+        bp = boxplot_stats(data)
+        assert 1000.0 in bp.outliers
+        assert bp.whisker_hi < 1000.0
+
+    def test_iqr(self):
+        bp = boxplot_stats(np.arange(1, 101, dtype=float))
+        assert bp.iqr == pytest.approx(49.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            boxplot_stats([])
+
+
+class TestFits:
+    def test_linear_fit_recovers(self):
+        x = np.arange(1, 20)
+        y = 200.0 + 34.0 * x
+        alpha, beta = linear_fit(x, y)
+        assert alpha == pytest.approx(200.0)
+        assert beta == pytest.approx(34.0)
+
+    def test_fit_with_noise(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(1, 64)
+        y = 200.0 + 34.0 * x + rng.normal(0, 5, x.size)
+        alpha, beta = linear_fit(x, y)
+        assert alpha == pytest.approx(200.0, abs=10)
+        assert beta == pytest.approx(34.0, rel=0.05)
+
+    def test_length_mismatch(self):
+        with pytest.raises(BenchmarkError):
+            linear_fit([1, 2], [1, 2, 3])
+
+    def test_needs_two_points(self):
+        with pytest.raises(BenchmarkError):
+            linear_fit([1], [2])
+
+
+class TestMaxMedian:
+    def test_max(self):
+        assert max_median([1.0, 5.0, 3.0]) == 5.0
+
+    def test_empty(self):
+        with pytest.raises(BenchmarkError):
+            max_median([])

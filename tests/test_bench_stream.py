@@ -1,0 +1,108 @@
+"""Memory-bandwidth (STREAM-style) benchmarks — Table II / Fig. 9."""
+
+import pytest
+
+from repro.bench import Runner
+from repro.bench.stream_bench import (
+    best_median,
+    memory_latency_bench,
+    stream_bandwidth,
+    stream_once,
+    table2_block,
+    thread_sweep,
+)
+from repro.errors import BenchmarkError
+from repro.machine import MemoryKind, MemoryMode
+
+
+class TestStreamOnce:
+    def test_returns_positive_gbps(self, machine):
+        bw = stream_once(machine, "triad", 16)
+        assert 10.0 < bw < 120.0  # DDR territory for 16 threads
+
+    def test_unknown_op(self, machine):
+        with pytest.raises(BenchmarkError):
+            stream_once(machine, "fma", 4)
+
+
+class TestStreamBandwidth:
+    def test_ddr_saturation_value(self, runner):
+        res = stream_bandwidth(runner, "triad", 64, "scatter", MemoryKind.DDR)
+        caps = runner.machine.calibration.stream_flat[MemoryKind.DDR]
+        assert res.median == pytest.approx(caps.triad, rel=0.12)
+
+    def test_mcdram_scatter_64_near_cap(self, runner):
+        res = stream_bandwidth(runner, "triad", 256, "scatter", MemoryKind.MCDRAM)
+        caps = runner.machine.calibration.stream_flat[MemoryKind.MCDRAM]
+        assert res.median == pytest.approx(caps.triad, rel=0.15)
+
+    def test_write_half_of_read(self, runner):
+        read = stream_bandwidth(runner, "read", 64, "scatter", MemoryKind.DDR).median
+        write = stream_bandwidth(runner, "write", 64, "scatter", MemoryKind.DDR).median
+        assert 0.3 < write / read < 0.65
+
+    def test_tuned_beats_nt_median(self, runner):
+        nt = stream_bandwidth(runner, "copy", 256, "scatter", MemoryKind.MCDRAM).median
+        peak = stream_bandwidth(
+            runner, "copy", 256, "scatter", MemoryKind.MCDRAM, tuned=True
+        ).median
+        assert peak > nt
+
+
+class TestSweeps:
+    def test_sweep_monotone_scatter_mcdram(self, runner):
+        sweep = thread_sweep(
+            runner, "triad", MemoryKind.MCDRAM, "scatter", (1, 16, 64)
+        )
+        meds = [r.median for r in sweep]
+        assert meds[0] < meds[1] < meds[2]
+
+    def test_sweep_skips_impossible_counts(self, runner):
+        sweep = thread_sweep(
+            runner, "triad", MemoryKind.DDR, "scatter", (64, 1024)
+        )
+        assert len(sweep) == 1
+
+    def test_compact_needs_more_threads_than_scatter(self, runner):
+        compact64 = stream_bandwidth(
+            runner, "triad", 64, "compact", MemoryKind.MCDRAM
+        ).median
+        scatter64 = stream_bandwidth(
+            runner, "triad", 64, "scatter", MemoryKind.MCDRAM
+        ).median
+        assert scatter64 > 1.5 * compact64  # 16 cores vs 64 cores
+
+
+class TestTableBlocks:
+    def test_best_median_is_max(self, runner):
+        best = best_median(runner, "triad", MemoryKind.DDR, (4, 64))
+        low = stream_bandwidth(runner, "triad", 4, "scatter", MemoryKind.DDR).median
+        assert best >= low
+
+    def test_memory_latency_matches_calibration(self, runner):
+        res = memory_latency_bench(runner, MemoryKind.DDR)
+        lo, hi = runner.machine.calibration.memory_ns[MemoryKind.DDR]
+        assert lo * 0.9 <= res.median <= hi * 1.1
+
+    def test_table2_block_keys(self, runner):
+        block = table2_block(runner, MemoryKind.DDR, (16, 64))
+        assert {
+            "latency_ns", "copy_nt", "read_nt", "write_nt", "triad_nt",
+            "copy_stream_peak", "triad_stream_peak",
+        } <= set(block)
+
+
+class TestCacheModeStream:
+    def test_cache_mode_noisier_and_slower(self, cache_machine, machine):
+        flat_runner = Runner(machine, iterations=40, seed=9)
+        cache_runner = Runner(cache_machine, iterations=40, seed=9)
+        flat = stream_bandwidth(
+            flat_runner, "copy", 256, "scatter", MemoryKind.MCDRAM
+        )
+        cached = stream_bandwidth(
+            cache_runner, "copy", 256, "scatter", MemoryKind.DDR
+        )
+        assert cached.median < flat.median
+        flat_spread = flat.boxplot.iqr / flat.median
+        cache_spread = cached.boxplot.iqr / cached.median
+        assert cache_spread > flat_spread

@@ -1,0 +1,56 @@
+"""Simulated TSC and window synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.bench import SimulatedTSC, TSCSpec, WindowSync
+from repro.errors import BenchmarkError
+
+
+class TestTSC:
+    def test_core0_is_reference(self):
+        tsc = SimulatedTSC(8, seed=1)
+        assert tsc.true_skew(0) == 0.0
+
+    def test_read_quantized(self):
+        tsc = SimulatedTSC(4, seed=1)
+        assert tsc.read(0, 123.4) % 10.0 == 0.0
+
+    def test_read_monotone_per_core(self):
+        tsc = SimulatedTSC(4, seed=1)
+        assert tsc.read(2, 500.0) >= tsc.read(2, 100.0)
+
+    def test_skew_reproducible(self):
+        a = SimulatedTSC(16, seed=7)
+        b = SimulatedTSC(16, seed=7)
+        assert all(a.true_skew(c) == b.true_skew(c) for c in range(16))
+
+    def test_calibration_close_to_truth(self):
+        tsc = SimulatedTSC(32, seed=3)
+        est = tsc.calibrate_skew(seed=4)
+        errs = [abs(est[c] - tsc.true_skew(c)) for c in range(32)]
+        assert max(errs) <= 2 * tsc.spec.resolution_ns
+
+    def test_needs_one_core(self):
+        with pytest.raises(BenchmarkError):
+            SimulatedTSC(0)
+
+
+class TestWindowSync:
+    def test_entries_near_window_start(self):
+        tsc = SimulatedTSC(16, seed=3)
+        sync = WindowSync(tsc, window_ns=10_000.0, cores=range(16))
+        entries = sync.entry_times(3)
+        start = 3 * 10_000.0
+        assert all(e >= start for e in entries.values())
+        assert max(entries.values()) - start <= 4 * tsc.spec.resolution_ns
+
+    def test_entry_error_bounded(self):
+        tsc = SimulatedTSC(16, seed=3)
+        sync = WindowSync(tsc, window_ns=10_000.0, cores=range(16))
+        assert sync.max_entry_error_ns <= 2 * tsc.spec.resolution_ns
+
+    def test_invalid_window(self):
+        tsc = SimulatedTSC(4, seed=1)
+        with pytest.raises(BenchmarkError):
+            WindowSync(tsc, window_ns=0.0, cores=[0, 1])

@@ -1,0 +1,64 @@
+"""Cost breakdowns and text reporting surfaces."""
+
+import pytest
+
+from repro.apps.mergesort import (
+    StageCost,
+    breakdown_to_text,
+    cost_breakdown,
+    simulate_sort_ns,
+)
+from repro.errors import ReproError
+from repro.machine import MemoryKind
+from repro.units import MIB
+
+
+class TestSortBreakdown:
+    def test_sums_to_simulation(self, quiet_machine):
+        breakdown = cost_breakdown(quiet_machine, 16 * MIB, 16)
+        total = sum(s.ns for s in breakdown)
+        sim = simulate_sort_ns(
+            quiet_machine, 16 * MIB, 16, kind=MemoryKind.MCDRAM, noisy=False
+        )
+        # Breakdown covers everything except the small-chunk false-sharing
+        # surcharge (absent at this size).
+        assert total == pytest.approx(sim, rel=0.05)
+
+    def test_stage_structure(self, quiet_machine):
+        breakdown = cost_breakdown(quiet_machine, 16 * MIB, 16)
+        labels = [s.label for s in breakdown]
+        assert labels[0] == "spawn/join"
+        assert labels[1] == "chunk-local sorts"
+        assert labels[2:] == [f"merge stage {i}" for i in range(1, 5)]
+        # Active threads halve per merge stage.
+        assert [s.active_threads for s in breakdown[2:]] == [8, 4, 2, 1]
+
+    def test_spawn_dominates_small(self, quiet_machine):
+        breakdown = cost_breakdown(quiet_machine, 1024, 64)
+        by = {s.label: s.ns for s in breakdown}
+        assert by["spawn/join"] > 0.8 * sum(by.values())
+
+    def test_tail_stage_dominates_large(self, quiet_machine):
+        breakdown = cost_breakdown(quiet_machine, 256 * MIB, 64)
+        merge = [s for s in breakdown if s.label.startswith("merge")]
+        # The last (single-thread) stage is the most expensive merge.
+        assert merge[-1].ns == max(s.ns for s in merge)
+
+    def test_text_rendering(self, quiet_machine):
+        text = breakdown_to_text(cost_breakdown(quiet_machine, 4 * MIB, 8))
+        assert "spawn/join" in text
+        assert "total" in text
+
+    def test_validation(self, quiet_machine):
+        with pytest.raises(ReproError):
+            cost_breakdown(quiet_machine, 8, 4)
+
+
+class TestCharacterizationText:
+    def test_summary_mentions_everything(self, characterization):
+        text = characterization.to_text()
+        assert "snc4-flat" in text
+        assert "contention" in text
+        assert "congestion: none" in text
+        assert "stream" in text
+        assert "remote/M" in text

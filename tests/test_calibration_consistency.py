@@ -1,0 +1,133 @@
+"""Internal consistency of the calibration tables (the "silicon").
+
+These guard the ground truth itself: every cluster mode must have
+complete, ordered, physically sensible entries — a malformed table would
+silently skew every downstream result.
+"""
+
+import pytest
+
+from repro.machine import ClusterMode, MemoryKind, MESIF
+from repro.machine.calibration import (
+    CACHE_MODE_LATENCY_NS,
+    CONTENTION_ALPHA_NS,
+    CONTENTION_BETA_NS,
+    COPY_BW_REMOTE,
+    COPY_BW_TILE,
+    Calibration,
+    HT_SCALE,
+    L1_LATENCY_NS,
+    MEMORY_LATENCY_NS,
+    REMOTE_LATENCY_NS,
+    STREAM_CACHE,
+    STREAM_FLAT,
+    TILE_LATENCY_NS,
+)
+
+ALL_MODES = list(ClusterMode)
+
+
+class TestCompleteness:
+    def test_every_mode_has_every_table(self):
+        for mode in ALL_MODES:
+            cal = Calibration.for_mode(mode)
+            assert cal.remote_ns and cal.memory_ns and cal.cache_mode_ns
+            assert cal.stream_flat and cal.stream_cache
+            assert cal.copy_bw_tile and cal.copy_bw_remote > 0
+
+    def test_remote_states_complete(self):
+        for mode in ALL_MODES:
+            assert set(REMOTE_LATENCY_NS[mode]) == {
+                MESIF.MODIFIED, MESIF.EXCLUSIVE, MESIF.SHARED, MESIF.FORWARD
+            }
+
+    def test_memory_kinds_complete(self):
+        for mode in ALL_MODES:
+            assert set(MEMORY_LATENCY_NS[mode]) == set(MemoryKind)
+
+
+class TestOrderings:
+    def test_ranges_well_formed(self):
+        for mode in ALL_MODES:
+            for lo, hi in REMOTE_LATENCY_NS[mode].values():
+                assert 0 < lo <= hi
+            for lo, hi in MEMORY_LATENCY_NS[mode].values():
+                assert 0 < lo <= hi
+            lo, hi = CACHE_MODE_LATENCY_NS[mode]
+            assert 0 < lo <= hi
+
+    def test_latency_hierarchy(self):
+        for mode in ALL_MODES:
+            tile_max = max(TILE_LATENCY_NS.values())
+            remote_min = min(lo for lo, _ in REMOTE_LATENCY_NS[mode].values())
+            mem_max_remote = max(
+                hi for _, hi in REMOTE_LATENCY_NS[mode].values()
+            )
+            ddr_lo, _ = MEMORY_LATENCY_NS[mode][MemoryKind.DDR]
+            assert L1_LATENCY_NS < tile_max < remote_min
+            assert mem_max_remote <= ddr_lo + 15  # memory at/above remote
+
+    def test_mcdram_latency_above_ddr_everywhere(self):
+        for mode in ALL_MODES:
+            d_lo, d_hi = MEMORY_LATENCY_NS[mode][MemoryKind.DDR]
+            m_lo, m_hi = MEMORY_LATENCY_NS[mode][MemoryKind.MCDRAM]
+            assert m_lo > d_lo and m_hi > d_hi
+
+    def test_state_costs_ordered_in_tile(self):
+        assert (
+            TILE_LATENCY_NS[MESIF.MODIFIED]
+            > TILE_LATENCY_NS[MESIF.EXCLUSIVE]
+            > TILE_LATENCY_NS[MESIF.SHARED]
+            == TILE_LATENCY_NS[MESIF.FORWARD]
+        )
+
+
+class TestBandwidthTables:
+    def test_peaks_at_least_medians(self):
+        for mode in ALL_MODES:
+            for kind in MemoryKind:
+                caps = STREAM_FLAT[mode][kind]
+                assert caps.copy_peak >= caps.copy
+                assert caps.triad_peak >= caps.triad
+            cc = STREAM_CACHE[mode]
+            assert cc.copy_peak > 0 and cc.triad_peak > 0
+
+    def test_mcdram_roughly_5x_ddr(self):
+        for mode in ALL_MODES:
+            ddr = STREAM_FLAT[mode][MemoryKind.DDR]
+            mcd = STREAM_FLAT[mode][MemoryKind.MCDRAM]
+            assert 3.5 <= mcd.triad / ddr.triad <= 6.0
+
+    def test_writes_below_reads(self):
+        for mode in ALL_MODES:
+            for kind in MemoryKind:
+                caps = STREAM_FLAT[mode][kind]
+                assert caps.write < caps.read
+
+    def test_cache_mode_copy_between_ddr_and_mcdram(self):
+        for mode in ALL_MODES:
+            ddr = STREAM_FLAT[mode][MemoryKind.DDR].copy
+            mcd = STREAM_FLAT[mode][MemoryKind.MCDRAM].copy
+            assert ddr < STREAM_CACHE[mode].copy < mcd
+
+    def test_tile_copy_has_m_and_e(self):
+        for mode in ALL_MODES:
+            assert {MESIF.MODIFIED, MESIF.EXCLUSIVE} <= set(COPY_BW_TILE[mode])
+            assert 5.0 <= COPY_BW_REMOTE[mode] <= 9.0
+
+
+class TestScalars:
+    def test_contention_parameters(self):
+        assert CONTENTION_ALPHA_NS == 200.0
+        assert CONTENTION_BETA_NS == 34.0
+
+    def test_ht_scale_monotone(self):
+        vals = [HT_SCALE[k] for k in sorted(HT_SCALE)]
+        assert vals == sorted(vals)
+        assert HT_SCALE[1] == 1.0
+
+    def test_stream_caps_lookup_helpers(self):
+        caps = STREAM_FLAT[ClusterMode.SNC4][MemoryKind.DDR]
+        assert caps.median_of("copy") == caps.copy
+        assert caps.peak_of("triad") == caps.triad_peak
+        assert caps.peak_of("read") == caps.read  # no STREAM counterpart

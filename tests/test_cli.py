@@ -1,0 +1,41 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiment is None
+        assert not args.list
+
+    def test_experiment_and_flags(self):
+        args = build_parser().parse_args(["fig4", "--iterations", "7", "--seed", "3"])
+        assert args.experiment == "fig4"
+        assert args.iterations == 7
+        assert args.seed == 3
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig10" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig6" in capsys.readouterr().out
+
+    def test_runs_experiment(self, capsys):
+        assert main(["fig4", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "paper" in out.lower() or "remote" in out.lower()
+
+    def test_unknown_experiment(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["fig99"])

@@ -1,0 +1,149 @@
+"""Coverage for code paths the main suites exercise only indirectly:
+SNC2 MCDRAM interleaving, engine MemWrite, poll payload states, CLI
+output modes, hybrid address latency, synthetic addresses."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MESIF,
+    MachineConfig,
+    MemoryKind,
+    MemoryMode,
+)
+from repro.machine.memory import N_EDCS
+from repro.sim import Engine, Program
+from repro.units import GIB
+
+
+class TestSNC2Memory:
+    def test_mcdram_regions_use_hemisphere_edcs(self):
+        cfg = MachineConfig(
+            cluster_mode=ClusterMode.SNC2, memory_mode=MemoryMode.FLAT
+        )
+        m = KNLMachine(cfg, seed=4)
+        base = cfg.ddr_bytes
+        region = cfg.mcdram_flat_bytes // 2
+        # Cluster 0 (left hemisphere): its 4 EDCs only.
+        channels = {
+            m.memory.resolve(base + i * 64).channel for i in range(64)
+        }
+        assert len(channels) == 4
+        channels1 = {
+            m.memory.resolve(base + region + i * 64).channel
+            for i in range(64)
+        }
+        assert len(channels1) == 4
+        assert channels.isdisjoint(channels1)
+
+    def test_snc2_ddr_local_imc(self):
+        cfg = MachineConfig(
+            cluster_mode=ClusterMode.SNC2, memory_mode=MemoryMode.FLAT
+        )
+        m = KNLMachine(cfg, seed=4)
+        info0 = m.memory.resolve(0)
+        info1 = m.memory.resolve(cfg.ddr_bytes // 2 + 64)
+        assert info0.cluster == 0 and info1.cluster == 1
+        assert info0.channel // 3 != info1.channel // 3  # different IMCs
+
+
+class TestEngineRemainingOps:
+    def test_mem_write_nt_faster(self, quiet_machine):
+        eng = Engine(quiet_machine, noisy=False)
+        nt = eng.run([Program(0).mem_write(1 << 20, nt=True)]).finish_of(0)
+        rfo = eng.run([Program(0).mem_write(1 << 20, nt=False)]).finish_of(0)
+        assert rfo > 1.5 * nt
+
+    def test_poll_payload_state_matters(self, quiet_machine):
+        eng = Engine(quiet_machine, noisy=False)
+
+        def run_with(state):
+            return eng.run(
+                [
+                    Program(0).write_flag(f"f{state.value}", cold=False),
+                    Program(20).poll_flag(
+                        f"f{state.value}",
+                        payload_bytes=64 * 256,
+                        payload_state=state,
+                    ),
+                ]
+            ).finish_of(20)
+
+        # A modified payload copies slower than an exclusive one when the
+        # source sits in the same tile... for remote it's the same table;
+        # check it at least runs and scales with state plateau.
+        assert run_with(MESIF.MODIFIED) > 0
+        assert run_with(MESIF.EXCLUSIVE) > 0
+
+    def test_copy_from_unvectorized(self, quiet_machine):
+        eng = Engine(quiet_machine, noisy=False)
+        fast = eng.run(
+            [Program(0).copy_from(10, 1 << 16, vectorized=True)]
+        ).finish_of(0)
+        slow = eng.run(
+            [Program(0).copy_from(10, 1 << 16, vectorized=False)]
+        ).finish_of(0)
+        assert slow > fast
+
+
+class TestMachineRemainingPaths:
+    def test_synth_address_stable(self, quiet_machine):
+        a = quiet_machine.line_transfer_true_ns(0, MESIF.MODIFIED, 40)
+        b = quiet_machine.line_transfer_true_ns(0, MESIF.MODIFIED, 40)
+        assert a == b
+
+    def test_hybrid_flat_mcdram_address_latency(self):
+        m = KNLMachine(
+            MachineConfig(
+                cluster_mode=ClusterMode.QUADRANT,
+                memory_mode=MemoryMode.HYBRID,
+            ),
+            seed=4,
+        )
+        buf = m.alloc(1 << 20, kind=MemoryKind.MCDRAM)
+        v = m.memory_latency_true_ns(0, address=buf.base)
+        lo, hi = m.calibration.memory_ns[MemoryKind.MCDRAM]
+        assert lo <= v <= hi
+
+    def test_local_copy_l1_spill(self, quiet_machine):
+        # Local copies beyond L1 capacity drop to the L2 plateau.
+        small = quiet_machine.multiline_true_ns(0, 8 << 10, MESIF.EXCLUSIVE, 0)
+        big = quiet_machine.multiline_true_ns(0, 512 << 10, MESIF.EXCLUSIVE, 0)
+        bw_small = (8 << 10) / small
+        bw_big = (512 << 10) / big
+        assert bw_big < bw_small
+
+    def test_local_hit_l2_level(self, quiet_machine):
+        assert quiet_machine.local_hit_ns("l2", noisy=False) > quiet_machine.local_hit_ns(
+            "l1", noisy=False
+        )
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            quiet_machine.local_hit_ns("l3")
+
+
+class TestCLIOutputs:
+    def test_json_mode(self, capsys):
+        assert main(["fig4", "--iterations", "8", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["exp_id"] == "fig4"
+        assert len(data["rows"]) == 64
+
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "res.txt"
+        assert main(["fig4", "--iterations", "8", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "fig4" in out.read_text()
+
+    def test_chart_mode(self, capsys):
+        assert main(["fig9", "--iterations", "8", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "mcdram_GBs" in out
+        assert "+" in out  # chart frame

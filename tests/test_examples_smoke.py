@@ -1,0 +1,57 @@
+"""Smoke tests for the example scripts (the fast ones run fully; the
+heavier ones are imported and driven with reduced parameters)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamples:
+    def test_all_examples_exist_and_have_main(self):
+        for fname in os.listdir(EXAMPLES):
+            if fname.endswith(".py"):
+                mod = _load(fname[:-3])
+                assert hasattr(mod, "main"), f"{fname} lacks main()"
+
+    def test_quickstart_runs(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "CapabilityModel" in out
+        assert "dissemination barrier" in out
+
+    def test_placement_advisor_runs(self, capsys):
+        _load("placement_advisor").main()
+        out = capsys.readouterr().out
+        assert "mcdram" in out and "ddr" in out
+        assert "speedup" in out
+
+    def test_collectives_runs_small(self, capsys):
+        _load("model_tuned_collectives").main(16)
+        out = capsys.readouterr().out
+        assert "barrier" in out and "reduce tree" in out
+
+    def test_sorting_efficiency_runs(self, capsys):
+        _load("sorting_efficiency").main()
+        out = capsys.readouterr().out
+        assert "overhead model" in out
+        assert "DRAM/MCDRAM" in out
+
+    def test_roofline_example_runs(self, capsys):
+        _load("capability_vs_roofline").main()
+        out = capsys.readouterr().out
+        assert "roofline promises" in out
+        assert "capability model predicts" in out

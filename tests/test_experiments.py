@@ -1,0 +1,159 @@
+"""Experiment harness: every table/figure regenerates and matches the
+paper's shape checks (fast, low-iteration runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import all_ids, run
+from repro.experiments.common import ExperimentResult, rel_err, within_band
+from repro.machine.config import ClusterMode
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = all_ids()
+        for expected in (
+            "table1", "table2", "fig1", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "speedups",
+        ):
+            assert expected in ids
+
+    def test_unknown_id_rejected(self):
+        from repro.errors import ReproError
+        from repro.experiments import get
+
+        with pytest.raises(ReproError):
+            get("fig99")
+
+
+class TestResultContainer:
+    def test_to_text_renders_columns(self):
+        res = ExperimentResult("x", "title", columns=("a", "b"))
+        res.add(a=1, b=2.5)
+        res.note("hello")
+        text = res.to_text()
+        assert "a" in text and "2.5" in text and "hello" in text
+
+    def test_column_access(self):
+        res = ExperimentResult("x", "t", columns=("a",))
+        res.add(a=1)
+        res.add(a=2)
+        assert res.column("a") == [1, 2]
+
+    def test_band_helpers(self):
+        assert within_band(105.0, 100.0, 0.10)
+        assert not within_band(120.0, 100.0, 0.10)
+        assert rel_err(110.0, 100.0) == pytest.approx(0.10)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("table1", iterations=40, modes=[ClusterMode.SNC4, ClusterMode.A2A])
+
+    def test_rows_per_mode(self, result):
+        assert len(result.rows) == 2
+
+    def test_shape_checks(self, result):
+        for row in result.rows:
+            assert row["local_L1_ns"] < row["tile_E_ns"] < 40
+            assert row["tile_M_ns"] > row["tile_E_ns"]
+            assert row["read_GBs"] == pytest.approx(2.5, rel=0.2)
+            assert 6.0 <= row["copy_remote_GBs"] <= 8.5
+            assert row["congestion"] == "none"
+            assert row["alpha_ns"] == pytest.approx(200, rel=0.2)
+            assert row["beta_ns"] == pytest.approx(34, rel=0.2)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("table2", iterations=25, modes=[ClusterMode.QUADRANT])
+
+    def test_three_memory_rows(self, result):
+        assert [r["memory"] for r in result.rows] == [
+            "flat/ddr", "flat/mcdram", "cache"
+        ]
+
+    def test_paper_bands(self, result):
+        ddr, mcd, cache = result.rows
+        assert within_band(ddr["copy_GBs"], 70.0, 0.15)
+        assert within_band(ddr["write_GBs"], 36.0, 0.2)
+        assert within_band(mcd["copy_GBs"], 333.0, 0.15)
+        assert within_band(mcd["triad_peak_GBs"], 441.0, 0.1)
+        assert mcd["latency_ns"] > ddr["latency_ns"]  # MCDRAM latency higher
+        assert cache["copy_GBs"] < mcd["copy_GBs"]    # cache mode slower
+        assert cache["latency_ns"] > ddr["latency_ns"]
+
+
+class TestFig1:
+    def test_tree_over_32_tiles(self):
+        res = run("fig1", iterations=25)
+        assert sum(r["ranks"] for r in res.rows) == 32
+        assert len(res.rows) >= 2  # at least two levels
+
+
+class TestFig4:
+    def test_covers_all_cores_with_ranges(self):
+        res = run("fig4", iterations=20)
+        assert len(res.rows) == 64
+        remote = [r for r in res.rows if not r["same_tile"]]
+        m_vals = [r["M_ns"] for r in remote]
+        assert 100 < min(m_vals) < 115
+        assert 115 < max(m_vals) < 135
+        for r in remote:
+            assert r["I_ns"] > r["E_ns"]
+
+
+class TestFig5:
+    def test_plateau_and_writeback(self):
+        res = run("fig5", iterations=25)
+        big = res.rows[-1]
+        assert big["tile_E"] > big["tile_M"]  # write-back penalty
+        small = res.rows[0]
+        assert small["remote_M"] < big["remote_M"] / 5  # latency-bound start
+
+
+class TestFig9:
+    def test_saturation_shapes(self):
+        res = run("fig9", iterations=25)
+        by = {(r["schedule"], r["threads"]): r for r in res.rows}
+        # DRAM saturates by 16 cores (fill_tiles 16 ~ 64).
+        assert by[("fill_tiles", 64)]["dram_GBs"] < 1.15 * by[
+            ("fill_tiles", 16)
+        ]["dram_GBs"]
+        # MCDRAM compact keeps climbing to 256.
+        assert by[("compact", 256)]["mcdram_GBs"] > 1.5 * by[
+            ("compact", 64)
+        ]["mcdram_GBs"]
+        # Single thread ~8 GB/s in both memories.
+        assert by[("compact", 1)]["mcdram_GBs"] == pytest.approx(8.0, rel=0.3)
+        assert by[("compact", 1)]["dram_GBs"] == pytest.approx(8.0, rel=0.3)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(
+            "fig10",
+            iterations=25,
+            thread_counts=(1, 8, 64, 256),
+            repetitions=3,
+        )
+
+    def test_rows(self, result):
+        assert len(result.rows) == 12  # 3 sizes x 4 thread counts
+
+    def test_1gb_memory_bound(self, result):
+        rows = [r for r in result.rows if r["size"] == "1GB"]
+        assert all(r["efficient"] == "y" for r in rows)
+        # Measured between the bandwidth and latency memory models.
+        for r in rows:
+            assert r["mem_bw_s"] * 0.5 <= r["measured_s"] <= r["mem_lat_s"]
+
+    def test_1kb_overhead_bound(self, result):
+        rows = {r["threads"]: r for r in result.rows if r["size"] == "1KB"}
+        assert rows[256]["measured_s"] > 100 * rows[1]["measured_s"]
+
+    def test_mcdram_note_present(self, result):
+        assert any("DRAM/MCDRAM" in n for n in result.notes)

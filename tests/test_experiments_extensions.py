@@ -1,0 +1,55 @@
+"""The extension experiments: ext (hier/allreduce/roofline) and parts."""
+
+import pytest
+
+from repro.experiments import all_ids, run
+
+
+class TestExtExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("ext", iterations=10)
+
+    def test_registered(self):
+        assert "ext" in all_ids()
+        assert "parts" in all_ids()
+
+    def test_hierarchical_rejected(self, result):
+        rows = {r["quantity"]: r["value"] for r in result.rows}
+        assert rows["model cost ratio hier/global"] > 1.0
+        assert rows["measured ratio hier/global"] > 1.0
+
+    def test_allreduce_wins(self, result):
+        rows = {r["quantity"]: r["value"] for r in result.rows}
+        assert rows["speedup vs MPI-style"] > 8.0
+
+    def test_roofline_contrast(self, result):
+        rows = {r["quantity"]: r["value"] for r in result.rows}
+        promise = rows["roofline MCDRAM speedup promise (I=0.25)"]
+        reality = rows["capability-model prediction (1 GB sort)"]
+        assert promise > 3.5
+        assert reality < 1.6
+        assert promise > 2.5 * reality  # the §VI gap
+
+
+class TestPartsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("parts", iterations=12)
+
+    def test_all_skus(self, result):
+        assert [r["part"] for r in result.rows] == [
+            "7210", "7230", "7250", "7290"
+        ]
+
+    def test_ddr2400_faster(self, result):
+        by = {r["part"]: r for r in result.rows}
+        assert by["7230"]["ddr_triad_GBs"] > 1.08 * by["7210"]["ddr_triad_GBs"]
+
+    def test_mcdram_stable(self, result):
+        vals = [r["mcdram_triad_GBs"] for r in result.rows]
+        assert max(vals) / min(vals) < 1.1
+
+    def test_barrier_shape_stable(self, result):
+        shapes = {(r["barrier64_rounds"], r["barrier64_arity"]) for r in result.rows}
+        assert len(shapes) == 1

@@ -1,0 +1,85 @@
+"""Experiment result persistence and regression diffing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import run
+from repro.experiments.common import ExperimentResult
+from repro.experiments.store import ResultStore, diff_results
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "results"))
+
+
+def _result(exp_id="x", val=1.0):
+    res = ExperimentResult(exp_id, "title", columns=("a", "b"))
+    res.add(a=val, b="text")
+    res.note("a note")
+    return res
+
+
+class TestStore:
+    def test_round_trip(self, store):
+        saved = _result()
+        store.save(saved)
+        loaded = store.load("x")
+        assert loaded.exp_id == saved.exp_id
+        assert loaded.rows == saved.rows
+        assert loaded.notes == saved.notes
+        assert tuple(loaded.columns) == tuple(saved.columns)
+
+    def test_ids_and_has(self, store):
+        store.save(_result("a"))
+        store.save(_result("b"))
+        assert store.ids() == ["a", "b"]
+        assert store.has("a")
+        assert not store.has("c")
+
+    def test_missing_load(self, store):
+        with pytest.raises(ReproError):
+            store.load("nope")
+
+    def test_bad_ids_rejected(self, store):
+        with pytest.raises(ReproError):
+            store.load("../etc/passwd")
+        with pytest.raises(ReproError):
+            store.load("")
+
+    def test_real_experiment_round_trip(self, store):
+        res = run("fig4", iterations=8)
+        store.save(res)
+        loaded = store.load("fig4")
+        assert len(loaded.rows) == 64
+        assert loaded.rows[10]["M_ns"] == res.rows[10]["M_ns"]
+
+
+class TestDiff:
+    def test_identical_clean(self):
+        assert diff_results(_result(), _result()) == []
+
+    def test_numeric_drift_flagged(self):
+        problems = diff_results(_result(val=1.0), _result(val=2.0))
+        assert problems and "col 'a'" in problems[0]
+
+    def test_within_tolerance_ok(self):
+        assert diff_results(_result(val=100.0), _result(val=105.0)) == []
+
+    def test_row_count_change(self):
+        a = _result()
+        b = _result()
+        b.add(a=2.0, b="t")
+        assert "row count" in diff_results(a, b)[0]
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ReproError):
+            diff_results(_result("x"), _result("y"))
+
+    def test_seeded_reruns_within_tolerance(self, store):
+        """Two runs with the same seed are identical; different seeds
+        stay within the regression tolerance for a stable experiment."""
+        a = run("fig4", iterations=15, seed=1)
+        b = run("fig4", iterations=15, seed=2)
+        problems = diff_results(a, b, rel_tol=0.25)
+        assert problems == []

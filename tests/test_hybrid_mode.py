@@ -1,0 +1,117 @@
+"""Hybrid memory mode: part cache, part flat (§II-C).
+
+The paper names hybrid as one of the three memory modes but reports no
+numbers for it; these tests pin down the behaviour our substrate gives
+it: the flat MCDRAM partition behaves like flat mode, while DDR traffic
+runs through the (smaller) MCDRAM-side cache with working-set-dependent
+throughput bounded by flat MCDRAM above and degrading toward DDR below.
+"""
+
+import pytest
+
+from repro.bench import Runner
+from repro.bench.stream_bench import stream_bandwidth
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryKind,
+    MemoryMode,
+)
+from repro.units import GIB
+
+
+@pytest.fixture(scope="module")
+def machines():
+    mk = lambda mode, **kw: KNLMachine(
+        MachineConfig(
+            cluster_mode=ClusterMode.QUADRANT, memory_mode=mode, **kw
+        ),
+        seed=3,
+    )
+    return {
+        "flat": mk(MemoryMode.FLAT),
+        "cache": mk(MemoryMode.CACHE),
+        "hybrid": mk(MemoryMode.HYBRID, hybrid_cache_fraction=0.5),
+    }
+
+
+@pytest.fixture(scope="module")
+def runners(machines):
+    return {k: Runner(m, iterations=25, seed=3) for k, m in machines.items()}
+
+
+class TestAddressing:
+    def test_hybrid_partitions(self, machines):
+        h = machines["hybrid"]
+        assert h.config.mcdram_cache_bytes == 8 * GIB
+        assert h.config.mcdram_flat_bytes == 8 * GIB
+
+    def test_flat_partition_allocatable(self, machines):
+        buf = machines["hybrid"].alloc(1 << 20, kind=MemoryKind.MCDRAM)
+        info = machines["hybrid"].memory.resolve(buf.base)
+        assert info.kind is MemoryKind.MCDRAM
+        assert not info.cacheable_in_mcdram
+
+    def test_ddr_marked_cacheable(self, machines):
+        info = machines["hybrid"].memory.resolve(0)
+        assert info.kind is MemoryKind.DDR
+        assert info.cacheable_in_mcdram
+
+
+class TestLatency:
+    def test_hybrid_ddr_pays_cache_check(self, machines):
+        hot = machines["hybrid"].memory_latency_true_ns(0, kind=MemoryKind.DDR)
+        flat = machines["flat"].memory_latency_true_ns(0, kind=MemoryKind.DDR)
+        assert hot > flat + 15  # the tag-check-then-DDR path
+
+    def test_hybrid_flat_mcdram_latency_unchanged(self, machines):
+        hyb = machines["hybrid"].memory_latency_true_ns(0, kind=MemoryKind.MCDRAM)
+        flat = machines["flat"].memory_latency_true_ns(0, kind=MemoryKind.MCDRAM)
+        assert hyb == pytest.approx(flat, rel=0.05)
+
+
+class TestBandwidth:
+    def test_hot_working_set_approaches_flat_mcdram(self, runners, machines):
+        hot = stream_bandwidth(
+            runners["hybrid"], "copy", 256, "scatter", MemoryKind.DDR,
+            pool_bytes=4 * GIB,
+        ).median
+        mcd = stream_bandwidth(
+            runners["flat"], "copy", 256, "scatter", MemoryKind.MCDRAM
+        ).median
+        assert 0.7 * mcd <= hot <= 1.1 * mcd
+
+    def test_cold_working_set_degrades(self, runners):
+        hot = stream_bandwidth(
+            runners["hybrid"], "copy", 256, "scatter", MemoryKind.DDR,
+            pool_bytes=4 * GIB,
+        ).median
+        cold = stream_bandwidth(
+            runners["hybrid"], "copy", 256, "scatter", MemoryKind.DDR,
+            pool_bytes=200 * GIB,
+        ).median
+        assert cold < hot / 2
+
+    def test_hybrid_smaller_cache_worse_than_cache_mode(self, runners):
+        """At the same (large) working set, 8 GB of cache hits less than
+        16 GB of cache."""
+        ws = 48 * GIB
+        hyb = stream_bandwidth(
+            runners["hybrid"], "copy", 256, "scatter", MemoryKind.DDR,
+            pool_bytes=ws,
+        ).median
+        full = stream_bandwidth(
+            runners["cache"], "copy", 256, "scatter", MemoryKind.DDR,
+            pool_bytes=ws,
+        ).median
+        assert hyb < full
+
+    def test_flat_mcdram_partition_full_speed(self, runners):
+        hyb = stream_bandwidth(
+            runners["hybrid"], "triad", 256, "scatter", MemoryKind.MCDRAM
+        ).median
+        flat = stream_bandwidth(
+            runners["flat"], "triad", 256, "scatter", MemoryKind.MCDRAM
+        ).median
+        assert hyb == pytest.approx(flat, rel=0.1)

@@ -1,0 +1,129 @@
+"""End-to-end integration: the paper's full pipeline on multiple
+configurations — boot machine → benchmark → fit model → tune algorithms
+→ execute → validate against the model, plus the sorting study.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    baselines,
+    plan_broadcast,
+    run_episodes,
+    speedup,
+    tune_barrier,
+)
+from repro.algorithms.barrier import barrier_programs
+from repro.apps import (
+    FullSortModel,
+    SortMemoryModel,
+    SortModelInputs,
+    calibrate_overhead,
+)
+from repro.apps.mergesort import simulate_sort_ns
+from repro.bench import characterize, pin_threads
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MemoryKind,
+    MemoryMode,
+    all_configurations,
+)
+from repro.model import derive_capability_model
+from repro.units import MIB
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize(
+        "cluster", [ClusterMode.A2A, ClusterMode.QUADRANT, ClusterMode.SNC4]
+    )
+    def test_characterize_fit_tune_execute(self, cluster):
+        machine = KNLMachine(
+            MachineConfig(cluster_mode=cluster, memory_mode=MemoryMode.FLAT),
+            seed=77,
+        )
+        cap = derive_capability_model(characterize(machine, iterations=25))
+        threads = pin_threads(machine.topology, 32, "scatter")
+        tb = tune_barrier(cap, 32)
+        tuned = run_episodes(
+            machine,
+            lambda: barrier_programs(threads, tb.rounds, tb.arity),
+            iterations=8,
+        )
+        omp = run_episodes(
+            machine, lambda: baselines.omp_barrier_programs(threads), 8
+        )
+        assert speedup(omp, tuned) > 2.0
+
+    def test_all_fifteen_configurations_boot(self):
+        for cfg in all_configurations():
+            machine = KNLMachine(cfg, seed=5)
+            assert machine.n_cores == 64
+            # One probe per machine: memory latency must be sane.
+            v = machine.memory_latency_true_ns(0, kind=MemoryKind.DDR)
+            assert 100.0 < v < 250.0
+
+    def test_hybrid_mode_pipeline(self):
+        machine = KNLMachine(
+            MachineConfig(
+                cluster_mode=ClusterMode.QUADRANT,
+                memory_mode=MemoryMode.HYBRID,
+                hybrid_cache_fraction=0.5,
+            ),
+            seed=6,
+        )
+        char = characterize(machine, iterations=15)
+        cap = derive_capability_model(char)
+        # Hybrid keeps 8 GB of flat MCDRAM addressable.
+        assert "mcdram" in cap.r_memory
+        buf = machine.alloc(1 * MIB, kind=MemoryKind.MCDRAM)
+        assert buf.nbytes == 1 * MIB
+
+    def test_model_predicts_execution_cost(self, machine, capability):
+        """The fitted model's envelope must be predictive for a tree it
+        did not tune (cross-validation of the methodology)."""
+        threads = pin_threads(machine.topology, 16, "scatter")
+        plan = plan_broadcast(capability, machine.topology, threads)
+        measured = run_episodes(machine, plan.programs, iterations=12)
+        med = float(np.median(measured))
+        assert 0.3 * plan.model.best_ns <= med <= 1.5 * plan.model.worst_ns
+
+
+class TestSortStudyEndToEnd:
+    def test_overhead_calibration_transfers_across_sizes(self, machine, capability):
+        """Fit the overhead on 1 KB sorts, validate on 4 MB (the paper's
+        'we use this overhead for all the message sizes')."""
+        memory_model = SortMemoryModel(capability)
+
+        def measure(nbytes, t):
+            return simulate_sort_ns(machine, nbytes, t, kind=MemoryKind.MCDRAM)
+
+        calib = calibrate_overhead(memory_model, measure, repetitions=5)
+        full = FullSortModel(memory_model, calib.model)
+        for t in (8, 64):
+            inputs = SortModelInputs(4 * MIB, t, "mcdram", use_bandwidth=True)
+            predicted = full.cost_ns(inputs)
+            measured = np.median([measure(4 * MIB, t) for _ in range(5)])
+            assert predicted == pytest.approx(measured, rel=0.6)
+
+    def test_cache_mode_sort_runs(self, cache_machine):
+        v = simulate_sort_ns(cache_machine, 4 * MIB, 16, noisy=False)
+        assert v > 0
+
+
+class TestSeedReproducibility:
+    def test_full_pipeline_deterministic(self):
+        def pipeline():
+            m = KNLMachine(
+                MachineConfig(
+                    cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT
+                ),
+                seed=123,
+            )
+            cap = derive_capability_model(
+                characterize(m, iterations=10, seed=9)
+            )
+            return cap.RR, cap.contention.alpha
+
+        assert pipeline() == pipeline()

@@ -1,0 +1,154 @@
+"""Bandwidth saturation model (the Fig. 9 shape)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.machine import (
+    ClusterMode,
+    MachineConfig,
+    McdramCache,
+    MemoryKind,
+    MemoryMode,
+    smooth_min,
+    spread_threads,
+)
+from repro.machine.bandwidth import BandwidthModel, per_core_rate
+from repro.machine.calibration import Calibration
+from repro.units import GIB
+
+
+@pytest.fixture(scope="module")
+def model():
+    cal = Calibration.for_mode(ClusterMode.SNC4)
+    return BandwidthModel(cal, MemoryMode.FLAT, McdramCache(0))
+
+
+@pytest.fixture(scope="module")
+def cache_model():
+    cal = Calibration.for_mode(ClusterMode.QUADRANT)
+    return BandwidthModel(cal, MemoryMode.CACHE, McdramCache(16 * GIB))
+
+
+class TestSmoothMin:
+    def test_below_cap_near_demand(self):
+        assert smooth_min(10.0, 1000.0) == pytest.approx(10.0, rel=0.01)
+
+    def test_above_cap_near_cap(self):
+        assert smooth_min(1000.0, 50.0) == pytest.approx(50.0, rel=0.01)
+
+    def test_at_knee_below_both(self):
+        v = smooth_min(100.0, 100.0)
+        assert v < 100.0
+        assert v > 85.0
+
+    def test_zero(self):
+        assert smooth_min(0.0, 10.0) == 0.0
+
+
+class TestPerCoreRate:
+    def test_single_thread_about_8(self):
+        assert per_core_rate("copy", 1, nt=True) == pytest.approx(8.0)
+
+    def test_hyperthreads_sublinear(self):
+        one = per_core_rate("triad", 1, nt=True)
+        four = per_core_rate("triad", 4, nt=True)
+        assert one < four < 2 * one
+
+    def test_no_nt_penalizes_writes(self):
+        assert per_core_rate("write", 1, nt=False) < per_core_rate(
+            "write", 1, nt=True
+        )
+
+    def test_no_nt_does_not_touch_reads(self):
+        assert per_core_rate("read", 1, nt=False) == per_core_rate(
+            "read", 1, nt=True
+        )
+
+    def test_unknown_op(self):
+        with pytest.raises(BenchmarkError):
+            per_core_rate("scale", 1, True)
+
+    def test_bad_ht(self):
+        with pytest.raises(BenchmarkError):
+            per_core_rate("copy", 5, True)
+
+    def test_three_threads_between_two_and_four(self):
+        assert (
+            per_core_rate("copy", 2, True)
+            < per_core_rate("copy", 3, True)
+            < per_core_rate("copy", 4, True)
+        )
+
+
+class TestSpreadThreads:
+    def test_scatter_one_per_core(self):
+        d = spread_threads(16, "scatter", 64)
+        assert all(v == 1 for v in d.values())
+        assert len(d) == 16
+
+    def test_scatter_wraps_to_hyperthreads(self):
+        d = spread_threads(128, "scatter", 64)
+        assert len(d) == 64
+        assert all(v == 2 for v in d.values())
+
+    def test_compact_fills_cores(self):
+        d = spread_threads(9, "compact", 64)
+        assert d == {0: 4, 1: 4, 2: 1}
+
+    def test_too_many_threads(self):
+        with pytest.raises(BenchmarkError):
+            spread_threads(257, "scatter", 64)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(BenchmarkError):
+            spread_threads(4, "diagonal", 64)
+
+
+class TestAggregate:
+    def test_ddr_saturates_by_16_cores(self, model):
+        b16 = model.aggregate("read", MemoryKind.DDR, {c: 1 for c in range(16)})
+        b64 = model.aggregate("read", MemoryKind.DDR, {c: 1 for c in range(64)})
+        assert b16 > 0.85 * b64  # going 16 -> 64 cores gains little
+
+    def test_mcdram_needs_all_cores(self, model):
+        b16 = model.aggregate("triad", MemoryKind.MCDRAM, {c: 1 for c in range(16)})
+        b64 = model.aggregate("triad", MemoryKind.MCDRAM, {c: 1 for c in range(64)})
+        assert b64 > 2 * b16
+
+    def test_single_thread_8gbs_both_kinds(self, model):
+        for kind in MemoryKind:
+            b = model.aggregate("copy", kind, {0: 1})
+            assert b == pytest.approx(8.0, rel=0.05)
+
+    def test_tuned_peak_above_median(self, model):
+        cores = {c: 1 for c in range(64)}
+        med = model.aggregate("triad", MemoryKind.MCDRAM, cores)
+        peak = model.aggregate("triad", MemoryKind.MCDRAM, cores, tuned=True)
+        assert peak > med
+
+    def test_empty_cores_rejected(self, model):
+        with pytest.raises(BenchmarkError):
+            model.aggregate("copy", MemoryKind.DDR, {})
+
+    def test_saturation_curve_monotone(self, model):
+        counts = np.array([1, 4, 16, 64, 256])
+        curve = model.saturation_curve("triad", MemoryKind.MCDRAM, counts, "compact")
+        assert all(np.diff(curve) >= -1e-9)
+
+
+class TestCacheMode:
+    def test_small_ws_beats_reference(self, cache_model):
+        cores = {c: 1 for c in range(64)}
+        small = cache_model.aggregate(
+            "copy", MemoryKind.DDR, cores, working_set_bytes=4 * GIB
+        )
+        huge = cache_model.aggregate(
+            "copy", MemoryKind.DDR, cores, working_set_bytes=200 * GIB
+        )
+        assert small > huge
+
+    def test_no_ws_uses_reference(self, cache_model):
+        cores = {c: 1 for c in range(64)}
+        ref = cache_model.aggregate("copy", MemoryKind.DDR, cores)
+        assert ref > 0

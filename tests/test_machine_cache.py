@@ -1,0 +1,60 @@
+"""Cache geometry and effective per-thread capacities."""
+
+import pytest
+
+from repro.machine import CacheGeometry, CacheHierarchy, L1D, L2
+from repro.units import KIB, MIB
+
+
+class TestGeometry:
+    def test_knl_l1(self):
+        assert L1D.size_bytes == 32 * KIB
+        assert L1D.associativity == 8
+        assert L1D.n_lines == 512
+        assert L1D.n_sets == 64
+
+    def test_knl_l2(self):
+        assert L2.size_bytes == 1 * MIB
+        assert L2.associativity == 16
+        assert L2.n_lines == 16384
+
+    def test_set_index_wraps(self):
+        assert L1D.set_index(0) == 0
+        assert L1D.set_index(64) == 1
+        assert L1D.set_index(64 * L1D.n_sets) == 0
+
+    def test_fits(self):
+        assert L1D.fits(32 * KIB)
+        assert not L1D.fits(32 * KIB + 1)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=0, associativity=8)
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, associativity=3)  # ragged sets
+
+
+class TestHierarchy:
+    def test_effective_l1_shrinks_with_hyperthreads(self):
+        h = CacheHierarchy()
+        assert h.effective_l1_bytes(1) == 32 * KIB
+        assert h.effective_l1_bytes(4) == 8 * KIB
+
+    def test_effective_l2_shared_by_tile(self):
+        h = CacheHierarchy()
+        assert h.effective_l2_bytes(2) == 512 * KIB
+
+    def test_level_of(self):
+        h = CacheHierarchy()
+        assert h.level_of(16 * KIB) == "l1"
+        assert h.level_of(256 * KIB) == "l2"
+        assert h.level_of(4 * MIB) == "mem"
+
+    def test_level_of_respects_sharing(self):
+        h = CacheHierarchy()
+        # 16 KB fits a whole L1 but not a quarter of it.
+        assert h.level_of(16 * KIB, threads_on_core=4) == "l2"
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy().effective_l1_bytes(0)

@@ -1,0 +1,102 @@
+"""MESIF states and directory-home assignment per cluster mode."""
+
+import pytest
+
+from repro.machine import ClusterMode, MachineConfig, MESIF, TagDirectory, Topology
+from repro.units import CACHE_LINE_BYTES
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology(MachineConfig(cluster_mode=ClusterMode.SNC4), seed=5)
+
+
+@pytest.fixture(scope="module")
+def directory(topo):
+    return TagDirectory(topo)
+
+
+class TestMESIF:
+    def test_only_modified_dirty(self):
+        assert MESIF.MODIFIED.is_dirty
+        for st in (MESIF.EXCLUSIVE, MESIF.SHARED, MESIF.FORWARD, MESIF.INVALID):
+            assert not st.is_dirty
+
+    def test_invalid_not_cached(self):
+        assert not MESIF.INVALID.in_cache
+        assert MESIF.MODIFIED.in_cache
+
+
+class TestHomeAssignment:
+    def test_home_is_active_tile(self, directory, topo):
+        for i in range(50):
+            home = directory.home(i * CACHE_LINE_BYTES, ClusterMode.A2A)
+            assert 0 <= home.tile_id < topo.n_tiles
+
+    def test_deterministic(self, directory):
+        a = directory.home(4096, ClusterMode.QUADRANT, memory_cluster=1)
+        b = directory.home(4096, ClusterMode.QUADRANT, memory_cluster=1)
+        assert a == b
+
+    def test_same_line_same_home(self, directory):
+        # Two addresses within one cache line share the directory entry.
+        a = directory.home(128, ClusterMode.A2A)
+        b = directory.home(129, ClusterMode.A2A)
+        assert a.tile_id == b.tile_id
+
+    def test_a2a_spreads_over_all_tiles(self, directory, topo):
+        homes = {
+            directory.home(i * CACHE_LINE_BYTES, ClusterMode.A2A).tile_id
+            for i in range(2000)
+        }
+        assert len(homes) >= topo.n_tiles * 0.9
+
+    def test_quadrant_mode_respects_memory_cluster(self, directory, topo):
+        for q in range(4):
+            for i in range(100):
+                home = directory.home(
+                    i * CACHE_LINE_BYTES, ClusterMode.QUADRANT, memory_cluster=q
+                )
+                assert topo.quadrant_of_tile(home.tile_id) == q
+
+    def test_hemisphere_mode_respects_memory_cluster(self, directory, topo):
+        for h in range(2):
+            for i in range(100):
+                home = directory.home(
+                    i * CACHE_LINE_BYTES, ClusterMode.HEMISPHERE, memory_cluster=h
+                )
+                assert topo.hemisphere_of_tile(home.tile_id) == h
+
+    def test_quadrant_affinity_from_hemisphere_domain(self, directory, topo):
+        # An IMC (hemisphere 1) line homed under SNC4 must land in
+        # quadrant 1 or 3 (the right-hand quadrants).
+        quads = set()
+        for i in range(200):
+            home = directory.home(
+                i * CACHE_LINE_BYTES,
+                ClusterMode.SNC4,
+                memory_cluster=1,
+                memory_domain=2,
+            )
+            quads.add(topo.quadrant_of_tile(home.tile_id))
+        assert quads <= {1, 3}
+        assert len(quads) == 2  # both quadrants of the hemisphere used
+
+    def test_edc_quadrant_to_hemisphere(self, directory, topo):
+        # EDC in quadrant 2 (bottom-left) serving an SNC2 machine: home in
+        # hemisphere 0.
+        for i in range(100):
+            home = directory.home(
+                i * CACHE_LINE_BYTES,
+                ClusterMode.SNC2,
+                memory_cluster=2,
+                memory_domain=4,
+            )
+            assert topo.hemisphere_of_tile(home.tile_id) == 0
+
+    def test_homes_for_range_one_per_line(self, directory):
+        homes = directory.homes_for_range(0, 10 * CACHE_LINE_BYTES)
+        assert homes.shape == (10,)
+
+    def test_homes_for_range_partial_line(self, directory):
+        assert directory.homes_for_range(0, 1).shape == (1,)

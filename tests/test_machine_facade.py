@@ -1,0 +1,188 @@
+"""KNLMachine facade: the timing contract the whole package builds on.
+
+The assertions check the *structure* the paper measured (Table I/II
+orderings and ranges), against the noise-free model values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MachineConfig,
+    MESIF,
+    MemoryKind,
+    MemoryMode,
+)
+
+
+class TestLineTransfers:
+    def test_l1_fastest(self, quiet_machine):
+        m = quiet_machine
+        l1 = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 0)
+        tile = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 1)
+        remote = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 10)
+        assert l1 < tile < remote
+
+    def test_tile_state_ordering(self, quiet_machine):
+        m = quiet_machine
+        mod = m.line_transfer_true_ns(0, MESIF.MODIFIED, 1)
+        exc = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 1)
+        shr = m.line_transfer_true_ns(0, MESIF.SHARED, 1)
+        fwd = m.line_transfer_true_ns(0, MESIF.FORWARD, 1)
+        assert mod > exc > shr  # write-back cost, then clean states
+        assert shr == fwd
+
+    def test_remote_range_matches_calibration(self, quiet_machine):
+        m = quiet_machine
+        lo, hi = m.calibration.remote_ns[MESIF.MODIFIED]
+        vals = [
+            m.line_transfer_true_ns(0, MESIF.MODIFIED, c)
+            for c in range(2, m.n_cores)
+        ]
+        assert min(vals) >= lo - 1e-9
+        assert max(vals) <= hi + 1e-9
+
+    def test_invalid_state_goes_to_memory(self, quiet_machine):
+        m = quiet_machine
+        v = m.line_transfer_true_ns(0, MESIF.INVALID, 10)
+        assert v == m.memory_latency_true_ns(0)
+
+    def test_snc4_local_quadrant_cheaper(self, quiet_machine):
+        m = quiet_machine
+        topo = m.topology
+        local_q = [
+            m.line_transfer_true_ns(0, MESIF.MODIFIED, c)
+            for c in range(2, m.n_cores)
+            if topo.same_quadrant(0, c) and not topo.same_tile(0, c)
+        ]
+        remote_q = [
+            m.line_transfer_true_ns(0, MESIF.MODIFIED, c)
+            for c in range(2, m.n_cores)
+            if not topo.same_quadrant(0, c)
+        ]
+        assert np.mean(local_q) < np.mean(remote_q)
+
+
+class TestMemoryLatency:
+    def test_mcdram_slower_than_ddr(self, quiet_machine):
+        m = quiet_machine
+        assert m.memory_latency_true_ns(
+            0, kind=MemoryKind.MCDRAM
+        ) > m.memory_latency_true_ns(0, kind=MemoryKind.DDR)
+
+    def test_cache_mode_latency_above_flat_ddr(self):
+        flat = KNLMachine(
+            MachineConfig(cluster_mode=ClusterMode.QUADRANT, memory_mode=MemoryMode.FLAT),
+            seed=1, noise=False,
+        )
+        cached = KNLMachine(
+            MachineConfig(cluster_mode=ClusterMode.QUADRANT, memory_mode=MemoryMode.CACHE),
+            seed=1, noise=False,
+        )
+        assert cached.memory_latency_true_ns(0) > flat.memory_latency_true_ns(0)
+
+    def test_address_specific_latency_in_range(self, quiet_machine):
+        m = quiet_machine
+        lo, hi = m.calibration.memory_ns[MemoryKind.DDR]
+        buf = m.alloc(4096)
+        v = m.memory_latency_true_ns(0, address=buf.base)
+        assert lo - 1e-9 <= v <= hi + 1e-9
+
+
+class TestMultiline:
+    def test_plateau_matches_calibration(self, quiet_machine):
+        m = quiet_machine
+        t = m.multiline_true_ns(0, 256 * 1024, MESIF.MODIFIED, 10)
+        bw = 256 * 1024 / t
+        assert bw == pytest.approx(m.calibration.copy_bw_remote, rel=0.1)
+
+    def test_read_slower_than_copy_plateau(self, quiet_machine):
+        m = quiet_machine
+        t_read = m.multiline_true_ns(0, 64 * 1024, MESIF.EXCLUSIVE, 10, op="read")
+        t_copy = m.multiline_true_ns(0, 64 * 1024, MESIF.EXCLUSIVE, 10, op="copy")
+        assert t_read > t_copy  # 2.5 GB/s vs ~7.5 GB/s
+
+    def test_vectorization_helps(self, quiet_machine):
+        m = quiet_machine
+        fast = m.multiline_true_ns(0, 64 * 1024, MESIF.EXCLUSIVE, 10, vectorized=True)
+        slow = m.multiline_true_ns(0, 64 * 1024, MESIF.EXCLUSIVE, 10, vectorized=False)
+        assert slow > fast
+
+    def test_unknown_op_rejected(self, quiet_machine):
+        with pytest.raises(ConfigurationError):
+            quiet_machine.multiline_true_ns(0, 4096, MESIF.EXCLUSIVE, 10, op="scan")
+
+
+class TestContention:
+    def test_linear_shape(self, quiet_machine):
+        m = quiet_machine
+        t1 = m.contention_ns(1, noisy=False)
+        t10 = m.contention_ns(10, noisy=False)
+        cal = m.calibration
+        assert t10 - t1 == pytest.approx(9 * cal.contention_beta)
+
+    def test_rank_ordering(self, quiet_machine):
+        m = quiet_machine
+        first = m.contention_ns(8, rank=0, noisy=False)
+        last = m.contention_ns(8, rank=7, noisy=False)
+        assert first < last
+
+    def test_schedule_sorted(self, quiet_machine):
+        sched = quiet_machine.contention_schedule(16, noisy=False)
+        assert np.all(np.diff(sched) >= 0)
+
+    def test_invalid_rank(self, quiet_machine):
+        with pytest.raises(ConfigurationError):
+            quiet_machine.contention_ns(4, rank=4)
+
+    def test_congestion_factor_is_one(self, quiet_machine):
+        assert quiet_machine.congestion_factor(16) == 1.0
+
+
+class TestStream:
+    def test_per_thread_times_scale_with_bytes(self, quiet_machine):
+        m = quiet_machine
+        cores = {c: 1 for c in range(16)}
+        t1 = m.stream_iteration_ns("copy", 1 << 20, cores, noisy=False).max()
+        t2 = m.stream_iteration_ns("copy", 2 << 20, cores, noisy=False).max()
+        assert t2 > 1.7 * t1
+
+    def test_returns_one_time_per_thread(self, quiet_machine):
+        cores = {0: 2, 1: 1}
+        times = quiet_machine.stream_iteration_ns("read", 1 << 20, cores, noisy=False)
+        assert times.shape == (3,)
+
+    def test_rejects_empty_size(self, quiet_machine):
+        with pytest.raises(ConfigurationError):
+            quiet_machine.stream_iteration_ns("copy", 0, {0: 1})
+
+
+class TestFlags:
+    def test_visibility_cold_costs_memory_trip(self, quiet_machine):
+        m = quiet_machine
+        cold = m.flag_visibility_ns(cold=True, noisy=False)
+        warm = m.flag_visibility_ns(cold=False, noisy=False)
+        assert warm == 0.0
+        assert cold >= 100.0
+
+    def test_pollers_add_invalidation(self, quiet_machine):
+        m = quiet_machine
+        assert m.flag_visibility_ns(4, cold=False, noisy=False) > 0.0
+
+    def test_flag_read_is_modified_transfer(self, quiet_machine):
+        m = quiet_machine
+        assert m.flag_read_ns(0, 10, noisy=False) == m.line_transfer_true_ns(
+            0, MESIF.MODIFIED, 10
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_noise_stream(self, snc4_flat_config):
+        a = KNLMachine(snc4_flat_config, seed=99)
+        b = KNLMachine(snc4_flat_config, seed=99)
+        va = [a.line_transfer_ns(0, MESIF.MODIFIED, 10) for _ in range(5)]
+        vb = [b.line_transfer_ns(0, MESIF.MODIFIED, 10) for _ in range(5)]
+        assert va == vb

@@ -1,0 +1,163 @@
+"""Memory system: address map, interleaving, allocation, MCDRAM cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import (
+    ClusterMode,
+    MachineConfig,
+    McdramCache,
+    MemoryKind,
+    MemoryMode,
+    MemorySystem,
+    Topology,
+)
+from repro.machine.memory import N_DDR_CHANNELS, N_EDCS
+from repro.units import CACHE_LINE_BYTES, GIB, MIB
+
+
+def make_ms(cluster=ClusterMode.QUADRANT, memory=MemoryMode.FLAT):
+    cfg = MachineConfig(cluster_mode=cluster, memory_mode=memory)
+    return MemorySystem(cfg, Topology(cfg, seed=5))
+
+
+class TestAddressMap:
+    def test_ddr_below_mcdram(self):
+        ms = make_ms()
+        assert ms.kind_of(0) is MemoryKind.DDR
+        assert ms.kind_of(96 * GIB) is MemoryKind.MCDRAM
+
+    def test_limit_enforced(self):
+        ms = make_ms()
+        with pytest.raises(ConfigurationError):
+            ms.kind_of(112 * GIB)
+        with pytest.raises(ConfigurationError):
+            ms.kind_of(-1)
+
+    def test_cache_mode_has_no_flat_mcdram(self):
+        ms = make_ms(memory=MemoryMode.CACHE)
+        assert ms.addressable_bytes == 96 * GIB
+        assert ms.mcdram_cache_bytes == 16 * GIB
+
+    def test_ddr_interleaves_all_channels(self):
+        ms = make_ms()
+        channels = {
+            ms.resolve(i * CACHE_LINE_BYTES).channel for i in range(100)
+        }
+        assert channels == set(range(N_DDR_CHANNELS))
+
+    def test_mcdram_interleaves_all_edcs(self):
+        ms = make_ms()
+        base = 96 * GIB
+        channels = {
+            ms.resolve(base + i * CACHE_LINE_BYTES).channel for i in range(100)
+        }
+        assert channels == set(range(N_EDCS))
+
+    def test_snc4_ddr_uses_local_imc_channels(self):
+        ms = make_ms(cluster=ClusterMode.SNC4)
+        # Addresses in cluster 0's region use a single IMC's 3 channels.
+        channels = {
+            ms.resolve(i * CACHE_LINE_BYTES).channel for i in range(100)
+        }
+        assert len(channels) == 3
+
+    def test_snc4_mcdram_regions_map_to_own_quadrant(self):
+        ms = make_ms(cluster=ClusterMode.SNC4)
+        base = 96 * GIB
+        region = 4 * GIB
+        for q in range(4):
+            info = ms.resolve(base + q * region + 2 * CACHE_LINE_BYTES)
+            assert info.cluster == q
+            assert info.cluster_domain == 4
+
+    def test_cacheable_flag(self):
+        flat = make_ms(memory=MemoryMode.FLAT)
+        assert not flat.resolve(0).cacheable_in_mcdram
+        cached = make_ms(memory=MemoryMode.CACHE)
+        assert cached.resolve(0).cacheable_in_mcdram
+
+
+class TestAllocator:
+    def test_alloc_in_requested_kind(self):
+        ms = make_ms()
+        buf = ms.alloc(1 * MIB, kind=MemoryKind.MCDRAM)
+        assert ms.kind_of(buf.base) is MemoryKind.MCDRAM
+
+    def test_alloc_alignment(self):
+        ms = make_ms()
+        a = ms.alloc(100)
+        b = ms.alloc(100)
+        assert a.base % CACHE_LINE_BYTES == 0
+        assert b.base % CACHE_LINE_BYTES == 0
+        assert b.base >= a.end
+
+    def test_mcdram_rejected_in_cache_mode(self):
+        ms = make_ms(memory=MemoryMode.CACHE)
+        with pytest.raises(ConfigurationError):
+            ms.alloc(4096, kind=MemoryKind.MCDRAM)
+
+    def test_numa_alloc_requires_snc(self):
+        ms = make_ms(cluster=ClusterMode.QUADRANT)
+        with pytest.raises(ConfigurationError):
+            ms.alloc(4096, cluster=1)
+
+    def test_numa_alloc_lands_in_cluster(self):
+        ms = make_ms(cluster=ClusterMode.SNC4)
+        for q in range(4):
+            buf = ms.alloc(1 * MIB, kind=MemoryKind.MCDRAM, cluster=q)
+            assert ms.resolve(buf.base).cluster == q
+
+    def test_cluster_out_of_range(self):
+        ms = make_ms(cluster=ClusterMode.SNC2)
+        with pytest.raises(ConfigurationError):
+            ms.alloc(4096, cluster=2)
+
+    def test_out_of_memory(self):
+        ms = make_ms(cluster=ClusterMode.SNC4)
+        with pytest.raises(ConfigurationError):
+            ms.alloc(5 * GIB, kind=MemoryKind.MCDRAM, cluster=0)  # region is 4 GB
+
+    def test_reset_allocator(self):
+        ms = make_ms()
+        a = ms.alloc(4096)
+        ms.reset_allocator()
+        b = ms.alloc(4096)
+        assert a.base == b.base
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ms().alloc(0)
+
+    def test_buffer_line_addresses(self):
+        ms = make_ms()
+        buf = ms.alloc(4 * CACHE_LINE_BYTES)
+        assert len(list(buf.line_addresses())) == 4
+
+
+class TestMcdramCache:
+    def test_disabled_when_zero(self):
+        assert not McdramCache(0).enabled
+        assert McdramCache(0).hit_probability(1 * GIB) == 0.0
+
+    def test_small_working_set_mostly_hits(self):
+        c = McdramCache(16 * GIB)
+        assert c.hit_probability(1 * GIB) > 0.9
+
+    def test_large_working_set_capacity_bound(self):
+        c = McdramCache(16 * GIB)
+        assert c.hit_probability(32 * GIB) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        c = McdramCache(16 * GIB)
+        probs = [c.hit_probability(s * GIB) for s in (1, 8, 16, 32, 64)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_direct_mapped_conflicts_below_capacity(self):
+        # Even a fitting working set misses a little (direct mapped).
+        c = McdramCache(16 * GIB)
+        assert c.hit_probability(16 * GIB) < 1.0
+
+    def test_invalid_working_set(self):
+        with pytest.raises(ConfigurationError):
+            McdramCache(16 * GIB).hit_probability(0)

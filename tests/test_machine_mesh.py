@@ -1,0 +1,80 @@
+"""Mesh-of-rings routing and distance model."""
+
+import pytest
+
+from repro.machine import MachineConfig, Mesh, MeshTiming, Topology
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(Topology(MachineConfig(), seed=5))
+
+
+class TestRouting:
+    def test_route_endpoints(self, mesh):
+        stops = mesh.route((1, 0), (7, 5))
+        assert stops[0] == (1, 0)
+        assert stops[-1] == (7, 5)
+
+    def test_y_before_x(self, mesh):
+        stops = mesh.route((1, 0), (3, 2))
+        # Rows change first, then columns.
+        assert stops == [(1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]
+
+    def test_route_to_self(self, mesh):
+        assert mesh.route((2, 2), (2, 2)) == [(2, 2)]
+
+    def test_hops_is_manhattan(self, mesh):
+        assert mesh.hops((1, 0), (4, 3)) == 6
+        assert mesh.hops((4, 3), (1, 0)) == 6
+
+    def test_route_length_matches_hops(self, mesh):
+        src, dst = (1, 1), (6, 4)
+        assert len(mesh.route(src, dst)) - 1 == mesh.hops(src, dst)
+
+    def test_out_of_grid_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.route((0, 0), (99, 0))
+
+
+class TestTiming:
+    def test_zero_for_self(self, mesh):
+        assert mesh.traverse_ns((3, 3), (3, 3)) == 0.0
+
+    def test_monotone_in_distance(self, mesh):
+        near = mesh.traverse_ns((1, 1), (1, 2))
+        far = mesh.traverse_ns((1, 1), (7, 5))
+        assert far > near > 0
+
+    def test_symmetric(self, mesh):
+        assert mesh.traverse_ns((1, 1), (5, 4)) == mesh.traverse_ns(
+            (5, 4), (1, 1)
+        )
+
+    def test_core_distance_zero_same_tile(self, mesh):
+        assert mesh.core_distance_ns(0, 1) == 0.0
+
+    def test_diameter_bounded(self, mesh):
+        # Die is 9x6; the tile diameter must be well under row+col span.
+        assert 4 <= mesh.max_hops() <= 13
+
+    def test_custom_timing(self):
+        topo = Topology(MachineConfig(), seed=5)
+        slow = Mesh(topo, MeshTiming(injection_ns=10.0, hop_ns=5.0))
+        assert slow.traverse_ns((1, 1), (1, 2)) == pytest.approx(15.0)
+
+
+class TestLinkAccounting:
+    def test_links_on_route(self, mesh):
+        links = mesh.links_on_route((1, 0), (2, 1))
+        assert links == [((1, 0), (2, 0)), ((2, 0), (2, 1))]
+
+    def test_disjoint_flows_do_not_overlap(self, mesh):
+        usage = mesh.link_utilization([((1, 0), (1, 1)), ((6, 4), (6, 5))])
+        assert max(usage.values()) == 1
+
+    def test_shared_link_counted(self, mesh):
+        usage = mesh.link_utilization(
+            [((1, 0), (3, 0)), ((2, 0), (3, 0))]
+        )
+        assert usage[((2, 0), (3, 0))] == 2

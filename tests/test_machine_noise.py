@@ -1,0 +1,67 @@
+"""Measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ClusterMode, NoiseModel, NoiseParams
+
+
+@pytest.fixture()
+def noise():
+    return NoiseModel(NoiseParams(), seed=3)
+
+
+class TestSampling:
+    def test_median_near_true_value(self, noise):
+        vals = noise.sample_many(140.0, 4000)
+        assert np.median(vals) == pytest.approx(140.0, rel=0.05)
+
+    def test_quantized_to_tsc_resolution(self, noise):
+        vals = noise.sample_many(137.0, 100)
+        assert np.allclose(vals % 10.0, 0.0)
+
+    def test_never_rounds_to_zero(self, noise):
+        vals = noise.sample_many(3.8, 1000)
+        assert vals.min() >= 10.0  # one quantum floor
+
+    def test_outliers_present_but_rare(self):
+        noise = NoiseModel(NoiseParams(outlier_p=0.01), seed=3)
+        vals = noise.sample_many(100.0, 20000)
+        frac = np.mean(vals > 140.0)
+        assert 0.001 < frac < 0.05
+
+    def test_negative_value_rejected(self, noise):
+        with pytest.raises(ValueError):
+            noise.sample(-1.0)
+
+    def test_scale_widens_spread(self):
+        a = NoiseModel(NoiseParams(), seed=3).sample_many(1000.0, 2000, scale=1.0)
+        b = NoiseModel(NoiseParams(), seed=3).sample_many(1000.0, 2000, scale=3.0)
+        assert b.std() > 1.5 * a.std()
+
+
+class TestBatchMean:
+    def test_resolves_below_quantum(self, noise):
+        # A 3.8 ns event timed in batches of 32 resolves despite the
+        # 10 ns timer.
+        vals = noise.sample_mean_of(3.8, 2000, 32)
+        assert np.median(vals) == pytest.approx(3.8, rel=0.1)
+
+    def test_batch_one_equals_quantized(self, noise):
+        vals = noise.sample_mean_of(137.0, 50, 1)
+        assert np.allclose(vals % 10.0, 0.0)
+
+    def test_invalid_batch(self, noise):
+        with pytest.raises(ValueError):
+            noise.sample_mean_of(10.0, 5, 0)
+
+
+class TestModeParams:
+    def test_snc2_noisier(self):
+        assert NoiseParams.for_mode(ClusterMode.SNC2).sigma > NoiseParams.for_mode(
+            ClusterMode.SNC4
+        ).sigma
+
+    def test_jitter_only_no_quantization(self, noise):
+        vals = {noise.jitter_only(137.0) for _ in range(20)}
+        assert any(v % 10.0 != 0.0 for v in vals)

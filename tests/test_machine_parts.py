@@ -1,0 +1,82 @@
+"""SKU catalog and cross-part scaling."""
+
+import pytest
+
+from repro.bench import Runner
+from repro.bench.stream_bench import stream_bandwidth
+from repro.errors import ConfigurationError
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MemoryKind,
+    catalog,
+    part,
+    part_names,
+)
+
+
+class TestCatalog:
+    def test_four_skus(self):
+        assert part_names() == ("7210", "7230", "7250", "7290")
+
+    def test_7210_is_the_paper_part(self):
+        cfg = part("7210")
+        assert cfg.n_cores == 64
+        assert cfg.core_ghz == pytest.approx(1.3)
+        assert cfg.ddr_mts == 2133
+
+    def test_7290_biggest(self):
+        cfg = part("7290")
+        assert cfg.n_cores == 72
+        assert cfg.n_threads == 288
+
+    def test_unknown_part(self):
+        with pytest.raises(ConfigurationError):
+            part("9999")
+
+    def test_overrides(self):
+        cfg = part("7250", threads_per_core=2)
+        assert cfg.n_threads == 68 * 2
+
+    def test_catalog_shares_modes(self):
+        cat = catalog(cluster_mode=ClusterMode.SNC4)
+        assert set(cat) == set(part_names())
+        assert all(c.cluster_mode is ClusterMode.SNC4 for c in cat.values())
+
+
+class TestCrossPartBehaviour:
+    def test_7250_snc4_quadrants_balanced_within_one(self):
+        m = KNLMachine(part("7250", ClusterMode.SNC4), seed=5)
+        sizes = [
+            len(m.topology.tiles_in_cluster(q, ClusterMode.SNC4))
+            for q in range(4)
+        ]
+        assert sum(sizes) == 34
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_faster_ddr_lifts_ceiling(self):
+        r10 = Runner(KNLMachine(part("7210"), seed=5), iterations=25, seed=5)
+        r30 = Runner(KNLMachine(part("7230"), seed=5), iterations=25, seed=5)
+        b10 = stream_bandwidth(r10, "triad", 64, "scatter", MemoryKind.DDR).median
+        b30 = stream_bandwidth(r30, "triad", 64, "scatter", MemoryKind.DDR).median
+        assert b30 / b10 == pytest.approx(2400 / 2133, rel=0.05)
+
+    def test_mcdram_ceiling_unchanged_across_ddr_speeds(self):
+        r10 = Runner(KNLMachine(part("7210"), seed=5), iterations=25, seed=5)
+        r30 = Runner(KNLMachine(part("7230"), seed=5), iterations=25, seed=5)
+        b10 = stream_bandwidth(r10, "triad", 256, "scatter", MemoryKind.MCDRAM).median
+        b30 = stream_bandwidth(r30, "triad", 256, "scatter", MemoryKind.MCDRAM).median
+        assert b30 == pytest.approx(b10, rel=0.08)
+
+    def test_higher_clock_lifts_single_thread_rate(self):
+        m10 = KNLMachine(part("7210"), seed=5, noise=False)
+        m90 = KNLMachine(part("7290"), seed=5, noise=False)
+        t10 = m10.stream_iteration_ns("copy", 1 << 20, {0: 1}, noisy=False).max()
+        t90 = m90.stream_iteration_ns("copy", 1 << 20, {0: 1}, noisy=False).max()
+        assert t90 < t10  # 1.5 GHz vs 1.3 GHz
+
+    def test_all_parts_boot_and_run(self):
+        for name in part_names():
+            m = KNLMachine(part(name), seed=2)
+            assert m.n_cores == m.topology.n_tiles * 2
+            assert m.memory_latency_true_ns(0, kind=MemoryKind.DDR) > 100

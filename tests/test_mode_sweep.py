@@ -1,0 +1,121 @@
+"""Cross-configuration sweep: key invariants hold in every one of the
+fifteen cluster × memory configurations (and across SKUs).
+
+These are the package's broadest integration checks — each
+configuration boots, characterizes, fits, and keeps the paper's
+structural orderings.
+"""
+
+import pytest
+
+from repro.bench import Runner, characterize
+from repro.bench.latency_bench import latency_summary
+from repro.bench.stream_bench import memory_latency_bench, stream_bandwidth
+from repro.machine import (
+    ClusterMode,
+    KNLMachine,
+    MESIF,
+    MachineConfig,
+    MemoryKind,
+    MemoryMode,
+    all_configurations,
+)
+from repro.model import derive_capability_model
+
+ALL_CLUSTER = list(ClusterMode)
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return {
+        cfg.label(): KNLMachine(cfg, seed=31) for cfg in all_configurations()
+    }
+
+
+class TestEveryConfiguration:
+    def test_fifteen_boot(self, machines):
+        assert len(machines) == 15
+
+    def test_latency_orderings_everywhere(self, machines):
+        for label, m in machines.items():
+            l1 = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 0)
+            tile = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 1)
+            remote = m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 40)
+            mem = m.memory_latency_true_ns(0, kind=MemoryKind.DDR)
+            assert l1 < tile < remote < mem, label
+
+    def test_writeback_cost_everywhere(self, machines):
+        for label, m in machines.items():
+            assert m.line_transfer_true_ns(
+                0, MESIF.MODIFIED, 1
+            ) > m.line_transfer_true_ns(0, MESIF.EXCLUSIVE, 1), label
+
+    def test_contention_parameters_stable_across_modes(self, machines):
+        alphas = {
+            label: m.calibration.contention_alpha
+            for label, m in machines.items()
+        }
+        assert max(alphas.values()) == min(alphas.values())  # same silicon
+
+    def test_characterize_fit_all_modes_flat(self):
+        for cluster in ALL_CLUSTER:
+            m = KNLMachine(
+                MachineConfig(cluster_mode=cluster, memory_mode=MemoryMode.FLAT),
+                seed=7,
+            )
+            cap = derive_capability_model(characterize(m, iterations=12))
+            assert 90 < cap.RR < 135, cluster
+            assert cap.bw("triad", "mcdram") > 3 * cap.bw("triad", "ddr")
+
+
+@pytest.mark.parametrize("cluster", ALL_CLUSTER)
+class TestPerClusterMode:
+    def test_remote_latency_in_paper_range(self, cluster):
+        m = KNLMachine(
+            MachineConfig(cluster_mode=cluster, memory_mode=MemoryMode.FLAT),
+            seed=13,
+        )
+        runner = Runner(m, iterations=25, seed=13)
+        summary = latency_summary(runner)
+        samples = summary["remote/M"].samples
+        assert 96 <= samples.min() <= samples.max() <= 132
+
+    def test_memory_latency_mcdram_above_ddr(self, cluster):
+        m = KNLMachine(
+            MachineConfig(cluster_mode=cluster, memory_mode=MemoryMode.FLAT),
+            seed=13,
+        )
+        runner = Runner(m, iterations=25, seed=13)
+        ddr = memory_latency_bench(runner, MemoryKind.DDR).median
+        mcd = memory_latency_bench(runner, MemoryKind.MCDRAM).median
+        assert mcd > ddr + 10
+
+    def test_cache_mode_slower_than_flat_mcdram(self, cluster):
+        flat = KNLMachine(
+            MachineConfig(cluster_mode=cluster, memory_mode=MemoryMode.FLAT),
+            seed=13,
+        )
+        cached = KNLMachine(
+            MachineConfig(cluster_mode=cluster, memory_mode=MemoryMode.CACHE),
+            seed=13,
+        )
+        rf = Runner(flat, iterations=15, seed=13)
+        rc = Runner(cached, iterations=15, seed=13)
+        bw_flat = stream_bandwidth(rf, "copy", 256, "scatter", MemoryKind.MCDRAM).median
+        bw_cache = stream_bandwidth(rc, "copy", 256, "scatter", MemoryKind.DDR).median
+        assert bw_cache < bw_flat
+
+    def test_hybrid_between_flat_and_cache(self, cluster):
+        hybrid = KNLMachine(
+            MachineConfig(
+                cluster_mode=cluster,
+                memory_mode=MemoryMode.HYBRID,
+                hybrid_cache_fraction=0.5,
+            ),
+            seed=13,
+        )
+        # Half the MCDRAM remains addressable...
+        assert hybrid.config.mcdram_flat_bytes == 8 * (1 << 30)
+        # ...and allocations in it resolve to MCDRAM.
+        buf = hybrid.alloc(1 << 20, kind=MemoryKind.MCDRAM)
+        assert hybrid.memory.resolve(buf.base).kind is MemoryKind.MCDRAM

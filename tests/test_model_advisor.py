@@ -1,0 +1,118 @@
+"""The memory-placement advisor (§VII's flat-mode decision problem)."""
+
+import pytest
+
+from repro.bench import characterize
+from repro.errors import ModelError
+from repro.machine import ClusterMode, KNLMachine, MachineConfig, MemoryMode
+from repro.model import (
+    BufferSpec,
+    buffer_cost_ns,
+    derive_capability_model,
+    recommend_placement,
+)
+from repro.units import GIB
+
+
+def spec(name, size_gib, traffic_gib, pattern="stream", op="copy", threads=64):
+    return BufferSpec(
+        name, int(size_gib * GIB), int(traffic_gib * GIB), pattern, op, threads
+    )
+
+
+class TestBufferSpec:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BufferSpec("x", 0, 1)
+        with pytest.raises(ModelError):
+            BufferSpec("x", 1, -1)
+        with pytest.raises(ModelError):
+            BufferSpec("x", 1, 1, pattern="zigzag")
+        with pytest.raises(ModelError):
+            BufferSpec("x", 1, 1, n_threads=0)
+
+
+class TestBufferCost:
+    def test_stream_cost_tracks_bandwidth(self, capability):
+        b = spec("s", 1, 100, threads=256)
+        assert buffer_cost_ns(capability, b, "mcdram") < buffer_cost_ns(
+            capability, b, "ddr"
+        )
+
+    def test_latency_cost_prefers_ddr(self, capability):
+        """Pointer-chasing data is *hurt* by MCDRAM's higher latency —
+        the model knows."""
+        b = spec("idx", 1, 4, pattern="latency")
+        assert buffer_cost_ns(capability, b, "mcdram") > buffer_cost_ns(
+            capability, b, "ddr"
+        )
+
+    def test_single_thread_ceiling(self, capability):
+        """One streaming thread sees ~8 GB/s in either memory, so the
+        kinds cost the same (the sort's tail-stage effect)."""
+        b = spec("solo", 1, 10, threads=1)
+        m = buffer_cost_ns(capability, b, "mcdram")
+        d = buffer_cost_ns(capability, b, "ddr")
+        assert m == pytest.approx(d, rel=0.01)
+
+    def test_zero_traffic_free(self, capability):
+        assert buffer_cost_ns(capability, spec("z", 1, 0), "ddr") == 0.0
+
+
+class TestRecommendation:
+    def test_hot_stream_gets_mcdram(self, capability):
+        pl = recommend_placement(
+            capability,
+            [
+                spec("hot", 8, 400, op="triad", threads=256),
+                spec("cold", 60, 2, op="read", threads=16),
+            ],
+        )
+        assert pl.kind_of("hot") == "mcdram"
+        assert pl.kind_of("cold") == "ddr"
+        assert pl.predicted_speedup > 2.0
+
+    def test_latency_buffer_stays_in_ddr(self, capability):
+        pl = recommend_placement(
+            capability, [spec("idx", 2, 50, pattern="latency")]
+        )
+        assert pl.kind_of("idx") == "ddr"
+        assert pl.predicted_speedup == pytest.approx(1.0)
+
+    def test_capacity_respected(self, capability):
+        buffers = [
+            spec("a", 10, 100, threads=256),
+            spec("b", 10, 90, threads=256),
+        ]
+        pl = recommend_placement(capability, buffers)
+        kinds = sorted(pl.assignments.values())
+        assert kinds == ["ddr", "mcdram"]  # only one fits 16 GB
+        assert pl.kind_of("a") == "mcdram"  # the higher-traffic one
+
+    def test_density_beats_raw_gain(self, capability):
+        """A small very-hot buffer outranks a big mildly-hot one when
+        both can't fit."""
+        buffers = [
+            spec("small-hot", 2, 300, threads=256),
+            spec("big-warm", 15, 400, threads=256),
+        ]
+        pl = recommend_placement(capability, buffers)
+        assert pl.kind_of("small-hot") == "mcdram"
+
+    def test_cache_mode_model_degenerates(self, cache_machine):
+        cap = derive_capability_model(
+            characterize(cache_machine, iterations=10)
+        )
+        pl = recommend_placement(cap, [spec("x", 1, 10)])
+        assert pl.kind_of("x") == "ddr"
+        assert pl.predicted_speedup == pytest.approx(1.0)
+
+    def test_validation(self, capability):
+        with pytest.raises(ModelError):
+            recommend_placement(capability, [])
+        with pytest.raises(ModelError):
+            recommend_placement(
+                capability, [spec("a", 1, 1), spec("a", 1, 1)]
+            )
+        with pytest.raises(ModelError):
+            recommend_placement(capability, [spec("a", 1, 1)]).kind_of("b")

@@ -1,0 +1,130 @@
+"""Min-max models and the fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchResult
+from repro.errors import ModelError
+from repro.model import MinMaxModel, fit_contention, fit_multiline, fit_overhead
+
+
+class TestMinMax:
+    def test_ordering_enforced(self):
+        with pytest.raises(ModelError):
+            MinMaxModel(10.0, 5.0)
+        with pytest.raises(ModelError):
+            MinMaxModel(-1.0, 5.0)
+
+    def test_addition(self):
+        m = MinMaxModel(1.0, 2.0) + MinMaxModel(3.0, 4.0)
+        assert (m.best_ns, m.worst_ns) == (4.0, 6.0)
+
+    def test_scale(self):
+        m = MinMaxModel(1.0, 2.0).scale(3)
+        assert (m.best_ns, m.worst_ns) == (3.0, 6.0)
+
+    def test_exact(self):
+        m = MinMaxModel.exact(5.0)
+        assert m.best_ns == m.worst_ns == 5.0
+
+    def test_envelope_takes_max(self):
+        env = MinMaxModel.envelope(
+            [MinMaxModel(1.0, 10.0), MinMaxModel(5.0, 6.0)]
+        )
+        assert (env.best_ns, env.worst_ns) == (5.0, 10.0)
+
+    def test_empty_envelope(self):
+        with pytest.raises(ModelError):
+            MinMaxModel.envelope([])
+
+    def test_covers(self):
+        m = MinMaxModel(100.0, 200.0)
+        inside = np.full(10, 150.0)
+        below = np.full(10, 20.0)
+        assert m.covers(inside)
+        assert not m.covers(below)
+
+    def test_midpoint(self):
+        assert MinMaxModel(100.0, 200.0).midpoint() == 150.0
+
+
+def _bench(name, params, samples):
+    return BenchResult(name, params, np.asarray(samples, dtype=float))
+
+
+class TestFitting:
+    def test_fit_contention_recovers(self):
+        results = [
+            _bench("c", {"n_accessors": n}, [200.0 + 34.0 * n] * 5)
+            for n in (1, 4, 16, 63)
+        ]
+        lc = fit_contention(results)
+        assert lc.alpha == pytest.approx(200.0, abs=1)
+        assert lc.beta == pytest.approx(34.0, rel=0.01)
+
+    def test_fit_contention_needs_two(self):
+        with pytest.raises(ModelError):
+            fit_contention([_bench("c", {"n_accessors": 1}, [100.0])])
+
+    def test_fit_contention_rejects_flat(self):
+        results = [
+            _bench("c", {"n_accessors": n}, [100.0] * 3) for n in (1, 10)
+        ]
+        with pytest.raises(ModelError):
+            fit_contention(results)
+
+    def test_fit_multiline_recovers_slope(self):
+        # T(N) = 100 + 8.53 N ns -> bandwidth samples per size.
+        results = []
+        for nbytes in (64, 4096, 262144):
+            n = nbytes // 64
+            t = 100.0 + 8.53 * n
+            results.append(_bench("bw", {"nbytes": nbytes}, [nbytes / t] * 3))
+        lc = fit_multiline(results)
+        assert lc.beta == pytest.approx(8.53, rel=0.02)
+        assert lc.alpha == pytest.approx(100.0, rel=0.1)
+
+    def test_fit_multiline_clamps_negative_intercept(self):
+        results = [
+            _bench("bw", {"nbytes": 64}, [64 / 5.0] * 3),
+            _bench("bw", {"nbytes": 128}, [128 / 20.0] * 3),
+        ]
+        lc = fit_multiline(results)
+        assert lc.alpha >= 0.0
+
+    def test_fit_overhead(self):
+        lc = fit_overhead([1, 2, 4, 8], [40.0, 80.0, 160.0, 320.0])
+        assert lc.beta == pytest.approx(40.0, rel=0.1)
+
+    def test_fit_overhead_validates(self):
+        with pytest.raises(ModelError):
+            fit_overhead([1], [1.0])
+        with pytest.raises(ModelError):
+            fit_overhead([1, 2], [1.0])
+
+
+class TestFitConfidenceIntervals:
+    def _sweep(self, runner):
+        from repro.bench.contention_bench import contention_sweep
+
+        return contention_sweep(runner)
+
+    def test_ci_brackets_calibration(self, runner):
+        from repro.model import fit_contention_with_ci
+
+        fit, ci = fit_contention_with_ci(self._sweep(runner), seed=3)
+        cal = runner.machine.calibration
+        assert ci.contains(fit.alpha, fit.beta)
+        # The true parameters sit inside (or within a hair of) the CI.
+        assert ci.beta[0] - 2.0 <= cal.contention_beta <= ci.beta[1] + 2.0
+
+    def test_more_iterations_tighter_ci(self, machine):
+        from repro.bench import Runner
+        from repro.bench.contention_bench import contention_sweep
+        from repro.model import fit_contention_with_ci
+
+        few = Runner(machine, iterations=15, seed=5)
+        many = Runner(machine, iterations=150, seed=5)
+        _, ci_few = fit_contention_with_ci(contention_sweep(few), seed=3)
+        _, ci_many = fit_contention_with_ci(contention_sweep(many), seed=3)
+        assert ci_many.beta_half_width < ci_few.beta_half_width

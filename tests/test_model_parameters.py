@@ -1,0 +1,82 @@
+"""CapabilityModel semantics and the derive pipeline."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine import MemoryKind
+from repro.model import (
+    CapabilityModel,
+    LinearCost,
+    derive_capability_model,
+    plateau_bandwidth,
+)
+
+
+class TestLinearCost:
+    def test_at(self):
+        lc = LinearCost(200.0, 34.0)
+        assert lc.at(0) == 200.0
+        assert lc.at(10) == 540.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            LinearCost(1.0, 1.0).at(-1)
+
+
+class TestDerivedModel:
+    def test_scalars_in_table1_ranges(self, capability):
+        cap = capability
+        assert cap.RL == pytest.approx(3.8, rel=0.15)
+        assert 95.0 < cap.RR < 130.0
+        assert 120.0 < cap.RI < 155.0  # DDR latency
+
+    def test_ri_kind_selection(self, capability):
+        assert capability.RI_kind("mcdram") > capability.RI_kind("ddr")
+        with pytest.raises(ModelError):
+            capability.RI_kind("hbm3")
+
+    def test_contention_near_calibration(self, capability):
+        assert capability.contention.alpha == pytest.approx(200.0, rel=0.15)
+        assert capability.contention.beta == pytest.approx(34.0, rel=0.15)
+        assert capability.T_C(0) == 0.0
+        assert capability.T_C(10) > capability.T_C(1)
+
+    def test_multiline_locations(self, capability):
+        remote = capability.multiline_ns("remote", 64 * 1024)
+        tile = capability.multiline_ns("tile", 64 * 1024)
+        assert remote > 0 and tile > 0
+        with pytest.raises(ModelError):
+            capability.multiline_ns("planet", 64)
+
+    def test_multiline_plateau(self, capability):
+        bw = plateau_bandwidth(capability.multiline["remote"])
+        assert bw == pytest.approx(7.7, rel=0.15)
+
+    def test_stream_lookup(self, capability):
+        assert capability.bw("triad", "mcdram") > capability.bw("triad", "ddr")
+        assert capability.bw("copy", "mcdram", peak=True) > capability.bw(
+            "copy", "mcdram"
+        )
+        with pytest.raises(ModelError):
+            capability.bw("triad", "hbm")
+
+    def test_mem_ns_per_line_latency_vs_bandwidth(self, capability):
+        lat = capability.mem_ns_per_line("mcdram", use_bandwidth=False)
+        bw1 = capability.mem_ns_per_line("mcdram", use_bandwidth=True, n_threads=1)
+        assert lat > bw1  # latency is the worst case
+        # Single-thread bandwidth is capped at ~8 GB/s: 64 B / 8 = 8 ns.
+        assert bw1 == pytest.approx(8.0, rel=0.1)
+
+    def test_bandwidth_shares_with_threads(self, capability):
+        few = capability.mem_ns_per_line("ddr", True, n_threads=4)
+        many = capability.mem_ns_per_line("ddr", True, n_threads=64)
+        assert many > few  # per-thread share shrinks
+
+    def test_describe_mentions_key_params(self, capability):
+        text = capability.describe()
+        assert "contention" in text
+        assert "stream" in text
+        assert "snc4-flat" in text
+
+    def test_congestion_factor_unity(self, capability):
+        assert capability.congestion_factor == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,146 @@
+"""ASCII chart rendering + generic-width bitonic networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import bitonic_merge
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.plotting import (
+    CHART_SPECS,
+    ascii_chart,
+    chart_experiment,
+    chart_for_result,
+)
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [1, 2, 4, 8],
+            {"a": [1.0, 2.0, 4.0, 8.0], "b": [8.0, 4.0, 2.0, 1.0]},
+            title="t",
+            ylabel="GB/s",
+        )
+        assert "t" in chart
+        assert "o a" in chart and "x b" in chart
+        assert "GB/s" in chart
+
+    def test_log_axis(self):
+        chart = ascii_chart(
+            [1, 2], {"a": [1.0, 1000.0]}, logy=True
+        )
+        assert "e+03" in chart or "1000" in chart
+
+    def test_none_points_skipped(self):
+        chart = ascii_chart([1, 2, 3], {"a": [1.0, None, 3.0]})
+        assert chart  # renders without error
+
+    def test_constant_series(self):
+        assert ascii_chart([1, 2], {"a": [5.0, 5.0]})
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_chart([], {"a": []})
+        with pytest.raises(ReproError):
+            ascii_chart([1], {})
+        with pytest.raises(ReproError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ReproError):
+            ascii_chart([1], {"a": [0.0]}, logy=True)
+
+    def test_marks_land_within_grid(self):
+        chart = ascii_chart(
+            list(range(10)), {"a": [float(i**2) for i in range(10)]},
+            width=40, height=10,
+        )
+        lines = chart.splitlines()
+        assert all(len(l) < 60 for l in lines)
+
+
+class TestChartForResult:
+    def _result(self):
+        res = ExperimentResult("fig9", "t", columns=("schedule", "threads", "mcdram_GBs", "dram_GBs"))
+        for t, m, d in ((1, 9.0, 9.0), (64, 370.0, 71.0), (256, 367.0, 70.0)):
+            res.add(schedule="fill_tiles", threads=t, mcdram_GBs=m, dram_GBs=d)
+            res.add(schedule="compact", threads=t, mcdram_GBs=m / 2, dram_GBs=d)
+        return res
+
+    def test_filtering(self):
+        chart = chart_for_result(
+            self._result(), "threads", ("mcdram_GBs",),
+            filter_col="schedule", filter_val="fill_tiles",
+        )
+        assert "mcdram_GBs" in chart
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ReproError):
+            chart_for_result(
+                self._result(), "threads", ("mcdram_GBs",),
+                filter_col="schedule", filter_val="nope",
+            )
+
+    def test_chart_experiment_spec_lookup(self):
+        assert chart_experiment(self._result()) is not None
+        other = ExperimentResult("table1", "t", columns=("a",))
+        assert chart_experiment(other) is None
+
+    def test_specs_cover_figures(self):
+        assert {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} <= set(CHART_SPECS)
+
+
+class TestGenericWidthBitonic:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_merges_any_power_of_two(self, width):
+        rng = np.random.default_rng(width)
+        a = np.sort(rng.integers(-100, 100, width))
+        b = np.sort(rng.integers(-100, 100, width))
+        lo, hi = bitonic_merge(a, b, width)
+        assert np.array_equal(
+            np.concatenate([lo, hi]), np.sort(np.concatenate([a, b]))
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ReproError):
+            bitonic_merge(np.zeros(6), np.zeros(6), 6)
+        with pytest.raises(ReproError):
+            bitonic_merge(np.zeros(1), np.zeros(1), 1)
+
+    @given(
+        width_exp=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40)
+    def test_property_any_width(self, width_exp, seed):
+        width = 2**width_exp
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.integers(-(2**31), 2**31 - 1, width).astype(np.int64))
+        b = np.sort(rng.integers(-(2**31), 2**31 - 1, width).astype(np.int64))
+        lo, hi = bitonic_merge(a, b, width)
+        assert np.array_equal(
+            np.concatenate([lo, hi]), np.sort(np.concatenate([a, b]))
+        )
+
+
+class TestQuadrantDifferences:
+    def test_snc4_shows_5_to_15_pct_quadrant_spread(self, runner):
+        """§IV-A1: 'there are between 5-10% differences between the
+        quadrants in the cluster modes'."""
+        from repro.bench.latency_bench import line_latency
+        from repro.machine.coherence import MESIF
+
+        topo = runner.machine.topology
+        per_quadrant = {}
+        for q in range(4):
+            tiles = topo.tiles_in_cluster(q, None)
+            cores = [topo.cores_of_tile(t)[0] for t in tiles]
+            meds = [
+                line_latency(runner, 0, MESIF.MODIFIED, c, f"q{q}").median
+                for c in cores
+                if not topo.same_tile(0, c)
+            ]
+            per_quadrant[q] = float(np.mean(meds))
+        lo, hi = min(per_quadrant.values()), max(per_quadrant.values())
+        spread = (hi - lo) / lo
+        assert 0.02 <= spread <= 0.20

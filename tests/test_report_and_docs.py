@@ -1,0 +1,105 @@
+"""Markdown report rendering + documentation/API integrity guards."""
+
+import importlib
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments import all_ids, run
+from repro.experiments.report import render_report, result_to_markdown
+from repro.experiments.store import ResultStore
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestReport:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        st = ResultStore(str(tmp_path))
+        st.save(run("fig4", iterations=8))
+        return st
+
+    def test_render(self, store):
+        text = render_report(store)
+        assert "## fig4" in text
+        assert "| core |" in text
+
+    def test_row_truncation(self, store):
+        md = result_to_markdown(store.load("fig4"), max_rows=5)
+        assert "more rows" in md
+
+    def test_notes_rendered(self, store):
+        md = result_to_markdown(store.load("fig4"))
+        assert "> " in md
+
+    def test_empty_store_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            render_report(ResultStore(str(tmp_path / "empty")))
+
+    def test_missing_selection_rejected(self, store):
+        with pytest.raises(ReproError):
+            render_report(store, ids=["fig4", "fig9"])
+
+    def test_cli_report(self, store, capsys):
+        assert main(["report", "--save-dir", store.directory]) == 0
+        assert "## fig4" in capsys.readouterr().out
+
+    def test_cli_report_needs_dir(self, capsys):
+        assert main(["report"]) == 2
+
+
+class TestApiIntegrity:
+    PACKAGES = (
+        "repro",
+        "repro.machine",
+        "repro.bench",
+        "repro.model",
+        "repro.algorithms",
+        "repro.sim",
+        "repro.apps",
+    )
+
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_all_exports_resolve(self, pkg):
+        mod = importlib.import_module(pkg)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{pkg}.{name} in __all__ but missing"
+
+    def test_no_duplicate_exports(self):
+        for pkg in self.PACKAGES:
+            mod = importlib.import_module(pkg)
+            names = getattr(mod, "__all__", [])
+            assert len(names) == len(set(names)), f"dupes in {pkg}.__all__"
+
+
+class TestDocsIntegrity:
+    def _read(self, *parts):
+        with open(os.path.join(REPO_ROOT, *parts)) as fh:
+            return fh.read()
+
+    def test_readme_lists_every_example(self):
+        readme = self._read("README.md")
+        for fname in os.listdir(os.path.join(REPO_ROOT, "examples")):
+            if fname.endswith(".py"):
+                assert fname in readme, f"README missing examples/{fname}"
+
+    def test_api_doc_mentions_every_experiment(self):
+        api = self._read("docs", "API.md")
+        for exp_id in all_ids():
+            assert exp_id in api, f"docs/API.md missing experiment {exp_id}"
+
+    def test_design_lists_every_source_module(self):
+        design = self._read("DESIGN.md")
+        src = os.path.join(REPO_ROOT, "src", "repro")
+        for dirpath, _dirs, files in os.walk(src):
+            for f in files:
+                if f.endswith(".py") and not f.startswith("__"):
+                    assert f in design, f"DESIGN.md missing module {f}"
+
+    def test_experiments_md_covers_every_paper_artifact(self):
+        exps = self._read("EXPERIMENTS.md")
+        for artifact in ("Table I", "Table II", "Figure 1", "Figure 4",
+                         "Figure 5", "Figures 6–8", "Figure 9", "Figure 10"):
+            assert artifact in exps

@@ -1,0 +1,45 @@
+"""Seeded RNG plumbing."""
+
+import numpy as np
+
+from repro import rng
+
+
+class TestGenerator:
+    def test_none_uses_default_seed(self):
+        a = rng.generator(None).integers(0, 1 << 30, 10)
+        b = rng.generator(None).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_reproducible(self):
+        a = rng.generator(7).random(5)
+        b = rng.generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert rng.generator(g) is g
+
+    def test_different_seeds_differ(self):
+        a = rng.generator(1).random(8)
+        b = rng.generator(2).random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_labels_decorrelate(self):
+        root = rng.generator(42)
+        a = rng.spawn(root, "alpha")
+        root2 = rng.generator(42)
+        b = rng.spawn(root2, "beta")
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_same_label_same_stream(self):
+        a = rng.spawn(rng.generator(42), "x").random(8)
+        b = rng.spawn(rng.generator(42), "x").random(8)
+        assert np.array_equal(a, b)
+
+    def test_maybe_int_seed(self):
+        assert rng.maybe_int_seed(5) == 5
+        assert rng.maybe_int_seed(np.random.default_rng(0)) is None
+        assert rng.maybe_int_seed(None) is None

@@ -1,0 +1,156 @@
+"""Static dataflow verification of collective programs."""
+
+import pytest
+
+from repro.algorithms import (
+    baselines,
+    plan_allreduce,
+    plan_broadcast,
+    plan_reduce,
+    tune_barrier,
+)
+from repro.algorithms.allreduce import mpi_allreduce_programs
+from repro.algorithms.barrier import barrier_programs
+from repro.algorithms.hier_barrier import hierarchical_barrier_programs
+from repro.bench import pin_threads
+from repro.errors import SimulationError
+from repro.sim import (
+    Program,
+    assert_allreduce_complete,
+    assert_broadcast_delivers,
+    assert_reduce_gathers,
+    verify_dataflow,
+)
+
+
+class TestVerifyBasics:
+    def test_unmatched_poll_detected(self):
+        with pytest.raises(SimulationError, match="never written"):
+            verify_dataflow([Program(0).poll_flag("ghost")])
+
+    def test_double_write_detected(self):
+        progs = [Program(0).write_flag("f"), Program(2).write_flag("f")]
+        with pytest.raises(SimulationError, match="twice"):
+            verify_dataflow(progs)
+
+    def test_static_cycle_detected(self):
+        progs = [
+            Program(0).poll_flag("b").write_flag("a"),
+            Program(2).poll_flag("a").write_flag("b"),
+        ]
+        with pytest.raises(SimulationError, match="cyclic"):
+            verify_dataflow(progs)
+
+    def test_duplicate_threads(self):
+        with pytest.raises(SimulationError):
+            verify_dataflow([Program(0), Program(0)])
+
+    def test_acyclic_chain_passes(self):
+        progs = [
+            Program(0).local_copy(64).write_flag("a"),
+            Program(2).poll_flag("a", payload_bytes=64).write_flag("b"),
+            Program(4).poll_flag("b", payload_bytes=64),
+        ]
+        res = verify_dataflow(progs)
+        assert res.holds(2, 0)
+        assert res.holds(4, 0)  # transitively
+        assert res.flag_writer["a"] == 0
+        assert res.n_edges == 2
+
+    def test_zero_payload_moves_no_tokens(self):
+        progs = [
+            Program(0).local_copy(64).write_flag("a"),
+            Program(2).poll_flag("a"),
+        ]
+        res = verify_dataflow(progs)
+        assert not res.holds(2, 0)
+
+    def test_holders_of(self):
+        progs = [
+            Program(0).compute(64, 8.0).write_flag("a"),
+            Program(2).poll_flag("a", payload_bytes=64),
+        ]
+        res = verify_dataflow(progs)
+        assert res.holders_of(0) == {0, 2}
+
+
+class TestCollectiveSemantics:
+    @pytest.mark.parametrize("n", [2, 16, 64, 256])
+    def test_broadcast_delivers(self, machine, capability, n):
+        threads = pin_threads(machine.topology, n, "scatter")
+        plan = plan_broadcast(capability, machine.topology, threads)
+        assert_broadcast_delivers(plan.programs(), plan.groups[0].leader)
+
+    @pytest.mark.parametrize("n", [2, 16, 64, 256])
+    def test_reduce_gathers(self, machine, capability, n):
+        threads = pin_threads(machine.topology, n, "scatter")
+        plan = plan_reduce(capability, machine.topology, threads)
+        assert_reduce_gathers(plan.programs(), plan.groups[0].leader)
+
+    @pytest.mark.parametrize("n", [2, 64, 256])
+    def test_allreduce_complete(self, machine, capability, n):
+        threads = pin_threads(machine.topology, n, "scatter")
+        plan = plan_allreduce(capability, machine.topology, threads)
+        assert_allreduce_complete(plan.programs())
+
+    def test_mpi_baselines_semantically_correct(self, machine):
+        threads = pin_threads(machine.topology, 32, "scatter")
+        assert_broadcast_delivers(
+            baselines.mpi_broadcast_programs(threads), threads[0]
+        )
+        assert_reduce_gathers(
+            baselines.mpi_reduce_programs(threads), threads[0]
+        )
+        assert_allreduce_complete(mpi_allreduce_programs(threads))
+
+    def test_omp_reduce_gathers(self, machine):
+        threads = pin_threads(machine.topology, 16, "scatter")
+        progs = baselines.omp_reduce_programs(threads)
+        # The serialized chain accumulates into the last thread.
+        assert_reduce_gathers(progs, threads[-1])
+
+    def test_barriers_acyclic(self, machine, capability):
+        for n in (2, 64, 256):
+            threads = pin_threads(machine.topology, n, "scatter")
+            tb = tune_barrier(capability, n)
+            verify_dataflow(barrier_programs(threads, tb.rounds, tb.arity))
+            verify_dataflow(baselines.mpi_barrier_programs(threads))
+            verify_dataflow(baselines.omp_barrier_programs(threads))
+
+    def test_hierarchical_barrier_acyclic(self, machine, capability):
+        threads = pin_threads(machine.topology, 64, "fill_tiles")
+        from repro.algorithms import tune_hierarchical_barrier
+
+        hb = tune_hierarchical_barrier(capability, 64, 2)
+        verify_dataflow(
+            hierarchical_barrier_programs(
+                machine.topology, threads, hb.rounds, hb.arity
+            )
+        )
+
+    def test_broken_broadcast_caught(self, machine, capability):
+        """Drop a subtree's flag write: the verifier names the victims."""
+        threads = pin_threads(machine.topology, 16, "scatter")
+        plan = plan_broadcast(capability, machine.topology, threads)
+        progs = plan.programs()
+        # Remove the payload-carrying write of the first non-root
+        # internal node (its whole subtree goes dark).
+        from repro.sim.program import WriteFlag
+
+        root = plan.groups[0].leader
+        victim = next(
+            p
+            for p in progs
+            if p.thread != root
+            and any(
+                isinstance(op, WriteFlag) and op.flag.startswith("bc/")
+                for op in p.ops
+            )
+        )
+        victim.ops = [
+            op
+            for op in victim.ops
+            if not (isinstance(op, WriteFlag) and op.flag.startswith("bc/"))
+        ]
+        with pytest.raises(SimulationError):
+            assert_broadcast_delivers(progs, root)

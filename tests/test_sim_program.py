@@ -1,0 +1,60 @@
+"""Program construction and op validation."""
+
+import pytest
+
+from repro.machine import MESIF, MemoryKind
+from repro.sim import (
+    Compute,
+    CopyFrom,
+    Delay,
+    LocalCopy,
+    MemRead,
+    PollFlag,
+    Program,
+    WriteFlag,
+)
+
+
+class TestOps:
+    def test_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+    def test_ops_frozen(self):
+        op = Delay(5.0)
+        with pytest.raises(Exception):
+            op.ns = 10.0
+
+    def test_write_flag_defaults_cold(self):
+        assert WriteFlag("f").cold is True
+
+    def test_poll_flag_defaults(self):
+        op = PollFlag("f")
+        assert op.payload_bytes == 0
+        assert op.payload_state is MESIF.MODIFIED
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        p = (
+            Program(3)
+            .delay(10)
+            .local_copy(128)
+            .copy_from(5, 256, MESIF.EXCLUSIVE)
+            .mem_read(1024, MemoryKind.MCDRAM)
+            .write_flag("a", n_pollers=2)
+            .poll_flag("b", payload_bytes=64)
+            .compute(64, 8.0)
+        )
+        assert p.thread == 3
+        assert len(p) == 7
+        assert isinstance(p.ops[0], Delay)
+        assert isinstance(p.ops[2], CopyFrom)
+        assert isinstance(p.ops[3], MemRead)
+        assert isinstance(p.ops[4], WriteFlag)
+        assert p.ops[4].n_pollers == 2
+        assert isinstance(p.ops[6], Compute)
+
+    def test_extend(self):
+        p = Program(0).extend([Delay(1.0), LocalCopy(64)])
+        assert len(p) == 2

@@ -1,0 +1,101 @@
+"""Engine trace recording and analysis."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Delay, Engine, Program, Trace, TraceEvent
+
+
+@pytest.fixture()
+def traced_engine(quiet_machine):
+    return Engine(quiet_machine, noisy=False, record_trace=True)
+
+
+class TestRecording:
+    def test_off_by_default(self, quiet_machine):
+        res = Engine(quiet_machine, noisy=False).run([Program(0).delay(1.0)])
+        assert res.trace is None
+
+    def test_one_event_per_op(self, traced_engine):
+        res = traced_engine.run(
+            [Program(0).delay(10).delay(20), Program(2).delay(5)]
+        )
+        assert len(res.trace) == 3
+
+    def test_intervals_match_costs(self, traced_engine):
+        res = traced_engine.run([Program(0).delay(10).delay(20)])
+        evs = res.trace.for_thread(0)
+        assert evs[0].start_ns == 0.0
+        assert evs[0].end_ns == pytest.approx(10.0)
+        assert evs[1].start_ns == pytest.approx(10.0)
+        assert evs[1].duration_ns == pytest.approx(20.0)
+
+    def test_poll_starts_at_flag_visibility(self, traced_engine, quiet_machine):
+        res = traced_engine.run(
+            [
+                Program(0).delay(100).write_flag("f", cold=False),
+                Program(2).poll_flag("f"),
+            ]
+        )
+        poll = res.trace.for_thread(2)[0]
+        assert poll.start_ns >= 100.0  # cannot start before the write
+
+    def test_validate_passes_for_real_runs(self, traced_engine, capability, quiet_machine):
+        from repro.algorithms.barrier import barrier_programs
+        from repro.bench import pin_threads
+
+        threads = pin_threads(quiet_machine.topology, 16, "scatter")
+        res = traced_engine.run(barrier_programs(threads, 2, 3))
+        res.trace.validate()
+
+    def test_makespan_equals_last_event(self, traced_engine):
+        res = traced_engine.run(
+            [Program(0).delay(10), Program(2).delay(99)]
+        )
+        assert res.trace.events[-1].end_ns == pytest.approx(res.makespan_ns)
+
+
+class TestAnalysis:
+    def test_busy_excludes_blocking(self, traced_engine):
+        res = traced_engine.run(
+            [
+                Program(0).delay(10_000).write_flag("f", cold=False),
+                Program(2).poll_flag("f"),
+            ]
+        )
+        # Thread 2 blocked ~10 us but was only busy for the transfer.
+        assert res.trace.busy_ns(2) < 1_000.0
+
+    def test_critical_path_on_slow_thread(self, traced_engine):
+        res = traced_engine.run(
+            [Program(0).delay(10), Program(2).delay(500).delay(500)]
+        )
+        path = res.trace.critical_events()
+        assert all(e.thread == 2 for e in path)
+        assert len(path) == 2
+
+    def test_to_text_truncates(self, traced_engine):
+        res = traced_engine.run([Program(0).extend([Delay(1.0)] * 60)])
+        text = res.trace.to_text(max_events=10)
+        assert "more" in text
+
+
+class TestValidation:
+    def test_overlap_detected(self):
+        bad = Trace(
+            [
+                TraceEvent(0, 0, Delay(5), 0.0, 10.0),
+                TraceEvent(0, 1, Delay(5), 5.0, 15.0),
+            ]
+        )
+        with pytest.raises(SimulationError):
+            bad.validate()
+
+    def test_negative_duration_detected(self):
+        bad = Trace([TraceEvent(0, 0, Delay(5), 10.0, 5.0)])
+        with pytest.raises(SimulationError):
+            bad.validate()
+
+    def test_empty_trace_ok(self):
+        Trace([]).validate()
+        assert Trace([]).critical_events() == []

@@ -1,0 +1,97 @@
+"""Exhaustive validation of the Eq.-(1) dynamic program.
+
+The DP assumes balanced subtree splits are optimal (valid because the
+cost is nondecreasing in subtree size).  These tests verify that claim
+by brute force: enumerate *all* degree/partition structures for small n
+and compare the minimum against the DP's answer.
+"""
+
+import itertools
+from functools import lru_cache
+
+import pytest
+
+from repro.algorithms.tree_opt import LevelCost, tune_tree
+
+
+def _partitions(total: int, k: int):
+    """All non-increasing partitions of ``total`` into exactly k
+    positive parts."""
+    if k == 1:
+        yield (total,)
+        return
+    for first in range((total + k - 1) // k, total - k + 2):
+        for rest in _partitions(total - first, k - 1):
+            if rest[0] <= first:
+                yield (first,) + rest
+
+
+def brute_force_cost(level: LevelCost, n: int) -> float:
+    @lru_cache(maxsize=None)
+    def cost(size: int) -> float:
+        if size == 1:
+            return 0.0
+        best = float("inf")
+        for k in range(1, size):
+            lev = level.best(k)
+            for parts in _partitions(size - 1, k):
+                c = lev + max(cost(p) for p in parts)
+                if c < best:
+                    best = c
+        return best
+
+    return cost(n)
+
+
+class TestDPOptimality:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 9, 11])
+    def test_broadcast_dp_matches_brute_force(self, capability, n):
+        level = LevelCost(capability)
+        dp = tune_tree(capability, n).model.best_ns
+        bf = brute_force_cost(level, n)
+        assert dp == pytest.approx(bf, rel=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 6, 10])
+    def test_reduce_dp_matches_brute_force(self, capability, n):
+        level = LevelCost(capability, is_reduce=True)
+        dp = tune_tree(capability, n, is_reduce=True).model.best_ns
+        bf = brute_force_cost(level, n)
+        assert dp == pytest.approx(bf, rel=1e-9)
+
+    @pytest.mark.parametrize("payload", [64, 4096])
+    def test_payload_variants_optimal(self, capability, payload):
+        n = 8
+        level = LevelCost(capability, payload_bytes=payload)
+        dp = tune_tree(capability, n, payload_bytes=payload).model.best_ns
+        bf = brute_force_cost(level, n)
+        assert dp == pytest.approx(bf, rel=1e-9)
+
+    def test_unbalanced_partitions_never_beat_dp(self, capability):
+        """Spot-check the monotonicity argument: every explicit
+        unbalanced split of 13 ranks costs at least the DP answer."""
+        level = LevelCost(capability)
+        dp = tune_tree(capability, 13).model.best_ns
+        # All 2-way splits of the 12 non-root ranks.
+        sub = {
+            m: tune_tree(capability, m).model.best_ns for m in range(1, 12)
+        }
+        for a in range(1, 6):
+            b = 12 - a
+            cost = level.best(2) + max(sub[a], sub[b])
+            assert cost >= dp - 1e-9
+
+
+class TestEngineWakeOrdering:
+    def test_waiters_served_in_arrival_order(self, quiet_machine):
+        """Pollers that blocked earlier (smaller clock) finish no later
+        than pollers that blocked later, all else equal."""
+        from repro.sim import Engine, Program
+
+        progs = [Program(0).delay(10_000.0).write_flag("go", cold=False)]
+        arrivals = {2: 100.0, 4: 300.0, 6: 200.0}
+        for t, d in arrivals.items():
+            progs.append(Program(t).delay(d).poll_flag("go"))
+        res = Engine(quiet_machine, noisy=False).run(progs)
+        order = sorted(arrivals, key=lambda t: arrivals[t])
+        finishes = [res.finish_of(t) for t in order]
+        assert finishes == sorted(finishes)

@@ -1,0 +1,50 @@
+"""Unit conversions and constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestLinesIn:
+    def test_zero_bytes(self):
+        assert units.lines_in(0) == 0
+
+    def test_one_byte_needs_one_line(self):
+        assert units.lines_in(1) == 1
+
+    def test_exact_line(self):
+        assert units.lines_in(64) == 1
+
+    def test_one_past_line(self):
+        assert units.lines_in(65) == 2
+
+    def test_large(self):
+        assert units.lines_in(1 << 20) == (1 << 20) // 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.lines_in(-1)
+
+
+class TestConversions:
+    def test_ns_roundtrip(self):
+        assert units.s_to_ns(units.ns_to_s(123.0)) == pytest.approx(123.0)
+
+    def test_gbps_is_bytes_per_ns(self):
+        # 64 bytes in 8 ns = 8 GB/s.
+        assert units.gbps(64, 8.0) == pytest.approx(8.0)
+
+    def test_transfer_ns_inverse_of_gbps(self):
+        ns = units.transfer_ns(1024, 8.0)
+        assert units.gbps(1024, ns) == pytest.approx(8.0)
+
+    def test_transfer_rejects_nonpositive_bw(self):
+        with pytest.raises(ValueError):
+            units.transfer_ns(64, 0.0)
+
+    def test_cycles(self):
+        # 1.3 cycles take 1 ns at 1.3 GHz.
+        assert units.cycles_to_ns(1.3) == pytest.approx(1.0)
+
+    def test_cache_line_is_64(self):
+        assert units.CACHE_LINE_BYTES == 64
