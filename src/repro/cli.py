@@ -5,17 +5,25 @@ Examples::
     python -m repro --list
     python -m repro table1
     python -m repro fig6 --iterations 100
-    python -m repro all --iterations 30
+    python -m repro all --jobs 8
+    python -m repro all --iterations 30 --no-cache
+
+Experiments execute on the :mod:`repro.runtime` engine: ``--jobs N``
+fans them out across worker processes, results are served from a
+content-addressed cache on repeat invocations (``--no-cache`` /
+``--refresh`` to opt out), and a crashed or timed-out experiment is
+retried then reported FAILED without aborting the rest of the run.
+``--jobs`` does not change any result: every experiment seeds its own
+RNG, so the parallel run is byte-identical to the serial one.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
-from repro.experiments import all_ids, run
+from repro.experiments import all_ids, get
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,13 +60,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--save-dir", type=str, default=None,
-        help="archive each result as JSON in this directory",
+        help="archive each result as JSON in this directory "
+             "(plus a manifest.json run summary)",
+    )
+    runtime = p.add_argument_group("execution engine")
+    runtime.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial; results are "
+             "byte-identical either way)",
+    )
+    runtime.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result/characterization caches",
+    )
+    runtime.add_argument(
+        "--refresh", action="store_true",
+        help="recompute even on a cache hit (and overwrite the entry)",
+    )
+    runtime.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro-knl)",
+    )
+    runtime.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per experiment attempt",
+    )
+    runtime.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per failed experiment (default 1)",
+    )
+    runtime.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-task progress lines on stderr",
     )
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.list or not args.experiment:
         print("available experiments:")
         for eid in all_ids():
@@ -66,8 +106,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "report":
         if not args.save_dir:
-            print("report requires --save-dir pointing at archived results")
-            return 2
+            parser.error("report requires --save-dir pointing at archived "
+                         "results")
         from repro.experiments.report import render_report
         from repro.experiments.store import ResultStore
 
@@ -77,21 +117,49 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.out, "w") as fh:
                 fh.write(text + "\n")
         return 0
+
     ids = all_ids() if args.experiment == "all" else [args.experiment]
+    # Resolve runners up front: unknown ids fail before any work is done.
+    for eid in ids:
+        get(eid)
     kw = {}
     if args.iterations is not None:
         kw["iterations"] = args.iterations
     if args.seed is not None:
         kw["seed"] = args.seed
+
+    from repro.runtime import execute, plan_run
+
+    plan = plan_run(
+        ids,
+        kwargs=kw,
+        jobs=args.jobs,
+        no_cache=args.no_cache,
+        cache_dir=args.cache_dir,
+        refresh=args.refresh,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=not args.quiet,
+    )
+    report = execute(plan)
+
     store = None
     if args.save_dir:
         from repro.experiments.store import ResultStore
 
         store = ResultStore(args.save_dir)
     chunks = []
-    for eid in ids:
-        t0 = time.time()
-        result = run(eid, **kw)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(
+                f"[{outcome.exp_id} {outcome.status.value} after "
+                f"{outcome.attempts} attempt(s): {outcome.error}]",
+                file=sys.stderr,
+            )
+            if outcome.traceback:
+                print(outcome.traceback, file=sys.stderr)
+            continue
+        result = outcome.result
         if store is not None:
             store.save(result)
         text = result.to_json() if args.json else result.to_text()
@@ -104,12 +172,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         chunks.append(text)
         print(text)
         if not args.json:
-            print(f"[{eid} took {time.time() - t0:.1f}s]")
+            cached = " (cached)" if outcome.status.value == "cached" else ""
+            print(f"[{outcome.exp_id} took {outcome.duration_s:.1f}s{cached}]")
         print()
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(chunks) + "\n")
-    return 0
+    if args.save_dir:
+        import os
+
+        report.manifest.write(os.path.join(args.save_dir, "manifest.json"))
+    return 1 if report.failed else 0
 
 
 if __name__ == "__main__":

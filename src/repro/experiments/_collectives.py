@@ -29,6 +29,29 @@ from repro.rng import SeedLike
 #: Thread counts of the Figs. 6-8 sweeps.
 DEFAULT_THREADS = (2, 4, 8, 16, 32, 64, 128, 256)
 
+#: Iterations of the shared characterization behind Figs. 6-8 (the
+#: :func:`make_setup` default — declared so the scheduler can warm it).
+CHAR_ITERATIONS = 60
+
+
+def characterization_needs(default_seed: int):
+    """``needs=`` declaration for experiments built on :func:`make_setup`."""
+    from repro.runtime.task import CharacterizationNeed
+
+    def needs(kw):
+        seed = kw.get("seed", default_seed)
+        if not isinstance(seed, int):
+            return ()
+        return (
+            CharacterizationNeed(
+                config=default_config(),
+                machine_seed=seed,
+                iterations=CHAR_ITERATIONS,
+            ),
+        )
+
+    return needs
+
 #: The two pinning schedules of §IV-B3.
 DEFAULT_SCHEDULES = ("fill_tiles", "scatter")
 
@@ -47,7 +70,9 @@ class CollectiveSetup:
     capability: CapabilityModel
 
 
-def make_setup(seed: SeedLike = 29, iterations: int = 60) -> CollectiveSetup:
+def make_setup(
+    seed: SeedLike = 29, iterations: int = CHAR_ITERATIONS
+) -> CollectiveSetup:
     """SNC4-flat machine + fitted capability model (collectives run with
     buffers in MCDRAM per the paper's Figs. 6-8)."""
     machine = KNLMachine(default_config(), seed=seed)

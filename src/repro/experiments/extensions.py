@@ -43,7 +43,23 @@ from repro.units import GIB
 COLUMNS = ("experiment", "quantity", "value", "expectation")
 
 
-@register("ext")
+def _needs(kw):
+    from repro.runtime.task import CharacterizationNeed
+
+    if not isinstance(kw.get("seed", 53), int):
+        return ()
+    # The runner characterizes at a fixed 40 iterations (below),
+    # independent of its own ``iterations`` sweep parameter.
+    return (
+        CharacterizationNeed(
+            config=default_config(),
+            machine_seed=kw.get("seed", 53),
+            iterations=40,
+        ),
+    )
+
+
+@register("ext", needs=_needs)
 def run(iterations: int = 20, seed: SeedLike = 53) -> ExperimentResult:
     machine = KNLMachine(default_config(), seed=seed)
     cap = derive_capability_model(characterize(machine, iterations=40))

@@ -21,7 +21,24 @@ from repro.rng import SeedLike
 COLUMNS = ("depth", "degrees", "ranks")
 
 
-@register("fig1")
+def _needs(kw):
+    from repro.runtime.task import CharacterizationNeed
+
+    if not isinstance(kw.get("seed", 17), int):
+        return ()
+    return (
+        CharacterizationNeed(
+            config=MachineConfig(
+                cluster_mode=ClusterMode.QUADRANT,
+                memory_mode=MemoryMode.CACHE,
+            ),
+            machine_seed=kw.get("seed", 17),
+            iterations=kw.get("iterations", 80),
+        ),
+    )
+
+
+@register("fig1", needs=_needs)
 def run(
     iterations: int = 80,
     seed: SeedLike = 17,

@@ -44,7 +44,21 @@ def _fmt_size(nbytes: int) -> str:
     return f"{nbytes // KIB}KB"
 
 
-@register("fig10")
+def _needs(kw):
+    from repro.runtime.task import CharacterizationNeed
+
+    if not isinstance(kw.get("seed", 43), int):
+        return ()
+    return (
+        CharacterizationNeed(
+            config=default_config(),
+            machine_seed=kw.get("seed", 43),
+            iterations=kw.get("iterations", 40),
+        ),
+    )
+
+
+@register("fig10", needs=_needs)
 def run(
     iterations: int = 40,
     seed: SeedLike = 43,

@@ -5,13 +5,16 @@ Intel-OpenMP-style and Intel-MPI-style baselines, with the min-max model.
 
 from __future__ import annotations
 
-from repro.experiments._collectives import collective_sweep
+from repro.experiments._collectives import (
+    characterization_needs,
+    collective_sweep,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import register
 from repro.rng import SeedLike
 
 
-@register("fig6")
+@register("fig6", needs=characterization_needs(29))
 def run(iterations: int = 40, seed: SeedLike = 29, **kw) -> ExperimentResult:
     return collective_sweep(
         "barrier",

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from repro.experiments._collectives import collective_sweep
+from repro.experiments._collectives import (
+    characterization_needs,
+    collective_sweep,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import register
 from repro.rng import SeedLike
 
 
-@register("fig7")
+@register("fig7", needs=characterization_needs(31))
 def run(iterations: int = 40, seed: SeedLike = 31, **kw) -> ExperimentResult:
     return collective_sweep(
         "broadcast",

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from repro.experiments._collectives import collective_sweep
+from repro.experiments._collectives import (
+    characterization_needs,
+    collective_sweep,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import register
 from repro.rng import SeedLike
 
 
-@register("fig8")
+@register("fig8", needs=characterization_needs(37))
 def run(iterations: int = 40, seed: SeedLike = 37, **kw) -> ExperimentResult:
     return collective_sweep(
         "reduce",

@@ -26,7 +26,24 @@ COLUMNS = (
 )
 
 
-@register("modes")
+def _needs(kw):
+    from repro.runtime.task import CharacterizationNeed
+
+    if not isinstance(kw.get("seed", 67), int):
+        return ()
+    return tuple(
+        CharacterizationNeed(
+            config=MachineConfig(
+                cluster_mode=mode, memory_mode=MemoryMode.FLAT
+            ),
+            machine_seed=kw.get("seed", 67),
+            iterations=kw.get("iterations", 40),
+        )
+        for mode in ClusterMode
+    )
+
+
+@register("modes", needs=_needs)
 def run(iterations: int = 40, seed: SeedLike = 67) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="modes",

@@ -26,7 +26,22 @@ COLUMNS = (
 )
 
 
-@register("parts")
+def _needs(kw):
+    from repro.runtime.task import CharacterizationNeed
+
+    if not isinstance(kw.get("seed", 59), int):
+        return ()
+    return tuple(
+        CharacterizationNeed(
+            config=part(name, ClusterMode.QUADRANT, MemoryMode.FLAT),
+            machine_seed=kw.get("seed", 59),
+            iterations=kw.get("iterations", 30),
+        )
+        for name in part_names()
+    )
+
+
+@register("parts", needs=_needs)
 def run(iterations: int = 30, seed: SeedLike = 59) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="parts",

@@ -1,26 +1,48 @@
-"""Experiment registry: id → runner.
+"""Experiment registry: id → runner (+ declared characterization needs).
 
 Experiment ids follow the paper: ``table1``, ``table2``, ``fig1``,
-``fig4``-``fig10``, plus ``speedups`` (the §IV-B3 headline numbers).
+``fig4``-``fig10``, plus ``speedups`` (the §IV-B3 headline numbers) and
+the extension experiments.
+
+Modules are discovered by scanning the :mod:`repro.experiments` package
+(``pkgutil.iter_modules``) rather than a hard-coded import list, so a
+new ``figN``/``tableN`` module registers itself simply by existing.
+Runners may declare the :class:`~repro.runtime.task.
+CharacterizationNeed` bundles they depend on via ``@register(id,
+needs=...)``; the :mod:`repro.runtime` scheduler computes shared
+bundles once and fans them out.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import importlib
+import pkgutil
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError
 from repro.experiments.common import ExperimentResult
 
 Runner = Callable[..., ExperimentResult]
+#: Either a static tuple of needs or a callable mapping the resolved
+#: runner kwargs to a tuple of needs.
+NeedsDecl = Union[
+    Sequence[Any], Callable[[Mapping[str, Any]], Sequence[Any]]
+]
 
 _REGISTRY: Dict[str, Runner] = {}
+_NEEDS: Dict[str, NeedsDecl] = {}
+_LOADED = False
 
 
-def register(exp_id: str) -> Callable[[Runner], Runner]:
+def register(
+    exp_id: str, needs: Optional[NeedsDecl] = None
+) -> Callable[[Runner], Runner]:
     def deco(fn: Runner) -> Runner:
         if exp_id in _REGISTRY:
             raise ReproError(f"experiment {exp_id!r} registered twice")
         _REGISTRY[exp_id] = fn
+        if needs is not None:
+            _NEEDS[exp_id] = needs
         return fn
 
     return deco
@@ -40,22 +62,33 @@ def all_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def _ensure_loaded() -> None:
-    """Import all experiment modules so their @register decorators run."""
-    from repro.experiments import (  # noqa: F401
-        table1,
-        table2,
-        fig1,
-        fig4,
-        fig5,
-        fig6,
-        fig7,
-        fig8,
-        fig9,
-        fig10,
-        speedups,
-        extensions,
-        parts,
-        stencil_exp,
-        modes,
+def needs_for(exp_id: str, kwargs: Mapping[str, Any]) -> Tuple[Any, ...]:
+    """Characterization bundles ``exp_id`` declares for these kwargs."""
+    _ensure_loaded()
+    decl = _NEEDS.get(exp_id)
+    if decl is None:
+        return ()
+    if callable(decl):
+        return tuple(decl(dict(kwargs)))
+    return tuple(decl)
+
+
+def experiment_module_names() -> List[str]:
+    """Importable (non-underscore) module names in this package."""
+    import repro.experiments as package
+
+    return sorted(
+        info.name
+        for info in pkgutil.iter_modules(package.__path__)
+        if not info.name.startswith("_")
     )
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module so its @register decorator runs."""
+    global _LOADED
+    if _LOADED:
+        return
+    for name in experiment_module_names():
+        importlib.import_module(f"repro.experiments.{name}")
+    _LOADED = True

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments._collectives import collective_sweep, make_setup
+from repro.experiments._collectives import (
+    characterization_needs,
+    collective_sweep,
+    make_setup,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import register
 from repro.rng import SeedLike
@@ -26,7 +30,7 @@ PAPER_MAX = {
 COLUMNS = ("collective", "baseline", "max_speedup", "at_threads", "paper")
 
 
-@register("speedups")
+@register("speedups", needs=characterization_needs(47))
 def run(
     iterations: int = 30,
     seed: SeedLike = 47,

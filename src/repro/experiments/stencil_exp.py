@@ -30,7 +30,21 @@ COLUMNS = (
 )
 
 
-@register("stencil")
+def _needs(kw):
+    from repro.runtime.task import CharacterizationNeed
+
+    if not isinstance(kw.get("seed", 61), int):
+        return ()
+    return (
+        CharacterizationNeed(
+            config=default_config(),
+            machine_seed=kw.get("seed", 61),
+            iterations=kw.get("iterations", 30),
+        ),
+    )
+
+
+@register("stencil", needs=_needs)
 def run(
     iterations: int = 30,
     seed: SeedLike = 61,

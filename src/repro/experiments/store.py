@@ -60,7 +60,8 @@ class ResultStore:
         return sorted(
             f[: -len(".json")]
             for f in os.listdir(self.directory)
-            if f.endswith(".json")
+            # manifest.json is the runtime's run summary, not a result.
+            if f.endswith(".json") and f != "manifest.json"
         )
 
     def has(self, exp_id: str) -> bool:
@@ -68,10 +69,19 @@ class ResultStore:
 
 
 def diff_results(
-    old: ExperimentResult, new: ExperimentResult, rel_tol: float = 0.15
+    old: ExperimentResult,
+    new: ExperimentResult,
+    rel_tol: float = 0.15,
+    compare_non_numeric: bool = True,
 ) -> List[str]:
     """Regression check between two runs of the same experiment: returns
-    human-readable discrepancies in shared numeric cells."""
+    human-readable discrepancies in shared cells.
+
+    Numeric cells diff by relative tolerance; everything else (strings,
+    nested dicts/lists) by equality.  Pass ``compare_non_numeric=False``
+    to restrict the check to numeric drift — e.g. when comparing runs
+    with different seeds, where categorical columns may legitimately
+    differ (the simulated topology is seed-dependent)."""
     if old.exp_id != new.exp_id:
         raise ReproError(
             f"comparing different experiments: {old.exp_id} vs {new.exp_id}"
@@ -85,10 +95,22 @@ def diff_results(
     for i, (a, b) in enumerate(zip(old.rows, new.rows)):
         for col in old.columns:
             va, vb = a.get(col), b.get(col)
-            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            numeric = (
+                isinstance(va, (int, float))
+                and isinstance(vb, (int, float))
+                and not isinstance(va, bool)
+                and not isinstance(vb, bool)
+            )
+            if numeric:
                 ref = max(abs(float(va)), abs(float(vb)))
                 if ref and abs(float(va) - float(vb)) / ref > rel_tol:
                     problems.append(
                         f"row {i} col {col!r}: {va} -> {vb}"
                     )
+            elif compare_non_numeric and va != vb:
+                # Non-numeric payloads (strings, nested dicts/lists, or a
+                # numeric→non-numeric type change) diff by equality.
+                problems.append(
+                    f"row {i} col {col!r}: {va!r} -> {vb!r}"
+                )
     return problems

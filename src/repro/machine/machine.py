@@ -46,7 +46,7 @@ from repro.machine.memory import Buffer, McdramCache, MemorySystem
 from repro.machine.mesh import Mesh
 from repro.machine.noise import NoiseModel, NoiseParams
 from repro.machine.topology import Topology
-from repro.rng import SeedLike, generator, spawn
+from repro.rng import SeedLike, generator, maybe_int_seed, spawn
 from repro.units import CACHE_LINE_BYTES, lines_in
 
 #: Single-thread copy plateau into the local L1/L2 (Fig. 5: local accesses
@@ -82,6 +82,10 @@ class KNLMachine:
         noise: bool = True,
     ) -> None:
         self.config = config
+        # Recorded for cache fingerprinting (repro.runtime): a machine
+        # built from (config, int seed, noise) is exactly reconstructable.
+        self.seed = maybe_int_seed(seed)
+        self.noisy = bool(noise)
         root = generator(seed)
         self.topology = Topology(config, spawn(root, "topo"))
         self.mesh = Mesh(self.topology)

@@ -1,0 +1,70 @@
+"""repro.runtime — the execution substrate of the experiment suite.
+
+A dependency-aware parallel scheduler (:mod:`~repro.runtime.pool`) over
+content-addressed on-disk caches (:mod:`~repro.runtime.cache`), with
+supervised fault tolerance (:mod:`~repro.runtime.supervisor`) and a
+machine-readable run manifest (:mod:`~repro.runtime.progress`).
+
+Quickstart::
+
+    from repro.runtime import plan_run, execute
+
+    report = execute(plan_run(["table1", "fig6"], jobs=4))
+    for outcome in report.outcomes:
+        print(outcome.exp_id, outcome.status.value)
+
+Heavy submodules are loaded lazily (PEP 562): experiment modules import
+:mod:`repro.runtime.task` at import time to declare their
+characterization needs, while :mod:`repro.runtime.pool` imports the
+experiment registry — eager imports here would close that cycle.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.task import (
+    CharacterizationNeed,
+    TaskOutcome,
+    TaskSpec,
+    TaskStatus,
+)
+
+_LAZY = {
+    "ResultCache": "repro.runtime.cache",
+    "CharacterizationCache": "repro.runtime.cache",
+    "default_cache_dir": "repro.runtime.cache",
+    "install_characterization_cache": "repro.runtime.cache",
+    "active_characterization_cache": "repro.runtime.cache",
+    "use_characterization_cache": "repro.runtime.cache",
+    "RunPlan": "repro.runtime.pool",
+    "RunReport": "repro.runtime.pool",
+    "plan_run": "repro.runtime.pool",
+    "execute": "repro.runtime.pool",
+    "RetryPolicy": "repro.runtime.supervisor",
+    "FaultInjected": "repro.runtime.supervisor",
+    "parse_fault_spec": "repro.runtime.supervisor",
+    "ProgressPrinter": "repro.runtime.progress",
+    "RunManifest": "repro.runtime.progress",
+}
+
+__all__ = [
+    "CharacterizationNeed",
+    "TaskOutcome",
+    "TaskSpec",
+    "TaskStatus",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

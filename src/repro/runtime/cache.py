@@ -1,0 +1,337 @@
+"""Content-addressed on-disk caches for the execution engine.
+
+Two caches with different lifetimes and formats:
+
+* :class:`ResultCache` — finished :class:`ExperimentResult` payloads,
+  stored as JSON (the same shape :mod:`repro.experiments.store` writes)
+  keyed by SHA-256 of ``(experiment id, resolved kwargs, the paper's
+  default MachineConfig, repro.__version__)``.  Read and written only
+  by the parent process, with an LRU byte-size cap.
+* :class:`CharacterizationCache` — pickled
+  :class:`~repro.bench.suite.Characterization` bundles shared between
+  worker processes.  Written only during the scheduler's warm-up phase
+  so the hit/miss pattern of a run never depends on task ordering.
+
+Keys include the package version: bumping ``repro.__version__``
+invalidates everything (the model/benchmarks may have changed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro._version import __version__
+from repro.experiments.common import ExperimentResult
+from repro.runtime.task import CharacterizationNeed
+
+#: Default LRU cap for the result cache (bytes).
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+_INDEX = "index.json"
+
+
+def default_cache_dir() -> str:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-knl``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-knl")
+
+
+def fingerprint(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-stable structure for hashing.
+
+    Handles dataclasses (``MachineConfig``), enums, tuples/sets and
+    numpy scalars; anything else falls back to ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: fingerprint(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): fingerprint(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [fingerprint(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return repr(value)
+
+
+def content_key(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    blob = json.dumps(fingerprint(payload), sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class ResultCache:
+    """LRU-capped, content-addressed archive of experiment results."""
+
+    def __init__(
+        self, directory: str, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        self.directory = os.path.join(directory, "results")
+        self.max_bytes = max_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, exp_id: str, kwargs: Dict[str, Any]) -> str:
+        """Cache key for one experiment invocation.
+
+        Includes the paper's default MachineConfig so that editing the
+        simulated part invalidates archived results even without a
+        version bump.
+        """
+        from repro.experiments.common import default_config
+
+        return content_key(
+            {
+                "exp_id": exp_id,
+                "kwargs": kwargs,
+                "default_config": default_config(),
+                "version": __version__,
+            }
+        )
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    # -- index (LRU bookkeeping) ------------------------------------------
+
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        path = os.path.join(self.directory, _INDEX)
+        if not os.path.exists(path):
+            return {}
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return {}
+
+    def _save_index(self, index: Dict[str, Dict[str, Any]]) -> None:
+        _atomic_write(
+            os.path.join(self.directory, _INDEX),
+            json.dumps(index, sort_keys=True).encode(),
+        )
+
+    def _touch(self, key: str, size: Optional[int] = None,
+               exp_id: Optional[str] = None) -> None:
+        index = self._load_index()
+        entry = index.setdefault(key, {})
+        entry["atime"] = time.time()
+        if size is not None:
+            entry["size"] = size
+        if exp_id is not None:
+            entry["exp_id"] = exp_id
+        self._save_index(index)
+
+    # -- get/put -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path) as fh:
+                data = json.load(fh)["result"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        result = ExperimentResult(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+        )
+        for row in data["rows"]:
+            result.add(**row)
+        for note in data.get("notes", []):
+            result.note(note)
+        self.hits += 1
+        self._touch(key)
+        return result
+
+    def put(self, key: str, result: ExperimentResult,
+            meta: Optional[Dict[str, Any]] = None) -> str:
+        payload = {
+            "key": key,
+            "meta": dict(meta or {}, version=__version__),
+            # Same shape as experiments/store.py archives.
+            "result": {
+                "exp_id": result.exp_id,
+                "title": result.title,
+                "columns": list(result.columns),
+                "rows": result.rows,
+                "notes": result.notes,
+            },
+        }
+        blob = json.dumps(payload, indent=2, default=str).encode()
+        path = self._path(key)
+        _atomic_write(path, blob)
+        self._touch(key, size=len(blob), exp_id=result.exp_id)
+        self._evict()
+        return path
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until under the byte cap."""
+        index = self._load_index()
+        total = sum(int(e.get("size", 0)) for e in index.values())
+        if total <= self.max_bytes:
+            return
+        for key in sorted(index, key=lambda k: index[k].get("atime", 0.0)):
+            if total <= self.max_bytes:
+                break
+            total -= int(index[key].get("size", 0))
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
+            del index[key]
+        self._save_index(index)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(
+            f[: -len(".json")]
+            for f in sorted(os.listdir(self.directory))
+            if f.endswith(".json") and f != _INDEX
+        )
+
+
+class CharacterizationCache:
+    """Pickle store of :class:`Characterization` bundles.
+
+    ``read_only=True`` turns :meth:`put` into a no-op; the scheduler
+    flips the cache read-only for the experiment phase so only warm-up
+    tasks populate it (deterministic hit/miss regardless of ordering).
+    """
+
+    def __init__(self, directory: str, read_only: bool = False) -> None:
+        self.directory = os.path.join(directory, "char")
+        self.read_only = read_only
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def key_for_need(need: CharacterizationNeed) -> str:
+        return content_key({"need": need, "version": __version__})
+
+    @staticmethod
+    def key_for_machine(
+        machine,
+        iterations: int,
+        seed,
+        thread_counts,
+        include_sweeps: bool,
+    ) -> Optional[str]:
+        """Key as seen from inside :func:`repro.bench.characterize`.
+
+        Returns None (uncacheable) when the machine's seed is not a
+        plain int or noise is disabled non-default — those machines
+        cannot be reconstructed from the fingerprint.
+        """
+        machine_seed = getattr(machine, "seed", None)
+        if not isinstance(machine_seed, int) or not getattr(
+            machine, "noisy", True
+        ):
+            return None
+        if seed is not None and not isinstance(seed, int):
+            return None
+        need = CharacterizationNeed(
+            config=machine.config,
+            machine_seed=machine_seed,
+            iterations=iterations,
+            char_seed=seed,
+            thread_counts=tuple(thread_counts),
+            include_sweeps=include_sweeps,
+        )
+        return CharacterizationCache.key_for_need(need)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def has(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str):
+        path = self._path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh:
+                bundle = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return bundle
+
+    def put(self, key: str, bundle) -> None:
+        if self.read_only:
+            return
+        _atomic_write(self._path(key), pickle.dumps(bundle))
+
+
+# -- process-global characterization cache handle --------------------------
+#
+# ``characterize()`` consults this when no explicit handle is passed, so
+# the scheduler can make caching transparent to existing experiments.
+
+_ACTIVE_CHAR_CACHE: Optional[CharacterizationCache] = None
+
+
+def install_characterization_cache(
+    cache: Optional[CharacterizationCache],
+) -> None:
+    global _ACTIVE_CHAR_CACHE
+    _ACTIVE_CHAR_CACHE = cache
+
+
+def active_characterization_cache() -> Optional[CharacterizationCache]:
+    return _ACTIVE_CHAR_CACHE
+
+
+class use_characterization_cache:
+    """Context manager installing ``cache`` for the duration of a block."""
+
+    def __init__(self, cache: Optional[CharacterizationCache]) -> None:
+        self.cache = cache
+        self._prev: Optional[CharacterizationCache] = None
+
+    def __enter__(self) -> Optional[CharacterizationCache]:
+        self._prev = active_characterization_cache()
+        install_characterization_cache(self.cache)
+        return self.cache
+
+    def __exit__(self, *exc) -> None:
+        install_characterization_cache(self._prev)

@@ -1,0 +1,626 @@
+"""Dependency-aware parallel scheduler for the experiment suite.
+
+Execution proceeds in two phases:
+
+1. **Warm-up** — the declared :class:`CharacterizationNeed` bundles of
+   all scheduled experiments are deduplicated and computed once each
+   (in parallel), populating the shared on-disk characterization cache.
+2. **Fan-out** — experiments run across ``jobs`` worker processes; each
+   worker opens the characterization cache *read-only*, so the cache
+   hit/miss pattern — and therefore every RNG draw an experiment makes —
+   is a pure function of the declared needs, never of scheduling order.
+   That is what makes ``--jobs 8`` byte-identical to the serial path.
+
+Each experiment seeds its own RNG and shares no mutable state with its
+siblings, so results are position-independent; the report re-assembles
+outcomes in the originally requested order.
+
+Fault tolerance (per-attempt timeout, bounded retry with exponential
+backoff, crash recovery) follows the :class:`RetryPolicy`; a task that
+exhausts its attempts is reported FAILED with its traceback and the run
+continues — the caller decides (via :attr:`RunReport.failed`) to exit
+non-zero at the end.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments import registry
+from repro.runtime.cache import (
+    CharacterizationCache,
+    ResultCache,
+    default_cache_dir,
+    fingerprint,
+    use_characterization_cache,
+)
+from repro.runtime.progress import ProgressPrinter, RunManifest
+from repro.runtime.supervisor import (
+    RetryPolicy,
+    faults_from_env,
+    maybe_inject_fault,
+)
+from repro.runtime.task import (
+    CharacterizationNeed,
+    TaskOutcome,
+    TaskSpec,
+    TaskStatus,
+    resolved_kwargs,
+)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side entry points (top-level so they pickle under any start method).
+# ---------------------------------------------------------------------------
+
+
+def _char_cache_for(spec: TaskSpec) -> Optional[CharacterizationCache]:
+    if not spec.char_cache_dir:
+        return None
+    return CharacterizationCache(
+        spec.char_cache_dir, read_only=spec.char_cache_readonly
+    )
+
+
+def _run_experiment_task(spec: TaskSpec) -> Dict[str, Any]:
+    """Run one experiment in the current process; never raises."""
+    t0 = time.perf_counter()
+    try:
+        maybe_inject_fault(spec)
+        runner = registry.get(spec.exp_id)
+        with use_characterization_cache(_char_cache_for(spec)):
+            result = runner(**spec.kwargs)
+        return {
+            "ok": True,
+            "result": result,
+            "duration_s": time.perf_counter() - t0,
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "duration_s": time.perf_counter() - t0,
+        }
+
+
+def _run_warmup_task(
+    need: CharacterizationNeed, cache_dir: str
+) -> Dict[str, Any]:
+    """Compute one characterization bundle into the shared cache."""
+    t0 = time.perf_counter()
+    try:
+        from repro.bench.suite import characterize
+        from repro.machine.machine import KNLMachine
+
+        cache = CharacterizationCache(cache_dir, read_only=False)
+        key = CharacterizationCache.key_for_need(need)
+        if not cache.has(key):
+            machine = KNLMachine(need.config, seed=need.machine_seed)
+            characterize(
+                machine,
+                iterations=need.iterations,
+                seed=need.char_seed,
+                thread_counts=need.thread_counts,
+                include_sweeps=need.include_sweeps,
+                cache=cache,
+            )
+        return {"ok": True, "duration_s": time.perf_counter() - t0}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "duration_s": time.perf_counter() - t0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Plan / report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunPlan:
+    """A fully specified engine run (what to execute, and how)."""
+
+    ids: List[str]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    jobs: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Root cache directory, or None to disable all caching.
+    cache_dir: Optional[str] = None
+    #: Recompute even on a result-cache hit (and overwrite the entry).
+    refresh: bool = False
+    #: exp_id → (n_failures, "raise"|"crash") fault-injection map.
+    faults: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    progress: bool = True
+
+
+def plan_run(
+    ids,
+    kwargs: Optional[Dict[str, Any]] = None,
+    jobs: int = 1,
+    no_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    refresh: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    faults: Optional[Dict[str, Tuple[int, str]]] = None,
+    progress: bool = True,
+) -> RunPlan:
+    """Convenience constructor mirroring the CLI flags."""
+    return RunPlan(
+        ids=list(ids),
+        kwargs=dict(kwargs or {}),
+        jobs=max(1, int(jobs)),
+        retry=RetryPolicy(max_attempts=1 + max(0, retries),
+                          timeout_s=timeout),
+        cache_dir=None if no_cache else (cache_dir or default_cache_dir()),
+        refresh=refresh,
+        faults=dict(faults or {}),
+        progress=progress,
+    )
+
+
+@dataclass
+class RunReport:
+    """Ordered outcomes plus the manifest of one engine run."""
+
+    outcomes: List[TaskOutcome]
+    manifest: RunManifest
+
+    @property
+    def failed(self) -> bool:
+        return any(not o.ok for o in self.outcomes)
+
+    def outcome(self, exp_id: str) -> TaskOutcome:
+        for o in self.outcomes:
+            if o.exp_id == exp_id:
+                return o
+        raise KeyError(exp_id)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _collect_needs(
+    specs: List[Tuple[TaskSpec, Optional[str]]],
+    plan: RunPlan,
+    char_cache: CharacterizationCache,
+) -> List[CharacterizationNeed]:
+    """Deduplicated, not-yet-cached needs of every scheduled task."""
+    needs: List[CharacterizationNeed] = []
+    seen = set()
+    for spec, _ in specs:
+        runner = registry.get(spec.exp_id)
+        rk = resolved_kwargs(runner, plan.kwargs)
+        for need in registry.needs_for(spec.exp_id, rk):
+            key = CharacterizationCache.key_for_need(need)
+            if key in seen or char_cache.has(key):
+                continue
+            seen.add(key)
+            needs.append(need)
+    return needs
+
+
+def execute(plan: RunPlan) -> RunReport:
+    """Run a plan to completion and return every task's outcome."""
+    printer = ProgressPrinter(enabled=plan.progress)
+    manifest = RunManifest(
+        jobs=plan.jobs,
+        started_at=time.time(),
+        cache_enabled=plan.cache_dir is not None,
+    )
+    t_start = time.perf_counter()
+
+    # Resolve every runner up front: an unknown id aborts before any work.
+    runners = {eid: registry.get(eid) for eid in plan.ids}
+
+    faults = dict(faults_from_env())
+    faults.update(plan.faults)
+
+    result_cache = (
+        ResultCache(plan.cache_dir) if plan.cache_dir is not None else None
+    )
+
+    outcomes: Dict[str, TaskOutcome] = {}
+    specs: List[Tuple[TaskSpec, Optional[str]]] = []
+    for eid in plan.ids:
+        key = None
+        if result_cache is not None:
+            key = result_cache.key_for(eid, resolved_kwargs(
+                runners[eid], plan.kwargs))
+            if not plan.refresh:
+                hit = result_cache.get(key)
+                if hit is not None:
+                    outcomes[eid] = TaskOutcome(
+                        exp_id=eid,
+                        status=TaskStatus.CACHED,
+                        result=hit,
+                        attempts=0,
+                        cache="hit",
+                    )
+                    printer.task(eid, TaskStatus.CACHED)
+                    continue
+        n_fail, kind = faults.get(eid, (0, "raise"))
+        specs.append(
+            (
+                TaskSpec(
+                    exp_id=eid,
+                    kwargs=dict(plan.kwargs),
+                    inject_failures=n_fail,
+                    inject_kind=kind,
+                    char_cache_dir=plan.cache_dir,
+                ),
+                key,
+            )
+        )
+
+    # Phase 1: warm shared characterization bundles.
+    if plan.cache_dir is not None and specs:
+        char_cache = CharacterizationCache(plan.cache_dir)
+        needs = _collect_needs(specs, plan, char_cache)
+        if needs:
+            printer.phase(
+                "warm-up", f"{len(needs)} characterization bundle(s)"
+            )
+            _run_warmups(needs, plan, printer)
+            manifest.warmed_characterizations = len(needs)
+
+    # Phase 2: fan experiments out.
+    if specs:
+        printer.phase(
+            "experiments",
+            f"{len(specs)} task(s) on {plan.jobs} worker(s)",
+        )
+        if plan.jobs <= 1:
+            _execute_serial(specs, plan, printer, outcomes)
+        else:
+            _execute_parallel(specs, plan, printer, outcomes)
+
+    # Fill the result cache and the manifest in request order.
+    ordered: List[TaskOutcome] = []
+    for eid in plan.ids:
+        outcome = outcomes[eid]
+        key = next((k for s, k in specs if s.exp_id == eid), None)
+        if (
+            result_cache is not None
+            and key is not None
+            and outcome.status is TaskStatus.DONE
+            and outcome.result is not None
+        ):
+            result_cache.put(
+                key,
+                outcome.result,
+                meta={
+                    "exp_id": eid,
+                    "kwargs": fingerprint(
+                        resolved_kwargs(runners[eid], plan.kwargs)
+                    ),
+                    "duration_s": round(outcome.duration_s, 4),
+                },
+            )
+            outcome.cache = "miss"
+        ordered.append(outcome)
+        manifest.record(outcome)
+
+    manifest.wall_s = round(time.perf_counter() - t_start, 4)
+    return RunReport(outcomes=ordered, manifest=manifest)
+
+
+def _run_warmups(
+    needs: List[CharacterizationNeed],
+    plan: RunPlan,
+    printer: ProgressPrinter,
+) -> None:
+    """Compute all needed bundles; a failed warm-up is non-fatal (the
+    consuming experiment recomputes inline and reports its own error)."""
+    if plan.jobs <= 1 or len(needs) == 1:
+        for need in needs:
+            payload = _run_warmup_task(need, plan.cache_dir)
+            _report_warmup(printer, need, payload)
+        return
+    with ProcessPoolExecutor(
+        max_workers=min(plan.jobs, len(needs)), mp_context=_mp_context()
+    ) as pool:
+        futures = {
+            pool.submit(_run_warmup_task, need, plan.cache_dir): need
+            for need in needs
+        }
+        for fut in concurrent.futures.as_completed(futures):
+            need = futures[fut]
+            try:
+                payload = fut.result()
+            except Exception as exc:
+                payload = {"ok": False, "error": repr(exc), "duration_s": 0.0}
+            _report_warmup(printer, need, payload)
+
+
+def _report_warmup(printer, need: CharacterizationNeed, payload) -> None:
+    label = f"char:{need.config.label()}/s{need.machine_seed}"
+    if payload["ok"]:
+        printer.phase(label, f"ready in {payload['duration_s']:.1f}s")
+    else:
+        printer.phase(label, f"warm-up failed: {payload['error']}")
+
+
+def _finalize(
+    spec: TaskSpec,
+    payload: Dict[str, Any],
+    status: TaskStatus,
+    total_duration: float,
+) -> TaskOutcome:
+    return TaskOutcome(
+        exp_id=spec.exp_id,
+        status=status,
+        result=payload.get("result") if payload.get("ok") else None,
+        attempts=spec.attempt,
+        duration_s=total_duration,
+        error=payload.get("error"),
+        traceback=payload.get("traceback"),
+    )
+
+
+def _execute_serial(
+    specs: List[Tuple[TaskSpec, Optional[str]]],
+    plan: RunPlan,
+    printer: ProgressPrinter,
+    outcomes: Dict[str, TaskOutcome],
+) -> None:
+    """In-process execution with the same supervision semantics.
+
+    ``crash`` fault injection is demoted to ``raise`` here (a hard exit
+    would take down the caller); per-attempt timeouts are enforced
+    post-hoc — the attempt's result is discarded if over budget.
+    """
+    policy = plan.retry
+    for spec, _key in specs:
+        total = 0.0
+        while True:
+            if spec.inject_kind == "crash":
+                spec = replace(spec, inject_kind="raise")
+            printer.task(spec.exp_id, TaskStatus.RUNNING, spec.attempt)
+            payload = _run_experiment_task(spec)
+            total += payload["duration_s"]
+            timed_out = (
+                policy.timeout_s is not None
+                and payload["duration_s"] > policy.timeout_s
+            )
+            if payload["ok"] and not timed_out:
+                outcomes[spec.exp_id] = _finalize(
+                    spec, payload, TaskStatus.DONE, total
+                )
+                printer.task(
+                    spec.exp_id, TaskStatus.DONE, spec.attempt,
+                    f"{payload['duration_s']:.1f}s",
+                )
+                break
+            if timed_out:
+                payload = {
+                    "ok": False,
+                    "error": (
+                        f"attempt exceeded timeout "
+                        f"({payload['duration_s']:.1f}s > "
+                        f"{policy.timeout_s:.1f}s)"
+                    ),
+                    "traceback": None,
+                    "duration_s": payload["duration_s"],
+                }
+            if policy.should_retry(spec.attempt):
+                printer.task(
+                    spec.exp_id, TaskStatus.FAILED, spec.attempt,
+                    f"retrying: {payload['error']}",
+                )
+                time.sleep(policy.backoff(spec.attempt))
+                spec = replace(spec, attempt=spec.attempt + 1)
+                continue
+            status = (
+                TaskStatus.TIMEOUT if timed_out else TaskStatus.FAILED
+            )
+            outcomes[spec.exp_id] = _finalize(spec, payload, status, total)
+            printer.task(
+                spec.exp_id, status, spec.attempt, payload["error"]
+            )
+            break
+
+
+def _execute_parallel(
+    specs: List[Tuple[TaskSpec, Optional[str]]],
+    plan: RunPlan,
+    printer: ProgressPrinter,
+    outcomes: Dict[str, TaskOutcome],
+) -> None:
+    """Fan tasks across a process pool with supervision.
+
+    The loop owns three queues: in-flight futures, retries waiting out
+    their backoff, and (implicitly) the pool's own task queue.  A
+    ``BrokenProcessPool`` (worker crashed hard) poisons every in-flight
+    future of that pool; the pool is rebuilt and each poisoned task is
+    treated as a failed attempt of its own.
+    """
+    policy = plan.retry
+    ctx = _mp_context()
+    pool = ProcessPoolExecutor(max_workers=plan.jobs, mp_context=ctx)
+    #: future → (spec, submit time, cumulative duration of prior
+    #: attempts, quarantine pool or None for the shared pool)
+    in_flight: Dict[
+        concurrent.futures.Future,
+        Tuple[TaskSpec, float, float, Optional[ProcessPoolExecutor]],
+    ]
+    in_flight = {}
+    #: (due time, spec, cumulative duration) awaiting backoff expiry.
+    retry_queue: List[Tuple[float, TaskSpec, float]] = []
+
+    def submit(spec: TaskSpec, prior: float) -> None:
+        nonlocal pool
+        printer.task(spec.exp_id, TaskStatus.RUNNING, spec.attempt)
+        if spec.broken:
+            # Quarantine: once a task's future has been poisoned by a
+            # pool-wide crash, re-run it in a private single-task pool.
+            # A repeat crash then cannot poison siblings — and a crash
+            # in isolation unambiguously convicts the task itself, so
+            # it is charged as a normal failed attempt.
+            solo = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+            fut = solo.submit(_run_experiment_task, spec)
+            in_flight[fut] = (spec, time.perf_counter(), prior, solo)
+            return
+        try:
+            fut = pool.submit(_run_experiment_task, spec)
+        except BrokenProcessPool:
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=plan.jobs, mp_context=ctx)
+            fut = pool.submit(_run_experiment_task, spec)
+        in_flight[fut] = (spec, time.perf_counter(), prior, None)
+
+    def attempt_failed(
+        spec: TaskSpec, payload: Dict[str, Any], total: float,
+        timed_out: bool = False, broken: bool = False,
+    ) -> None:
+        retry = policy.should_retry(spec.attempt)
+        if broken and not retry:
+            # A pool break poisons *every* in-flight future, and the
+            # perpetrator is indistinguishable from its victims — so
+            # pool-broken attempts draw on a separate, equally bounded
+            # grace allowance instead of the task's own retry budget.
+            retry = spec.broken < policy.max_attempts
+        if broken:
+            spec = replace(spec, broken=spec.broken + 1)
+        if retry:
+            printer.task(
+                spec.exp_id, TaskStatus.FAILED, spec.attempt,
+                f"retrying: {payload['error']}",
+            )
+            retry_queue.append(
+                (
+                    time.perf_counter() + policy.backoff(spec.attempt),
+                    replace(spec, attempt=spec.attempt + 1),
+                    total,
+                )
+            )
+            return
+        status = TaskStatus.TIMEOUT if timed_out else TaskStatus.FAILED
+        outcomes[spec.exp_id] = _finalize(spec, payload, status, total)
+        printer.task(spec.exp_id, status, spec.attempt, payload["error"])
+
+    for spec, _key in specs:
+        submit(spec, 0.0)
+
+    try:
+        while in_flight or retry_queue:
+            now = time.perf_counter()
+            # Release retries whose backoff expired.
+            due = [r for r in retry_queue if r[0] <= now]
+            retry_queue = [r for r in retry_queue if r[0] > now]
+            for _due, spec, prior in due:
+                submit(spec, prior)
+            if not in_flight:
+                if retry_queue:
+                    time.sleep(
+                        max(0.0, min(r[0] for r in retry_queue) - now)
+                    )
+                continue
+
+            done, _ = concurrent.futures.wait(
+                set(in_flight),
+                timeout=0.05,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            broken = False
+            for fut in done:
+                spec, t_submit, prior, solo = in_flight.pop(fut)
+                elapsed = time.perf_counter() - t_submit
+                was_broken = False
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool as exc:
+                    if solo is None:
+                        broken = was_broken = True
+                    payload = {
+                        "ok": False,
+                        "error": f"worker crashed: {exc!r}",
+                        "traceback": None,
+                        "duration_s": elapsed,
+                    }
+                except concurrent.futures.CancelledError:
+                    continue
+                except Exception as exc:
+                    payload = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                        "duration_s": elapsed,
+                    }
+                finally:
+                    if solo is not None:
+                        solo.shutdown(wait=False, cancel_futures=True)
+                total = prior + payload["duration_s"]
+                if payload["ok"]:
+                    outcomes[spec.exp_id] = _finalize(
+                        spec, payload, TaskStatus.DONE, total
+                    )
+                    printer.task(
+                        spec.exp_id, TaskStatus.DONE, spec.attempt,
+                        f"{payload['duration_s']:.1f}s",
+                    )
+                else:
+                    attempt_failed(
+                        spec, payload, total, broken=was_broken
+                    )
+
+            if broken:
+                # The crashed pool is unusable; rebuild before retries run.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(
+                    max_workers=plan.jobs, mp_context=ctx
+                )
+
+            # Enforce per-attempt wall-clock budgets.
+            if policy.timeout_s is not None:
+                now = time.perf_counter()
+                for fut, (spec, t_submit, prior, solo) in list(
+                    in_flight.items()
+                ):
+                    elapsed = now - t_submit
+                    if elapsed <= policy.timeout_s:
+                        continue
+                    in_flight.pop(fut)
+                    fut.cancel()
+                    if solo is not None:
+                        solo.shutdown(wait=False, cancel_futures=True)
+                    payload = {
+                        "ok": False,
+                        "error": (
+                            f"attempt exceeded timeout "
+                            f"({elapsed:.1f}s > {policy.timeout_s:.1f}s)"
+                        ),
+                        "traceback": None,
+                        "duration_s": elapsed,
+                    }
+                    attempt_failed(
+                        spec, payload, prior + elapsed, timed_out=True
+                    )
+    finally:
+        # Join workers on the normal path (in_flight drained) — leaving
+        # executor threads alive races the interpreter's own atexit
+        # teardown and occasionally spews "Exception ignored" noise.
+        pool.shutdown(wait=not in_flight, cancel_futures=True)
+        for _spec, _t, _prior, solo in in_flight.values():
+            if solo is not None:
+                solo.shutdown(wait=False, cancel_futures=True)

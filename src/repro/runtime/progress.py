@@ -1,0 +1,112 @@
+"""Live progress reporting and the machine-readable run manifest.
+
+Status lines go to stderr (stdout stays clean for ``--json`` pipelines);
+the :class:`RunManifest` captures everything a CI harness or future PR
+needs to audit a run — wall time, worker count, cache hit/miss counts,
+per-task attempts and errors — and is written as ``manifest.json`` next
+to the ``--save-dir`` archives.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro._version import __version__
+from repro.runtime.task import TaskOutcome, TaskStatus
+
+
+class ProgressPrinter:
+    """Per-task status lines, one per state transition."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 enabled: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._t0 = time.time()
+
+    def _emit(self, text: str) -> None:
+        if not self.enabled:
+            return
+        print(f"[runtime +{time.time() - self._t0:6.1f}s] {text}",
+              file=self.stream, flush=True)
+
+    def phase(self, name: str, detail: str = "") -> None:
+        self._emit(f"== {name}{' — ' + detail if detail else ''}")
+
+    def task(self, exp_id: str, status: TaskStatus, attempt: int = 1,
+             detail: str = "") -> None:
+        line = f"{exp_id:10s} {status.value:8s}"
+        if attempt > 1:
+            line += f" attempt {attempt}"
+        if detail:
+            line += f" ({detail})"
+        self._emit(line)
+
+
+@dataclass
+class TaskRecord:
+    """Manifest entry for one task (flattened :class:`TaskOutcome`)."""
+
+    exp_id: str
+    status: str
+    attempts: int
+    duration_s: float
+    cache: Optional[str] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+    @classmethod
+    def from_outcome(cls, outcome: TaskOutcome) -> "TaskRecord":
+        return cls(
+            exp_id=outcome.exp_id,
+            status=outcome.status.value,
+            attempts=outcome.attempts,
+            duration_s=round(outcome.duration_s, 4),
+            cache=outcome.cache,
+            error=outcome.error,
+            traceback=outcome.traceback,
+        )
+
+
+@dataclass
+class RunManifest:
+    """Machine-readable summary of one engine run."""
+
+    version: str = __version__
+    jobs: int = 1
+    started_at: float = 0.0
+    wall_s: float = 0.0
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Characterization bundles computed in the warm-up phase.
+    warmed_characterizations: int = 0
+    retries: int = 0
+    failed: int = 0
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    def record(self, outcome: TaskOutcome) -> None:
+        self.tasks.append(TaskRecord.from_outcome(outcome))
+        if outcome.cache == "hit":
+            self.cache_hits += 1
+        elif outcome.cache == "miss":
+            self.cache_misses += 1
+        if outcome.attempts > 1:
+            self.retries += outcome.attempts - 1
+        if not outcome.ok:
+            self.failed += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path

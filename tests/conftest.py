@@ -21,6 +21,23 @@ from repro.model import derive_capability_model
 SEED = 1234
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runtime_cache(tmp_path_factory):
+    """Point the repro.runtime caches at a per-session temp directory so
+    tests never read or pollute the user's ~/.cache/repro-knl."""
+    import os
+
+    prev = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-cache")
+    )
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prev
+
+
 @pytest.fixture(scope="session")
 def snc4_flat_config() -> MachineConfig:
     return MachineConfig(

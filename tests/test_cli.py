@@ -17,6 +17,22 @@ class TestParser:
         assert args.iterations == 7
         assert args.seed == 3
 
+    def test_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["all", "--jobs", "8", "--no-cache", "--refresh",
+             "--timeout", "30", "--retries", "2", "--quiet"]
+        )
+        assert args.jobs == 8
+        assert args.no_cache and args.refresh and args.quiet
+        assert args.timeout == 30.0
+        assert args.retries == 2
+
+    def test_runtime_flag_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.jobs == 1
+        assert not args.no_cache and not args.refresh
+        assert args.timeout is None and args.retries == 1
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -39,3 +55,49 @@ class TestMain:
 
         with pytest.raises(ReproError):
             main(["fig99"])
+
+    def test_runs_with_jobs_and_save_dir(self, tmp_path, capsys):
+        save = tmp_path / "archive"
+        code = main(
+            ["fig4", "--iterations", "8", "--jobs", "2", "--quiet",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--save-dir", str(save)]
+        )
+        assert code == 0
+        assert (save / "fig4.json").exists()
+        manifest = (save / "manifest.json").read_text()
+        assert '"jobs": 2' in manifest and '"status": "done"' in manifest
+
+    def test_cached_rerun_identical_json(self, tmp_path, capsys):
+        argv = ["fig4", "--iterations", "8", "--json", "--quiet",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_no_cache_leaves_no_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(
+            ["fig5", "--iterations", "5", "--no-cache", "--quiet",
+             "--cache-dir", str(cache)]
+        ) == 0
+        assert not cache.exists()
+
+
+class TestReportErrors:
+    def test_report_without_save_dir_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--save-dir" in err and "usage" in err.lower()
+
+    def test_report_with_save_dir_renders(self, tmp_path, capsys):
+        save = tmp_path / "archive"
+        main(["fig5", "--iterations", "5", "--quiet", "--no-cache",
+              "--save-dir", str(save)])
+        capsys.readouterr()
+        assert main(["report", "--save-dir", str(save)]) == 0
+        assert "fig5" in capsys.readouterr().out

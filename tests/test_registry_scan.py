@@ -1,0 +1,95 @@
+"""Registry auto-discovery: every experiment module must be registered.
+
+The registry scans ``repro.experiments`` with ``pkgutil`` instead of a
+hard-coded import list; these tests pin the property that motivated the
+change — a ``figN``/``tableN`` module that exists on disk but is
+missing from the registry is a latent bug.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import all_ids
+from repro.experiments.registry import (
+    experiment_module_names,
+    get,
+    needs_for,
+    register,
+)
+
+#: Modules that live in the package but intentionally register nothing.
+_INFRA = {"common", "plotting", "registry", "report", "store"}
+
+#: Experiments whose module name differs from their registered id.
+_ALIASES = {"extensions": "ext", "stencil_exp": "stencil"}
+
+
+class TestDiscovery:
+    def test_every_fig_table_module_is_registered(self):
+        ids = set(all_ids())
+        for name in experiment_module_names():
+            if name.startswith("fig") or name.startswith("table"):
+                assert name in ids, (
+                    f"experiment module {name}.py exists but is not "
+                    f"registered — did its @register decorator run?"
+                )
+
+    def test_every_non_infra_module_is_registered(self):
+        ids = set(all_ids())
+        for name in experiment_module_names():
+            if name in _INFRA:
+                continue
+            exp_id = _ALIASES.get(name, name)
+            assert exp_id in ids, (
+                f"module {name}.py registers nothing and is not listed "
+                f"as infrastructure"
+            )
+
+    def test_module_scan_skips_private_modules(self):
+        names = experiment_module_names()
+        assert "_collectives" not in names
+        assert all(not n.startswith("_") for n in names)
+
+    def test_all_runners_callable(self):
+        for eid in all_ids():
+            assert callable(get(eid))
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ReproError):
+            get("fig999")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ReproError):
+            register("table1")(lambda **kw: None)
+
+
+class TestNeeds:
+    def test_collectives_declare_shared_bundle(self):
+        needs = needs_for("fig6", {"seed": 29, "iterations": 40})
+        assert len(needs) == 1
+        need = needs[0]
+        assert need.machine_seed == 29
+        # The characterization behind Figs. 6-8 runs at its own fixed
+        # iteration count, not the sweep's.
+        assert need.iterations == 60
+
+    def test_same_seed_collectives_share_one_bundle(self):
+        kw = {"seed": 42}
+        keys = {
+            needs_for(eid, kw) for eid in ("fig6", "fig7", "fig8")
+        }
+        assert len(keys) == 1  # identical needs → one warm-up task
+
+    def test_non_int_seed_declares_nothing(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        assert needs_for("fig6", {"seed": rng}) == ()
+
+    def test_undeclared_experiment_has_no_needs(self):
+        assert needs_for("table1", {}) == ()
+
+    def test_modes_declares_five_bundles(self):
+        needs = needs_for("modes", {})
+        assert len(needs) == 5
+        assert len({n.config.cluster_mode for n in needs}) == 5

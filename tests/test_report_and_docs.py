@@ -47,7 +47,11 @@ class TestReport:
         assert "## fig4" in capsys.readouterr().out
 
     def test_cli_report_needs_dir(self, capsys):
-        assert main(["report"]) == 2
+        # Argument errors go through argparse: exit code 2, usage on stderr.
+        with pytest.raises(SystemExit) as exc:
+            main(["report"])
+        assert exc.value.code == 2
+        assert "--save-dir" in capsys.readouterr().err
 
 
 class TestApiIntegrity:

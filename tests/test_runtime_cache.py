@@ -1,0 +1,181 @@
+"""Content-addressed caches of the execution engine."""
+
+import json
+import os
+
+import pytest
+
+from repro._version import __version__
+from repro.bench import characterize
+from repro.experiments.common import ExperimentResult
+from repro.machine import ClusterMode, KNLMachine, MachineConfig, MemoryMode
+from repro.runtime import CharacterizationNeed
+from repro.runtime.cache import (
+    CharacterizationCache,
+    ResultCache,
+    content_key,
+    default_cache_dir,
+    fingerprint,
+)
+
+
+def _result(exp_id="x", val=1.25):
+    res = ExperimentResult(exp_id, "title", columns=("a", "b"))
+    res.add(a=val, b="text")
+    res.note("a note")
+    return res
+
+
+class TestFingerprint:
+    def test_config_fingerprint_is_json_stable(self):
+        cfg = MachineConfig(
+            cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT
+        )
+        fp = fingerprint(cfg)
+        assert fp["cluster_mode"] == "snc4"
+        json.dumps(fp)  # must be serializable as-is
+
+    def test_equal_configs_equal_keys(self):
+        a = MachineConfig(cluster_mode=ClusterMode.SNC4)
+        b = MachineConfig(cluster_mode=ClusterMode.SNC4)
+        assert content_key(a) == content_key(b)
+
+    def test_different_configs_different_keys(self):
+        a = MachineConfig(cluster_mode=ClusterMode.SNC4)
+        b = MachineConfig(cluster_mode=ClusterMode.A2A)
+        assert content_key(a) != content_key(b)
+
+    def test_key_is_sha256_hex(self):
+        key = content_key({"x": 1})
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_default_cache_dir_honors_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert default_cache_dir() == "/tmp/somewhere"
+
+
+class TestResultCache:
+    def test_round_trip_byte_identical_json(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        res = _result()
+        key = cache.key_for("x", {"iterations": 10, "seed": 3})
+        cache.put(key, res)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.to_json() == res.to_json()
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("0" * 64) is None
+
+    def test_key_varies_with_kwargs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        k1 = cache.key_for("x", {"iterations": 10})
+        k2 = cache.key_for("x", {"iterations": 11})
+        k3 = cache.key_for("y", {"iterations": 10})
+        assert len({k1, k2, k3}) == 3
+
+    def test_key_includes_version(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        k1 = cache.key_for("x", {})
+        import repro.runtime.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "__version__", "999.0.0")
+        assert cache.key_for("x", {}) != k1
+
+    def test_lru_eviction_under_byte_cap(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=1200)
+        keys = [cache.key_for("x", {"i": i}) for i in range(6)]
+        for i, key in enumerate(keys):
+            cache.put(key, _result(val=float(i)))
+        stored = cache.keys()
+        assert 0 < len(stored) < 6  # something evicted, something kept
+        # Most recently written entry always survives.
+        assert keys[-1] in stored
+        # Index never references evicted files.
+        index = json.loads((tmp_path / "results" / "index.json").read_text())
+        assert set(index) == set(stored)
+
+    def test_get_refreshes_lru_position(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=10**9)
+        k1 = cache.key_for("x", {"i": 1})
+        k2 = cache.key_for("x", {"i": 2})
+        cache.put(k1, _result())
+        cache.put(k2, _result())
+        cache.get(k1)  # touch
+        index = json.loads((tmp_path / "results" / "index.json").read_text())
+        assert index[k1]["atime"] >= index[k2]["atime"]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for("x", {})
+        cache.put(key, _result())
+        path = os.path.join(cache.directory, f"{key}.json")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+
+
+class TestCharacterizationCache:
+    CFG = MachineConfig(
+        cluster_mode=ClusterMode.SNC4, memory_mode=MemoryMode.FLAT
+    )
+
+    def test_round_trip_through_characterize(self, tmp_path):
+        cache = CharacterizationCache(str(tmp_path))
+        machine = KNLMachine(self.CFG, seed=7)
+        bundle = characterize(machine, iterations=5, cache=cache)
+        key = cache.key_for_machine(machine, 5, None, (16, 64, 128, 256),
+                                    False)
+        assert key is not None and cache.has(key)
+        # A second, identical machine hits and gets equal values.
+        machine2 = KNLMachine(self.CFG, seed=7)
+        bundle2 = characterize(machine2, iterations=5, cache=cache)
+        assert bundle2.stream == bundle.stream
+        assert bundle2.c2c_bandwidth == bundle.c2c_bandwidth
+
+    def test_key_matches_need_key(self, tmp_path):
+        cache = CharacterizationCache(str(tmp_path))
+        machine = KNLMachine(self.CFG, seed=7)
+        from_machine = cache.key_for_machine(
+            machine, 5, None, (16, 64, 128, 256), False
+        )
+        from_need = CharacterizationCache.key_for_need(
+            CharacterizationNeed(
+                config=self.CFG, machine_seed=7, iterations=5
+            )
+        )
+        assert from_machine == from_need
+
+    def test_generator_seeded_machine_uncacheable(self, tmp_path):
+        import numpy as np
+
+        cache = CharacterizationCache(str(tmp_path))
+        machine = KNLMachine(self.CFG, seed=np.random.default_rng(0))
+        assert cache.key_for_machine(
+            machine, 5, None, (16,), False) is None
+
+    def test_noise_free_machine_uncacheable(self, tmp_path):
+        cache = CharacterizationCache(str(tmp_path))
+        machine = KNLMachine(self.CFG, seed=7, noise=False)
+        assert cache.key_for_machine(
+            machine, 5, None, (16,), False) is None
+
+    def test_read_only_never_writes(self, tmp_path):
+        cache = CharacterizationCache(str(tmp_path), read_only=True)
+        machine = KNLMachine(self.CFG, seed=7)
+        characterize(machine, iterations=5, cache=cache)
+        assert os.listdir(cache.directory) == []
+
+    def test_iterations_change_key(self, tmp_path):
+        need5 = CharacterizationNeed(
+            config=self.CFG, machine_seed=7, iterations=5
+        )
+        need6 = CharacterizationNeed(
+            config=self.CFG, machine_seed=7, iterations=6
+        )
+        assert (
+            CharacterizationCache.key_for_need(need5)
+            != CharacterizationCache.key_for_need(need6)
+        )

@@ -1,0 +1,138 @@
+"""The parallel scheduler: determinism, caching, ordering, manifest.
+
+The correctness gate of the engine is byte-identical JSON between the
+serial and parallel paths — every experiment seeds its own RNG and
+shares no mutable state, so worker count must not leak into results.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.runtime import TaskStatus, execute, plan_run
+
+#: Cheap experiments that exercise distinct pipelines.
+FAST_IDS = ["fig4", "fig5", "fig9"]
+FAST_KW = {"iterations": 6}
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel tests rely on the fork start method",
+)
+
+
+def _json_of(report):
+    return [o.result.to_json() for o in report.outcomes]
+
+
+class TestDeterminism:
+    def test_parallel_byte_identical_to_serial_uncached(self, tmp_path):
+        serial = execute(plan_run(
+            FAST_IDS, FAST_KW, jobs=1, no_cache=True, progress=False))
+        parallel = execute(plan_run(
+            FAST_IDS, FAST_KW, jobs=3, no_cache=True, progress=False))
+        assert not serial.failed and not parallel.failed
+        assert _json_of(serial) == _json_of(parallel)
+
+    def test_parallel_byte_identical_to_serial_with_cache(self, tmp_path):
+        serial = execute(plan_run(
+            FAST_IDS, FAST_KW, jobs=1,
+            cache_dir=str(tmp_path / "c1"), progress=False))
+        parallel = execute(plan_run(
+            FAST_IDS, FAST_KW, jobs=3,
+            cache_dir=str(tmp_path / "c2"), progress=False))
+        assert _json_of(serial) == _json_of(parallel)
+
+    def test_outcomes_preserve_request_order(self, tmp_path):
+        ids = ["fig9", "fig4", "fig5"]
+        report = execute(plan_run(
+            ids, FAST_KW, jobs=3, no_cache=True, progress=False))
+        assert [o.exp_id for o in report.outcomes] == ids
+
+
+class TestResultCaching:
+    def test_second_run_served_from_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold = execute(plan_run(
+            FAST_IDS, FAST_KW, cache_dir=cache, progress=False))
+        warm = execute(plan_run(
+            FAST_IDS, FAST_KW, cache_dir=cache, progress=False))
+        assert all(o.status is TaskStatus.DONE for o in cold.outcomes)
+        assert all(o.status is TaskStatus.CACHED for o in warm.outcomes)
+        assert _json_of(cold) == _json_of(warm)
+        assert warm.manifest.cache_hits == len(FAST_IDS)
+        assert cold.manifest.cache_misses == len(FAST_IDS)
+
+    def test_refresh_recomputes(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        execute(plan_run(FAST_IDS[:1], FAST_KW, cache_dir=cache,
+                         progress=False))
+        refreshed = execute(plan_run(
+            FAST_IDS[:1], FAST_KW, cache_dir=cache, refresh=True,
+            progress=False))
+        assert refreshed.outcomes[0].status is TaskStatus.DONE
+
+    def test_kwargs_partition_the_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        execute(plan_run(["fig4"], {"iterations": 6}, cache_dir=cache,
+                         progress=False))
+        other = execute(plan_run(
+            ["fig4"], {"iterations": 7}, cache_dir=cache, progress=False))
+        assert other.outcomes[0].status is TaskStatus.DONE  # not a hit
+
+    def test_explicit_default_seed_hits_same_entry(self, tmp_path):
+        """`--seed 11` (table1's declared default) and no seed at all
+        resolve to the same canonical kwargs, hence one cache entry."""
+        cache = str(tmp_path / "cache")
+        execute(plan_run(["fig4"], {"iterations": 6}, cache_dir=cache,
+                         progress=False))
+        warm = execute(plan_run(
+            ["fig4"], {"iterations": 6, "seed": 19}, cache_dir=cache,
+            progress=False))
+        # fig4's default seed is 19: the explicit spelling is a hit.
+        assert warm.outcomes[0].status is TaskStatus.CACHED
+
+
+class TestWarmup:
+    def test_shared_characterization_computed_once(self, tmp_path):
+        """'ext' declares one characterization bundle; the warm-up phase
+        computes it and the experiment consumes the cached copy."""
+        report = execute(plan_run(
+            ["ext"], {"iterations": 4},
+            cache_dir=str(tmp_path / "cache"), progress=False))
+        assert report.manifest.warmed_characterizations == 1
+        assert not report.failed
+        # A repeat (refresh → really re-runs) needs no new warm-up.
+        again = execute(plan_run(
+            ["ext"], {"iterations": 4}, refresh=True,
+            cache_dir=str(tmp_path / "cache"), progress=False))
+        assert again.manifest.warmed_characterizations == 0
+        assert _json_of(report) == _json_of(again)
+
+    def test_no_cache_means_no_warmup(self, tmp_path):
+        report = execute(plan_run(
+            ["ext"], {"iterations": 4}, no_cache=True, progress=False))
+        assert report.manifest.warmed_characterizations == 0
+        assert not report.failed
+
+
+class TestManifest:
+    def test_manifest_accounting(self, tmp_path):
+        report = execute(plan_run(
+            FAST_IDS, FAST_KW, jobs=2,
+            cache_dir=str(tmp_path / "cache"), progress=False))
+        m = report.manifest
+        assert m.jobs == 2
+        assert m.wall_s > 0
+        assert m.failed == 0
+        assert len(m.tasks) == len(FAST_IDS)
+        assert {t.exp_id for t in m.tasks} == set(FAST_IDS)
+        json_text = m.to_json()
+        assert '"cache_enabled": true' in json_text
+
+    def test_unknown_id_fails_before_any_work(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            execute(plan_run(["fig4", "nope"], no_cache=True,
+                             progress=False))

@@ -1,0 +1,164 @@
+"""Fault tolerance: retries, crash recovery, timeouts, graceful failure.
+
+The acceptance gate: an injected worker crash is retried and, when the
+attempts are exhausted, reported FAILED — without aborting the rest of
+the run.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import (
+    RetryPolicy,
+    TaskStatus,
+    execute,
+    parse_fault_spec,
+    plan_run,
+)
+from repro.runtime.supervisor import FAULT_ENV, FaultInjected, faults_from_env
+from repro.runtime.task import TaskSpec
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+KW = {"iterations": 6}
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 2
+        assert p.should_retry(1) and not p.should_retry(2)
+
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(backoff_s=0.1, backoff_factor=2.0)
+        assert p.backoff(1) == pytest.approx(0.1)
+        assert p.backoff(2) == pytest.approx(0.2)
+        assert p.backoff(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(timeout_s=-1.0)
+
+
+class TestFaultSpecs:
+    def test_parse(self):
+        faults = parse_fault_spec("fig4:1,fig6:2:crash")
+        assert faults == {"fig4": (1, "raise"), "fig6": (2, "crash")}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_fault_spec("fig4")
+        with pytest.raises(ReproError):
+            parse_fault_spec("fig4:x")
+        with pytest.raises(ReproError):
+            parse_fault_spec("fig4:1:segfault")
+
+    def test_env_hook(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "fig5:3")
+        assert faults_from_env() == {"fig5": (3, "raise")}
+        monkeypatch.delenv(FAULT_ENV)
+        assert faults_from_env() == {}
+
+    def test_injection_trips_until_attempts_exceed(self):
+        from repro.runtime.supervisor import maybe_inject_fault
+
+        spec = TaskSpec("x", attempt=1, inject_failures=2)
+        with pytest.raises(FaultInjected):
+            maybe_inject_fault(spec)
+        spec = TaskSpec("x", attempt=3, inject_failures=2)
+        maybe_inject_fault(spec)  # no raise
+
+
+class TestSerialSupervision:
+    def test_transient_fault_is_retried_to_success(self):
+        report = execute(plan_run(
+            ["fig5"], KW, retries=1, no_cache=True, progress=False,
+            faults={"fig5": (1, "raise")}))
+        out = report.outcome("fig5")
+        assert out.status is TaskStatus.DONE
+        assert out.attempts == 2
+        assert report.manifest.retries == 1
+        assert not report.failed
+
+    def test_exhausted_fault_fails_without_aborting_run(self):
+        report = execute(plan_run(
+            ["fig5", "fig9"], KW, retries=1, no_cache=True, progress=False,
+            faults={"fig5": (99, "raise")}))
+        bad = report.outcome("fig5")
+        good = report.outcome("fig9")
+        assert bad.status is TaskStatus.FAILED
+        assert "FaultInjected" in (bad.traceback or "")
+        assert bad.attempts == 2
+        assert good.status is TaskStatus.DONE
+        assert report.failed
+        assert report.manifest.failed == 1
+
+    def test_crash_kind_demoted_in_serial_mode(self):
+        # A hard exit would take down the caller; serial demotes to raise.
+        report = execute(plan_run(
+            ["fig5"], KW, retries=1, no_cache=True, progress=False,
+            faults={"fig5": (1, "crash")}))
+        assert report.outcome("fig5").status is TaskStatus.DONE
+
+    def test_env_fault_spec_applies(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "fig5:1")
+        report = execute(plan_run(
+            ["fig5"], KW, retries=1, no_cache=True, progress=False))
+        assert report.outcome("fig5").attempts == 2
+
+    def test_failed_experiments_never_cached(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        execute(plan_run(
+            ["fig5"], KW, retries=0, cache_dir=cache, progress=False,
+            faults={"fig5": (99, "raise")}))
+        # The failure must not poison the cache: a clean run recomputes.
+        clean = execute(plan_run(
+            ["fig5"], KW, cache_dir=cache, progress=False))
+        assert clean.outcome("fig5").status is TaskStatus.DONE
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+class TestParallelSupervision:
+    def test_worker_exception_retried_then_failed(self):
+        report = execute(plan_run(
+            ["fig5", "fig9"], KW, jobs=2, retries=1, no_cache=True,
+            progress=False, faults={"fig5": (99, "raise")}))
+        assert report.outcome("fig5").status is TaskStatus.FAILED
+        assert report.outcome("fig5").attempts == 2
+        assert report.outcome("fig9").status is TaskStatus.DONE
+        assert report.failed
+
+    def test_worker_crash_recovered(self):
+        """A hard worker exit (os._exit) breaks the pool; the scheduler
+        rebuilds it and retries — the run completes."""
+        report = execute(plan_run(
+            ["fig5", "fig9"], KW, jobs=2, retries=3, no_cache=True,
+            progress=False, faults={"fig5": (1, "crash")}))
+        assert report.outcome("fig5").status is TaskStatus.DONE
+        assert report.outcome("fig5").attempts >= 2
+        assert report.outcome("fig9").status is TaskStatus.DONE
+
+    def test_worker_crash_exhausts_to_failed(self):
+        report = execute(plan_run(
+            ["fig5", "fig9"], KW, jobs=2, retries=1, no_cache=True,
+            progress=False, faults={"fig5": (99, "crash")}))
+        assert report.outcome("fig5").status is TaskStatus.FAILED
+        assert "crash" in (report.outcome("fig5").error or "")
+        # The innocent bystander still completes (possibly after a
+        # collateral retry when the shared pool broke under it).
+        assert report.outcome("fig9").status is TaskStatus.DONE
+
+    def test_timeout_marks_task_timeout(self):
+        # 'ext' without a cache characterizes inline — comfortably longer
+        # than the 0.1s budget, and than the scheduler's poll interval.
+        report = execute(plan_run(
+            ["ext"], {"iterations": 4}, jobs=2, retries=0,
+            timeout=0.1, no_cache=True, progress=False))
+        out = report.outcome("ext")
+        assert out.status is TaskStatus.TIMEOUT
+        assert "timeout" in (out.error or "")
+        assert report.failed
