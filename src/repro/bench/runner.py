@@ -16,6 +16,7 @@ import numpy as np
 from repro.bench.stats import BoxplotStats, MedianCI, boxplot_stats, median_ci
 from repro.errors import BenchmarkError
 from repro.machine.machine import KNLMachine
+from repro.obs import counter, span
 from repro.rng import SeedLike, generator, spawn
 
 #: Default iterations per benchmark.  The paper uses 1000; the simulated
@@ -79,9 +80,11 @@ class Runner:
     ) -> BenchResult:
         """Run ``sample_fn`` once per iteration and bundle the samples."""
         n = iterations or self.iterations
-        samples = np.fromiter(
-            (sample_fn(self.rng) for _ in range(n)), dtype=float, count=n
-        )
+        with span("bench.collect", category="bench", bench=name, n=n):
+            samples = np.fromiter(
+                (sample_fn(self.rng) for _ in range(n)), dtype=float, count=n
+            )
+        self._account(samples)
         return BenchResult(name=name, params=dict(params or {}), samples=samples, unit=unit)
 
     def collect_vectorized(
@@ -95,9 +98,21 @@ class Runner:
         """Like :meth:`collect` but lets the benchmark produce the whole
         sample vector at once (the fast path for single-line latencies)."""
         n = iterations or self.iterations
-        samples = np.asarray(batch_fn(n, self.rng), dtype=float)
+        with span("bench.collect", category="bench", bench=name, n=n,
+                  vectorized=True):
+            samples = np.asarray(batch_fn(n, self.rng), dtype=float)
         if samples.shape != (n,):
             raise BenchmarkError(
                 f"batch_fn returned shape {samples.shape}, expected ({n},)"
             )
+        self._account(samples)
         return BenchResult(name=name, params=dict(params or {}), samples=samples, unit=unit)
+
+    @staticmethod
+    def _account(samples: np.ndarray) -> None:
+        """Sample-count / discard accounting (see docs/OBSERVABILITY.md)."""
+        counter("bench.collections").inc()
+        counter("bench.samples").inc(int(samples.size))
+        bad = int(samples.size - np.count_nonzero(np.isfinite(samples)))
+        if bad:
+            counter("bench.samples.nonfinite").inc(bad)

@@ -5,8 +5,11 @@ Examples::
     python -m repro --list
     python -m repro table1
     python -m repro fig6 --iterations 100
-    python -m repro all --jobs 8
+    python -m repro run fig4 fig9               # several artifacts at once
+    python -m repro suite --jobs 8              # everything (alias: all)
     python -m repro all --iterations 30 --no-cache
+    python -m repro run fig9 --trace t.json     # + Perfetto trace of the run
+    python -m repro trace t.json                # summarize a trace file
 
 Experiments execute on the :mod:`repro.runtime` engine: ``--jobs N``
 fans them out across worker processes, results are served from a
@@ -15,6 +18,11 @@ content-addressed cache on repeat invocations (``--no-cache`` /
 retried then reported FAILED without aborting the rest of the run.
 ``--jobs`` does not change any result: every experiment seeds its own
 RNG, so the parallel run is byte-identical to the serial one.
+
+``--trace PATH`` records the run through :mod:`repro.obs` and writes a
+Chrome trace-event / Perfetto JSON file; ``repro trace PATH`` prints a
+span/metrics summary of such a file (``--format text`` converts it to a
+chronological timeline instead).
 """
 
 from __future__ import annotations
@@ -38,8 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (see --list), 'all', or 'report' "
-             "(render archived --save-dir results as markdown)",
+        help="experiment id (see --list), 'all'/'suite' (everything), "
+             "'run <ids...>' (several), 'report' (render archived "
+             "--save-dir results as markdown), or 'trace <file>' "
+             "(summarize a --trace output)",
+    )
+    p.add_argument(
+        "targets",
+        nargs="*",
+        help="experiment ids after 'run', or the trace file after 'trace'",
     )
     p.add_argument("--list", action="store_true", help="list experiment ids")
     p.add_argument(
@@ -93,7 +108,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-task progress lines on stderr",
     )
+    obs = p.add_argument_group("observability")
+    obs.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record the run and write a Chrome trace-event / Perfetto "
+             "JSON file (open at ui.perfetto.dev)",
+    )
+    obs.add_argument(
+        "--format", choices=("summary", "text", "json"), default="summary",
+        help="output of the 'trace' subcommand: span/metrics summary "
+             "(default), chronological timeline, or JSON",
+    )
     return p
+
+
+def _trace_command(args, parser) -> int:
+    """``repro trace FILE`` — summarize or convert an exported trace."""
+    if not args.targets:
+        parser.error("trace requires the path of a --trace output file")
+    if len(args.targets) > 1:
+        parser.error("trace takes exactly one file")
+    import json as _json
+
+    from repro.obs import (
+        load_trace_file,
+        summarize,
+        summary_to_text,
+        timeline_to_text,
+    )
+
+    doc = load_trace_file(args.targets[0])
+    if args.format == "text":
+        text = timeline_to_text(doc)
+    elif args.format == "json" or args.json:
+        text = _json.dumps(summarize(doc), indent=2)
+    else:
+        text = summary_to_text(summarize(doc))
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -104,6 +159,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for eid in all_ids():
             print(f"  {eid}")
         return 0
+    if args.experiment == "trace":
+        return _trace_command(args, parser)
     if args.experiment == "report":
         if not args.save_dir:
             parser.error("report requires --save-dir pointing at archived "
@@ -118,10 +175,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 fh.write(text + "\n")
         return 0
 
-    ids = all_ids() if args.experiment == "all" else [args.experiment]
+    if args.experiment in ("all", "suite"):
+        ids = all_ids()
+    elif args.experiment == "run":
+        if not args.targets:
+            parser.error("run requires at least one experiment id")
+        ids = list(args.targets)
+    else:
+        # `repro fig4` (and `repro fig4 fig9` as a courtesy).
+        ids = [args.experiment, *args.targets]
     # Resolve runners up front: unknown ids fail before any work is done.
     for eid in ids:
         get(eid)
+
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
     kw = {}
     if args.iterations is not None:
         kw["iterations"] = args.iterations
@@ -182,6 +252,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os
 
         report.manifest.write(os.path.join(args.save_dir, "manifest.json"))
+    if args.trace:
+        from repro.obs import disable_tracing, write_chrome_trace
+
+        write_chrome_trace(args.trace)
+        disable_tracing()
+        if not args.quiet:
+            print(
+                f"[trace written to {args.trace} — open at "
+                f"https://ui.perfetto.dev]",
+                file=sys.stderr,
+            )
     return 1 if report.failed else 0
 
 

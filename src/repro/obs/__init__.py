@@ -1,0 +1,97 @@
+"""repro.obs — unified tracing & metrics for the whole workbench.
+
+The reproduction *measures* a memory system; this package measures the
+reproduction itself.  Three pieces:
+
+* :mod:`~repro.obs.tracer` — span-based wall-clock tracing
+  (``with span("name", key=value): ...``), thread-safe, and free when
+  disabled (the default): the instrumented hot paths pay one attribute
+  check and receive a shared no-op object.
+* :mod:`~repro.obs.metrics` — always-on counters, gauges, and
+  histograms (p50/p95/max summaries); the runtime scheduler folds a
+  snapshot into every ``manifest.json``.
+* :mod:`~repro.obs.export` / :mod:`~repro.obs.summary` — a Chrome
+  trace-event / Perfetto JSON exporter (wall-clock spans on one track
+  group, simulated virtual-time :class:`~repro.sim.trace.Trace` objects
+  on their own) and the reader behind ``repro trace``.
+
+Quickstart::
+
+    from repro.obs import enable_tracing, span, counter, write_chrome_trace
+
+    enable_tracing()
+    with span("phase", detail="demo"):
+        counter("demo.events").inc()
+    write_chrome_trace("trace.json")   # open in ui.perfetto.dev
+
+See ``docs/OBSERVABILITY.md`` for the file format, the metrics
+glossary, and a worked end-to-end example.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    REQUIRED_EVENT_KEYS,
+    chrome_trace,
+    sim_trace_to_events,
+    span_to_event,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    metrics_snapshot,
+)
+from repro.obs.summary import (
+    load_trace_file,
+    summarize,
+    summarize_trace_file,
+    summary_to_text,
+    timeline_to_text,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "REQUIRED_EVENT_KEYS",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "load_trace_file",
+    "metrics_snapshot",
+    "sim_trace_to_events",
+    "span",
+    "span_to_event",
+    "summarize",
+    "summarize_trace_file",
+    "summary_to_text",
+    "timeline_to_text",
+    "tracing_enabled",
+    "write_chrome_trace",
+]

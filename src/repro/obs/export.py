@@ -1,0 +1,167 @@
+"""Chrome trace-event / Perfetto JSON exporter.
+
+Emits the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+JSON-object form (``{"traceEvents": [...], ...}``) that both
+``chrome://tracing`` and https://ui.perfetto.dev open directly.
+
+Two clock domains share one file:
+
+* **Wall clock** (pid ``1``) — the tracer's spans, as ``"X"`` (complete)
+  events; ``ts``/``dur`` are microseconds since the tracer epoch.
+* **Simulated virtual time** (pid ``2``, ``3``, ...) — one process
+  track group per attached :class:`repro.sim.trace.Trace`; ``ts`` is
+  *virtual* nanoseconds exported as microseconds so queueing structure
+  stays readable next to (not interleaved with) real time.
+
+Metadata events (``"ph": "M"``) name the tracks; the metrics snapshot
+rides in ``otherData`` so one file carries the whole story of a run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import metrics_snapshot
+from repro.obs.tracer import Span, Tracer, get_tracer
+
+#: pid of the wall-clock track group.
+WALL_PID = 1
+#: pid of the first simulated-time track group.
+SIM_PID_BASE = 2
+
+#: Keys every emitted event carries (tests pin this contract).
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _meta(name: str, pid: int, tid: Optional[int] = None,
+          label: str = "") -> Dict[str, Any]:
+    ev: Dict[str, Any] = {
+        "name": name,
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0 if tid is None else tid,
+        "args": {"name": label},
+    }
+    return ev
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def span_to_event(span: Span) -> Dict[str, Any]:
+    """One wall-clock span → one ``"X"`` complete event (µs units)."""
+    end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": span.start_ns / 1000.0,
+        "dur": max(0.0, (end_ns - span.start_ns) / 1000.0),
+        "pid": WALL_PID,
+        "tid": span.tid,
+        "args": _json_safe(span.attrs),
+    }
+
+
+def sim_trace_to_events(trace: Any, pid: int = SIM_PID_BASE,
+                        label: str = "sim") -> List[Dict[str, Any]]:
+    """Convert a virtual-time :class:`~repro.sim.trace.Trace`.
+
+    Each executed op becomes a complete event on the simulated thread's
+    track; virtual nanoseconds are written through as microseconds
+    (the viewer's unit) so the timeline reads in "virtual ns" directly.
+    """
+    events: List[Dict[str, Any]] = [
+        _meta("process_name", pid, label=f"sim:{label} (virtual ns)")
+    ]
+    threads = set()
+    for ev in trace:
+        threads.add(ev.thread)
+        events.append({
+            "name": type(ev.op).__name__,
+            "cat": "sim",
+            "ph": "X",
+            "ts": float(ev.start_ns),
+            "dur": max(0.0, float(ev.end_ns) - float(ev.start_ns)),
+            "pid": pid,
+            "tid": ev.thread,
+            "args": {"op_index": ev.op_index},
+        })
+    for t in sorted(threads):
+        events.append(_meta("thread_name", pid, tid=t, label=f"vthread {t}"))
+    return events
+
+
+def chrome_trace(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    sim_traces: Optional[Sequence[Tuple[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Assemble the exportable trace document.
+
+    ``tracer`` defaults to the process-global tracer; ``metrics`` to the
+    global registry's snapshot; ``sim_traces`` to the traces attached to
+    the tracer via its sim-engine export hook.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    if metrics is None:
+        metrics = metrics_snapshot()
+    if sim_traces is None:
+        sim_traces = tracer.sim_traces()
+
+    events: List[Dict[str, Any]] = [
+        _meta("process_name", WALL_PID, label="repro wall clock")
+    ]
+    for span in tracer.spans():
+        events.append(span_to_event(span))
+    for offset, (label, trace) in enumerate(sim_traces):
+        events.extend(
+            sim_trace_to_events(trace, pid=SIM_PID_BASE + offset,
+                                label=label)
+        )
+    # Viewers tolerate unsorted input, but a sorted file is directly
+    # diffable and lets tests assert monotonicity; metadata first.
+    events.sort(key=lambda e: (e["ph"] != "M", e["pid"], e["ts"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "epoch_unix_s": tracer.epoch_unix_s,
+            "metrics": _json_safe(metrics),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    sim_traces: Optional[Sequence[Tuple[str, Any]]] = None,
+) -> str:
+    """Write the trace document as JSON; returns ``path``."""
+    doc = chrome_trace(tracer=tracer, metrics=metrics,
+                       sim_traces=sim_traces)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def iter_events(doc: Any) -> Iterable[Dict[str, Any]]:
+    """Events of either accepted file shape (object or bare array)."""
+    if isinstance(doc, dict):
+        return doc.get("traceEvents", [])
+    if isinstance(doc, list):
+        return doc
+    return []

@@ -1,0 +1,153 @@
+"""Read back and summarize an exported trace file.
+
+Backs the ``repro trace`` CLI subcommand: load a Chrome trace-event
+JSON file (ours, or any tool's — both the object form and the bare
+event array are accepted), aggregate its complete events per span name,
+and render the embedded metrics snapshot.  ``--format text`` converts
+the file into a chronological timeline instead (the wall-clock
+equivalent of :meth:`repro.sim.trace.Trace.to_text`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+from repro.obs.export import iter_events
+from repro.obs.metrics import _percentile
+
+
+def load_trace_file(path: str) -> Dict[str, Any]:
+    """Load and normalize a trace file to the object form."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path!r}: {exc}")
+    except ValueError as exc:
+        raise ReproError(f"{path!r} is not valid JSON: {exc}")
+    if isinstance(doc, list):
+        doc = {"traceEvents": doc}
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ReproError(
+            f"{path!r} has no traceEvents — not a trace-event file"
+        )
+    return doc
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every complete event sharing one name."""
+
+    name: str
+    count: int = 0
+    total_us: float = 0.0
+    durations_us: List[float] = field(default_factory=list)
+
+    def add(self, dur_us: float) -> None:
+        self.count += 1
+        self.total_us += dur_us
+        self.durations_us.append(dur_us)
+
+    def row(self) -> Dict[str, Any]:
+        ordered = sorted(self.durations_us)
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_ms": self.total_us / 1000.0,
+            "p50_ms": _percentile(ordered, 0.50) / 1000.0,
+            "p95_ms": _percentile(ordered, 0.95) / 1000.0,
+            "max_ms": (ordered[-1] if ordered else 0.0) / 1000.0,
+        }
+
+
+def summarize(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Span/metrics summary of a normalized trace document."""
+    stats: Dict[str, SpanStats] = {}
+    n_events = 0
+    pids = set()
+    for ev in iter_events(doc):
+        if ev.get("ph") == "M":
+            continue
+        n_events += 1
+        pids.add(ev.get("pid", 0))
+        if ev.get("ph") != "X":
+            continue
+        name = str(ev.get("name", "?"))
+        st = stats.get(name)
+        if st is None:
+            st = stats[name] = SpanStats(name)
+        st.add(float(ev.get("dur", 0.0)))
+    other = doc.get("otherData", {}) if isinstance(doc, dict) else {}
+    spans = [
+        stats[name].row()
+        for name in sorted(stats, key=lambda n: -stats[n].total_us)
+    ]
+    return {
+        "events": n_events,
+        "tracks": len(pids),
+        "spans": spans,
+        "metrics": other.get("metrics", {}),
+    }
+
+
+def summary_to_text(summary: Dict[str, Any]) -> str:
+    lines = [
+        f"{summary['events']} event(s) on {summary['tracks']} track(s)",
+        "",
+        f"{'span':40s} {'count':>6s} {'total_ms':>10s} "
+        f"{'p50_ms':>9s} {'p95_ms':>9s} {'max_ms':>9s}",
+    ]
+    for row in summary["spans"]:
+        lines.append(
+            f"{row['name'][:40]:40s} {row['count']:6d} "
+            f"{row['total_ms']:10.3f} {row['p50_ms']:9.3f} "
+            f"{row['p95_ms']:9.3f} {row['max_ms']:9.3f}"
+        )
+    metrics = summary.get("metrics") or {}
+    if metrics:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(metrics):
+            m = metrics[name]
+            if not isinstance(m, dict):
+                lines.append(f"  {name} = {m}")
+                continue
+            unit = f" {m['unit']}" if m.get("unit") else ""
+            if m.get("type") == "histogram":
+                if not m.get("count"):
+                    lines.append(f"  {name}: empty histogram")
+                    continue
+                lines.append(
+                    f"  {name}: n={m['count']} p50={m.get('p50', 0):.4g}"
+                    f" p95={m.get('p95', 0):.4g}"
+                    f" max={m.get('max', 0):.4g}{unit}"
+                )
+            else:
+                lines.append(f"  {name} = {m.get('value')}{unit}")
+    return "\n".join(lines)
+
+
+def timeline_to_text(doc: Dict[str, Any], max_events: int = 100) -> str:
+    """Chronological event listing (the ``--format text`` conversion)."""
+    events = [
+        ev for ev in iter_events(doc) if ev.get("ph") == "X"
+    ]
+    events.sort(key=lambda e: (float(e.get("ts", 0.0)), e.get("pid", 0)))
+    lines = [f"{'pid':>4s} {'tid':>5s} {'ts_us':>14s} {'dur_us':>12s}  name"]
+    for ev in events[:max_events]:
+        lines.append(
+            f"{ev.get('pid', 0):4d} {ev.get('tid', 0):5d} "
+            f"{float(ev.get('ts', 0.0)):14.1f} "
+            f"{float(ev.get('dur', 0.0)):12.1f}  {ev.get('name', '?')}"
+        )
+    if len(events) > max_events:
+        lines.append(f"... ({len(events) - max_events} more)")
+    return "\n".join(lines)
+
+
+def summarize_trace_file(path: str) -> Dict[str, Any]:
+    """Convenience: load + summarize in one call."""
+    return summarize(load_trace_file(path))

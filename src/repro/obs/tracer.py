@@ -1,0 +1,234 @@
+"""Span-based wall-clock tracer.
+
+One process-global :class:`Tracer` collects :class:`Span` records —
+named, attributed intervals on the wall clock — from every instrumented
+layer (runtime scheduler, benchmark runner, CLI).  The tracer is *off*
+by default: :func:`span` then returns a shared no-op context manager
+without allocating, so instrumentation left in hot paths costs a single
+attribute check per call.
+
+Timestamps come from :func:`time.perf_counter_ns` (monotonic), anchored
+to an epoch captured when the tracer is created, so exported traces
+start near ``ts=0`` and never run backwards even if the system clock
+steps.
+
+Thread safety: spans may be opened and closed concurrently from any
+thread; the record list is guarded by a lock and each thread gets a
+stable small integer track id (in first-seen order) for display.
+
+Simulated time is a *separate clock*: finished
+:class:`repro.sim.trace.Trace` objects are attached via
+:meth:`Tracer.add_sim_trace` and exported on their own track group (see
+:mod:`repro.obs.export`) rather than being mixed into wall-clock spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval.
+
+    ``start_ns``/``end_ns`` are nanoseconds since the owning tracer's
+    epoch; ``end_ns`` is None while the span is open.  ``tid`` is the
+    tracer-assigned display track (per thread unless overridden).
+    """
+
+    name: str
+    category: str = "default"
+    start_ns: int = 0
+    end_ns: Optional[int] = None
+    tid: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return (self.end_ns or self.start_ns) - self.start_ns
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open (or finished) span."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton handed out by :func:`span` when tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that closes its span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self.span)
+
+
+class Tracer:
+    """Thread-safe collector of wall-clock spans and simulated traces."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        #: (label, Trace) pairs attached by the sim engine's export hook.
+        self._sim_traces: List[Tuple[str, Any]] = []
+        self._tids: Dict[int, int] = {}
+        self.epoch_ns = time.perf_counter_ns()
+        #: Wall-clock time of the epoch (for humans reading exports).
+        self.epoch_unix_s = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._sim_traces.clear()
+            self._tids.clear()
+        self.epoch_ns = time.perf_counter_ns()
+        self.epoch_unix_s = time.time()
+
+    # -- recording ---------------------------------------------------------
+
+    def _now(self) -> int:
+        return time.perf_counter_ns() - self.epoch_ns
+
+    def _tid_for_current_thread(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[ident] = tid
+        return tid
+
+    def span(self, name: str, category: str = "default",
+             **attrs: Any):
+        """Open a span as a context manager (no-op while disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        with self._lock:
+            sp = Span(
+                name=name,
+                category=category,
+                start_ns=self._now(),
+                tid=self._tid_for_current_thread(),
+                attrs=attrs,
+            )
+            self._spans.append(sp)
+        return _SpanContext(self, sp)
+
+    def _close(self, sp: Span) -> None:
+        sp.end_ns = self._now()
+
+    def record(self, name: str, start_ns: int, end_ns: int,
+               category: str = "default", tid: Optional[int] = None,
+               **attrs: Any) -> Optional[Span]:
+        """Record an already-measured interval (timestamps relative to
+        :attr:`epoch_ns`, i.e. ``time.perf_counter_ns() - epoch_ns``).
+
+        The parallel scheduler uses this: a task's lifetime is observed
+        from the parent process (submit → future done), not from inside
+        the worker, so there is no open context manager to close.
+        ``tid`` selects an explicit display track (one per task keeps
+        concurrent tasks from stacking on a single row).
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            sp = Span(
+                name=name,
+                category=category,
+                start_ns=int(start_ns),
+                end_ns=int(end_ns),
+                tid=self._tid_for_current_thread() if tid is None else tid,
+                attrs=attrs,
+            )
+            self._spans.append(sp)
+        return sp
+
+    def add_sim_trace(self, trace: Any, label: str = "sim") -> None:
+        """Attach a finished virtual-time :class:`~repro.sim.trace.Trace`.
+
+        Sim traces ride along to the exporter but live on their own
+        clock (virtual nanoseconds since engine start), so they are kept
+        apart from wall-clock spans rather than merged.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._sim_traces.append((label, trace))
+
+    # -- inspection --------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Snapshot of recorded spans (closed and still-open)."""
+        with self._lock:
+            return list(self._spans)
+
+    def sim_traces(self) -> List[Tuple[str, Any]]:
+        with self._lock:
+            return list(self._sim_traces)
+
+
+#: Process-global tracer; instrumentation calls the module-level helpers.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def span(name: str, category: str = "default", **attrs: Any):
+    """Open a span on the global tracer (no-op singleton when disabled)."""
+    tracer = _TRACER
+    if not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, category, **attrs)
+
+
+def enable_tracing() -> Tracer:
+    _TRACER.enable()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled

@@ -44,6 +44,7 @@ _LAZY = {
     "parse_fault_spec": "repro.runtime.supervisor",
     "ProgressPrinter": "repro.runtime.progress",
     "RunManifest": "repro.runtime.progress",
+    "MANIFEST_SCHEMA_VERSION": "repro.runtime.progress",
 }
 
 __all__ = [

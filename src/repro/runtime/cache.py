@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro._version import __version__
 from repro.experiments.common import ExperimentResult
+from repro.obs import counter, span
 from repro.runtime.task import CharacterizationNeed
 
 #: Default LRU cap for the result cache (bytes).
@@ -155,6 +156,14 @@ class ResultCache:
     # -- get/put -----------------------------------------------------------
 
     def get(self, key: str) -> Optional[ExperimentResult]:
+        with span("cache.result.get", category="cache") as sp:
+            result = self._get(key)
+            sp.set(outcome="hit" if result is not None else "miss")
+        name = "hits" if result is not None else "misses"
+        counter(f"runtime.cache.result.{name}").inc()
+        return result
+
+    def _get(self, key: str) -> Optional[ExperimentResult]:
         path = self._path(key)
         if not os.path.exists(path):
             self.misses += 1
@@ -180,6 +189,7 @@ class ResultCache:
 
     def put(self, key: str, result: ExperimentResult,
             meta: Optional[Dict[str, Any]] = None) -> str:
+        counter("runtime.cache.result.writes").inc()
         payload = {
             "key": key,
             "meta": dict(meta or {}, version=__version__),
@@ -283,23 +293,30 @@ class CharacterizationCache:
         return os.path.exists(self._path(key))
 
     def get(self, key: str):
-        path = self._path(key)
-        if not os.path.exists(path):
+        with span("cache.char.get", category="cache") as sp:
+            path = self._path(key)
+            bundle = None
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as fh:
+                        bundle = pickle.load(fh)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    bundle = None
+            sp.set(outcome="hit" if bundle is not None else "miss")
+        if bundle is None:
             self.misses += 1
-            return None
-        try:
-            with open(path, "rb") as fh:
-                bundle = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
-            self.misses += 1
+            counter("runtime.cache.char.misses").inc()
             return None
         self.hits += 1
+        counter("runtime.cache.char.hits").inc()
         return bundle
 
     def put(self, key: str, bundle) -> None:
         if self.read_only:
             return
-        _atomic_write(self._path(key), pickle.dumps(bundle))
+        counter("runtime.cache.char.writes").inc()
+        with span("cache.char.put", category="cache"):
+            _atomic_write(self._path(key), pickle.dumps(bundle))
 
 
 # -- process-global characterization cache handle --------------------------

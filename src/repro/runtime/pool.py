@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments import registry
+from repro.obs import counter, get_tracer, histogram, metrics_snapshot, span
 from repro.runtime.cache import (
     CharacterizationCache,
     ResultCache,
@@ -46,6 +47,7 @@ from repro.runtime.supervisor import (
     RetryPolicy,
     faults_from_env,
     maybe_inject_fault,
+    note_retry,
 )
 from repro.runtime.task import (
     CharacterizationNeed,
@@ -200,6 +202,16 @@ def _mp_context():
     )
 
 
+def _rel_ns(t_perf_s: float) -> int:
+    """``time.perf_counter()`` seconds → ns relative to the tracer epoch.
+
+    The parallel scheduler observes task lifetimes as (submit time,
+    completion time) pairs in the parent process; this converts them to
+    the tracer's clock so they can be recorded as spans after the fact.
+    """
+    return int(t_perf_s * 1e9) - get_tracer().epoch_ns
+
+
 def _collect_needs(
     specs: List[Tuple[TaskSpec, Optional[str]]],
     plan: RunPlan,
@@ -281,7 +293,9 @@ def execute(plan: RunPlan) -> RunReport:
             printer.phase(
                 "warm-up", f"{len(needs)} characterization bundle(s)"
             )
-            _run_warmups(needs, plan, printer)
+            with span("runtime.warmup", category="runtime",
+                      bundles=len(needs), jobs=plan.jobs):
+                _run_warmups(needs, plan, printer)
             manifest.warmed_characterizations = len(needs)
 
     # Phase 2: fan experiments out.
@@ -321,7 +335,20 @@ def execute(plan: RunPlan) -> RunReport:
         ordered.append(outcome)
         manifest.record(outcome)
 
-    manifest.wall_s = round(time.perf_counter() - t_start, 4)
+    for outcome in ordered:
+        counter(f"runtime.tasks.{outcome.status.value}").inc()
+        if outcome.status is TaskStatus.DONE:
+            histogram("runtime.task.duration_s", unit="s").observe(
+                outcome.duration_s
+            )
+    t_end = time.perf_counter()
+    get_tracer().record(
+        "runtime.execute", _rel_ns(t_start), _rel_ns(t_end),
+        category="runtime", jobs=plan.jobs, tasks=len(plan.ids),
+        failed=sum(1 for o in ordered if not o.ok),
+    )
+    manifest.wall_s = round(t_end - t_start, 4)
+    manifest.metrics = metrics_snapshot()
     return RunReport(outcomes=ordered, manifest=manifest)
 
 
@@ -397,7 +424,10 @@ def _execute_serial(
             if spec.inject_kind == "crash":
                 spec = replace(spec, inject_kind="raise")
             printer.task(spec.exp_id, TaskStatus.RUNNING, spec.attempt)
-            payload = _run_experiment_task(spec)
+            with span(f"task:{spec.exp_id}", category="task",
+                      attempt=spec.attempt) as sp:
+                payload = _run_experiment_task(spec)
+                sp.set(ok=payload["ok"])
             total += payload["duration_s"]
             timed_out = (
                 policy.timeout_s is not None
@@ -428,6 +458,8 @@ def _execute_serial(
                     spec.exp_id, TaskStatus.FAILED, spec.attempt,
                     f"retrying: {payload['error']}",
                 )
+                note_retry(spec.exp_id, spec.attempt,
+                           policy.backoff(spec.attempt))
                 time.sleep(policy.backoff(spec.attempt))
                 spec = replace(spec, attempt=spec.attempt + 1)
                 continue
@@ -458,6 +490,9 @@ def _execute_parallel(
     policy = plan.retry
     ctx = _mp_context()
     pool = ProcessPoolExecutor(max_workers=plan.jobs, mp_context=ctx)
+    #: Stable display track per task for recorded lifecycle spans
+    #: (track 0 is the parent's own thread).
+    trace_tids = {spec.exp_id: i + 1 for i, (spec, _) in enumerate(specs)}
     #: future → (spec, submit time, cumulative duration of prior
     #: attempts, quarantine pool or None for the shared pool)
     in_flight: Dict[
@@ -507,6 +542,8 @@ def _execute_parallel(
                 spec.exp_id, TaskStatus.FAILED, spec.attempt,
                 f"retrying: {payload['error']}",
             )
+            note_retry(spec.exp_id, spec.attempt,
+                       policy.backoff(spec.attempt))
             retry_queue.append(
                 (
                     time.perf_counter() + policy.backoff(spec.attempt),
@@ -570,6 +607,13 @@ def _execute_parallel(
                 finally:
                     if solo is not None:
                         solo.shutdown(wait=False, cancel_futures=True)
+                get_tracer().record(
+                    f"task:{spec.exp_id}", _rel_ns(t_submit),
+                    _rel_ns(time.perf_counter()), category="task",
+                    tid=trace_tids.get(spec.exp_id, 0),
+                    attempt=spec.attempt, ok=bool(payload["ok"]),
+                    quarantined=solo is not None,
+                )
                 total = prior + payload["duration_s"]
                 if payload["ok"]:
                     outcomes[spec.exp_id] = _finalize(
@@ -604,6 +648,12 @@ def _execute_parallel(
                     fut.cancel()
                     if solo is not None:
                         solo.shutdown(wait=False, cancel_futures=True)
+                    get_tracer().record(
+                        f"task:{spec.exp_id}", _rel_ns(t_submit),
+                        _rel_ns(now), category="task",
+                        tid=trace_tids.get(spec.exp_id, 0),
+                        attempt=spec.attempt, ok=False, timeout=True,
+                    )
                     payload = {
                         "ok": False,
                         "error": (

@@ -18,6 +18,15 @@ from typing import Any, Dict, List, Optional, TextIO
 from repro._version import __version__
 from repro.runtime.task import TaskOutcome, TaskStatus
 
+#: Version of the ``manifest.json`` layout (not of the package).  Bump
+#: when a field is renamed, retyped, or removed — *adding* fields is
+#: backwards-compatible and does not bump it.  History and the full
+#: field-by-field schema live in ``docs/OBSERVABILITY.md``.
+#:
+#: 1 — PR 1 layout (tasks, cache counts, wall time).
+#: 2 — adds ``schema_version`` itself and the ``metrics`` snapshot.
+MANIFEST_SCHEMA_VERSION = 2
+
 
 class ProgressPrinter:
     """Per-task status lines, one per state transition."""
@@ -76,6 +85,8 @@ class TaskRecord:
 class RunManifest:
     """Machine-readable summary of one engine run."""
 
+    #: Layout version of this document (see MANIFEST_SCHEMA_VERSION).
+    schema_version: int = MANIFEST_SCHEMA_VERSION
     version: str = __version__
     jobs: int = 1
     started_at: float = 0.0
@@ -88,6 +99,9 @@ class RunManifest:
     retries: int = 0
     failed: int = 0
     tasks: List[TaskRecord] = field(default_factory=list)
+    #: Snapshot of the :mod:`repro.obs` metrics registry at run end
+    #: (name → counter/gauge/histogram summary).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def record(self, outcome: TaskOutcome) -> None:
         self.tasks.append(TaskRecord.from_outcome(outcome))

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs import counter, histogram
 from repro.runtime.task import TaskSpec
 
 #: Environment hook: comma-separated ``exp_id:failures[:kind]`` entries.
@@ -79,6 +80,16 @@ def parse_fault_spec(text: str) -> Dict[str, Tuple[int, str]]:
     return faults
 
 
+def note_retry(exp_id: str, attempt: int, backoff_s: float) -> None:
+    """Metrics hook called by the scheduler each time a retry is queued.
+
+    Lives here (not in the pool) so both execution paths — serial and
+    parallel — account retries identically.
+    """
+    counter("runtime.retries").inc()
+    histogram("runtime.retry.backoff_s", unit="s").observe(backoff_s)
+
+
 def faults_from_env() -> Dict[str, Tuple[int, str]]:
     text = os.environ.get(FAULT_ENV, "")
     return parse_fault_spec(text) if text else {}
@@ -88,6 +99,7 @@ def maybe_inject_fault(spec: TaskSpec) -> None:
     """Trip the fault hook inside a worker, if armed for this attempt."""
     if spec.attempt > spec.inject_failures:
         return
+    counter("runtime.faults.injected").inc()
     if spec.inject_kind == "crash":
         # A real crash: bypass exception handling and atexit machinery,
         # exactly like a segfaulting worker.

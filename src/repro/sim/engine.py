@@ -87,6 +87,9 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self, programs: Sequence[Program]) -> RunResult:
+        from repro.obs import counter
+
+        counter("sim.runs").inc()
         threads = [p.thread for p in programs]
         if len(set(threads)) != len(threads):
             raise SimulationError("duplicate thread ids in program set")
@@ -169,6 +172,9 @@ class Engine:
         # already in `finished`; catch any zero-op programs too.
         for t in threads:
             finished.setdefault(t, clock[t])
+        trace = Trace(events) if self.record_trace else None
+        if trace is not None:
+            self._publish_trace(trace)
         return RunResult(
             finish_ns=finished,
             flag_set_ns={
@@ -176,7 +182,22 @@ class Engine:
                 for name, st in flags.items()
                 if st.set_time is not None
             },
-            trace=Trace(events) if self.record_trace else None,
+            trace=trace,
+        )
+
+    def _publish_trace(self, trace: Trace) -> None:
+        """Export hook: attach the finished virtual-time trace to the
+        process-global tracer (a no-op unless tracing is enabled), so a
+        ``--trace`` run exports sim timelines on their own clock track.
+        """
+        from repro.obs import counter, get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        counter("sim.ops.traced").inc(len(trace))
+        tracer.add_sim_trace(
+            trace, label=f"{self.machine.config.label()}/{len(trace)}ops"
         )
 
     # ------------------------------------------------------------------

@@ -33,6 +33,18 @@ class TestParser:
         assert not args.no_cache and not args.refresh
         assert args.timeout is None and args.retries == 1
 
+    def test_obs_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig4", "fig9", "--trace", "t.json"]
+        )
+        assert args.experiment == "run"
+        assert args.targets == ["fig4", "fig9"]
+        assert args.trace == "t.json"
+        assert args.format == "summary"
+        args = build_parser().parse_args(["trace", "t.json", "--format", "text"])
+        assert args.experiment == "trace" and args.targets == ["t.json"]
+        assert args.format == "text"
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -84,6 +96,57 @@ class TestMain:
              "--cache-dir", str(cache)]
         ) == 0
         assert not cache.exists()
+
+
+class TestTraceWorkflow:
+    def test_run_requires_ids(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run"])
+        assert exc.value.code == 2
+        assert "experiment id" in capsys.readouterr().err
+
+    def test_trace_requires_file(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace"])
+        assert exc.value.code == 2
+
+    def test_run_trace_then_summarize(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        assert main(
+            ["run", "fig4", "--iterations", "8", "--no-cache", "--quiet",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "runtime.execute" in names and "task:fig4" in names
+        assert "metrics" in doc["otherData"]
+
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.execute" in out and "span" in out.lower()
+
+        assert main(["trace", str(trace), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] > 0
+        assert any(s["name"] == "task:fig4" for s in summary["spans"])
+
+        assert main(["trace", str(trace), "--format", "text"]) == 0
+        assert "task:fig4" in capsys.readouterr().out
+
+    def test_suite_alias_parses(self):
+        args = build_parser().parse_args(["suite", "--jobs", "2"])
+        assert args.experiment == "suite" and args.jobs == 2
+
+    def test_tracer_disabled_after_untraced_run(self, capsys):
+        from repro.obs import tracing_enabled
+
+        assert main(["fig4", "--iterations", "8", "--quiet",
+                     "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not tracing_enabled()
 
 
 class TestReportErrors:

@@ -1,0 +1,225 @@
+"""Tracer and metrics registry (repro.obs core)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import NULL_SPAN, Span, Tracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _percentile,
+)
+
+
+class TestTracer:
+    def test_disabled_by_default_returns_null_singleton(self):
+        t = Tracer()
+        assert t.span("x") is NULL_SPAN
+        assert t.span("y", key=1) is NULL_SPAN
+        with t.span("z") as sp:
+            sp.set(a=1)  # must be a no-op, not an error
+        assert t.spans() == []
+
+    def test_global_helper_is_null_when_disabled(self):
+        from repro.obs import get_tracer, span
+
+        assert not get_tracer().enabled
+        assert span("anything") is NULL_SPAN
+
+    def test_disabled_overhead_guard(self):
+        # The whole point of the null path: 100k disabled span() calls
+        # must cost microseconds each at worst.  The bound is deliberately
+        # loose (CI machines vary); the structural singleton check above
+        # is the real guarantee.
+        t = Tracer(enabled=False)
+        t0 = time.perf_counter()
+        for _ in range(100_000):
+            with t.span("hot"):
+                pass
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_span_records_interval_and_attrs(self):
+        t = Tracer(enabled=True)
+        with t.span("work", category="test", item=3) as sp:
+            sp.set(extra="yes")
+        (rec,) = t.spans()
+        assert rec.name == "work"
+        assert rec.category == "test"
+        assert rec.attrs == {"item": 3, "extra": "yes"}
+        assert rec.end_ns is not None
+        assert rec.end_ns >= rec.start_ns >= 0
+        assert rec.duration_ns == rec.end_ns - rec.start_ns
+
+    def test_exception_marks_span_and_propagates(self):
+        t = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("x")
+        (rec,) = t.spans()
+        assert rec.attrs["error"] == "ValueError"
+        assert rec.end_ns is not None
+
+    def test_record_after_the_fact(self):
+        t = Tracer(enabled=True)
+        sp = t.record("task:fig4", 100, 2100, tid=7, attempt=2)
+        assert isinstance(sp, Span)
+        assert (sp.start_ns, sp.end_ns, sp.tid) == (100, 2100, 7)
+        assert t.record("x", 0, 1) in t.spans()
+        t.disable()
+        assert t.record("ignored", 0, 1) is None
+
+    def test_thread_safety_and_stable_tids(self):
+        t = Tracer(enabled=True)
+        # All 8 threads must be alive at once: OS thread idents (and so
+        # tracer tids) are legitimately recycled after a thread exits.
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            for i in range(100):
+                with t.span("s", i=i):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = t.spans()
+        assert len(spans) == 800
+        assert len({s.tid for s in spans}) == 8
+
+    def test_sim_trace_attachment_gated_on_enabled(self):
+        t = Tracer()
+        t.add_sim_trace(object(), label="off")
+        assert t.sim_traces() == []
+        t.enable()
+        t.add_sim_trace("fake-trace", label="on")
+        assert t.sim_traces() == [("on", "fake-trace")]
+
+    def test_clear_resets_everything(self):
+        t = Tracer(enabled=True)
+        with t.span("a"):
+            pass
+        t.add_sim_trace("x")
+        t.clear()
+        assert t.spans() == [] and t.sim_traces() == []
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("n", unit="ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.summary() == {"type": "counter", "value": 5, "unit": "ops"}
+
+    def test_gauge(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(3.5)
+        assert g.summary() == {"type": "gauge", "value": 3.5}
+
+    def test_histogram_quantiles(self):
+        h = Histogram("h", unit="ms")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1 and s["max"] == 100
+        assert s["sum"] == 5050
+        assert abs(s["p50"] - 50.5) < 1e-9
+        assert abs(s["p95"] - 95.05) < 1e-9
+
+    def test_histogram_empty(self):
+        assert Histogram("h").summary()["count"] == 0
+
+    def test_histogram_downsamples_but_keeps_count_and_extremes(self):
+        h = Histogram("h", max_samples=64)
+        for v in range(1000):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 1000
+        assert s["min"] == 0 and s["max"] == 999
+        assert 300 < s["p50"] < 700  # coarse but sane after decimation
+
+    def test_percentile_helper(self):
+        assert _percentile([1.0], 0.95) == 1.0
+        assert _percentile([1.0, 3.0], 0.5) == 2.0
+
+    def test_registry_reuses_and_type_checks(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+        r.histogram("b").observe(1)
+        snap = r.snapshot()
+        assert snap["a"]["type"] == "counter"
+        assert snap["b"]["count"] == 1
+        assert r.names() == ["a", "b"]
+
+    def test_counter_thread_safety(self):
+        c = Counter("n")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert c.value == 8000
+
+    def test_global_registry_roundtrip(self):
+        from repro.obs import counter, metrics_snapshot
+
+        counter("test.obs.global").inc(2)
+        assert metrics_snapshot()["test.obs.global"]["value"] >= 2
+
+
+class TestInstrumentationEmitsDocumentedMetrics:
+    """The runner/runtime instrumentation and the glossary must agree."""
+
+    def test_bench_runner_counts_samples(self):
+        from repro.bench import Runner
+        from repro.machine.config import MachineConfig
+        from repro.machine.machine import KNLMachine
+        from repro.obs import counter
+
+        before_collections = counter("bench.collections").value
+        before_samples = counter("bench.samples").value
+        machine = KNLMachine(MachineConfig(), seed=3)
+        runner = Runner(machine, iterations=7, seed=3)
+        runner.collect("t", lambda rng: float(rng.uniform(1, 2)))
+        assert counter("bench.collections").value == before_collections + 1
+        assert counter("bench.samples").value == before_samples + 7
+
+    def test_metric_names_are_in_the_glossary(self):
+        import os
+        import re
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(root, "docs", "OBSERVABILITY.md")) as fh:
+            glossary = fh.read()
+        src = os.path.join(root, "src", "repro")
+        pattern = re.compile(
+            r"(?:counter|gauge|histogram)\(\s*[\"']([a-z0-9_.]+)[\"']"
+        )
+        names = set()
+        for dirpath, _dirs, files in os.walk(src):
+            for f in files:
+                if f.endswith(".py"):
+                    with open(os.path.join(dirpath, f)) as fh:
+                        names.update(pattern.findall(fh.read()))
+        assert names, "instrumentation metric names not found"
+        for name in sorted(names):
+            assert name in glossary, (
+                f"metric {name!r} is emitted but missing from "
+                f"docs/OBSERVABILITY.md"
+            )

@@ -1,0 +1,201 @@
+"""Chrome trace-event exporter and the trace-file reader."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    REQUIRED_EVENT_KEYS,
+    Tracer,
+    chrome_trace,
+    load_trace_file,
+    sim_trace_to_events,
+    summarize,
+    summary_to_text,
+    timeline_to_text,
+    write_chrome_trace,
+)
+from repro.sim.program import Delay
+from repro.sim.trace import Trace, TraceEvent
+
+
+def make_tracer():
+    t = Tracer(enabled=True)
+    t.record("runtime.execute", 0, 5_000_000, category="runtime", jobs=2)
+    t.record("task:fig4", 1_000_000, 3_000_000, category="task", tid=1,
+             attempt=1, ok=True)
+    t.record("task:fig9", 1_500_000, 4_500_000, category="task", tid=2,
+             attempt=1, ok=True)
+    return t
+
+
+def make_sim_trace():
+    return Trace([
+        TraceEvent(thread=0, op_index=0, op=Delay(10.0),
+                   start_ns=0.0, end_ns=10.0),
+        TraceEvent(thread=1, op_index=0, op=Delay(5.0),
+                   start_ns=2.0, end_ns=7.0),
+        TraceEvent(thread=0, op_index=1, op=Delay(3.0),
+                   start_ns=10.0, end_ns=13.0),
+    ])
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        doc = chrome_trace(tracer=make_tracer(), metrics={})
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_every_event_has_required_keys(self):
+        doc = chrome_trace(tracer=make_tracer(), metrics={},
+                           sim_traces=[("s", make_sim_trace())])
+        assert len(doc["traceEvents"]) > 4
+        for ev in doc["traceEvents"]:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in ev, f"event {ev} missing {key}"
+            assert ev["ph"] in ("X", "M")
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert ev["ts"] >= 0
+
+    def test_ts_monotonic_within_pid(self):
+        doc = chrome_trace(tracer=make_tracer(), metrics={},
+                           sim_traces=[("s", make_sim_trace())])
+        last = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] != "X":
+                continue
+            assert ev["ts"] >= last.get(ev["pid"], 0.0)
+            last[ev["pid"]] = ev["ts"]
+        assert set(last) == {1, 2}
+
+    def test_span_units_are_microseconds(self):
+        doc = chrome_trace(tracer=make_tracer(), metrics={})
+        ev = next(e for e in doc["traceEvents"]
+                  if e["name"] == "task:fig4")
+        assert ev["ts"] == pytest.approx(1000.0)   # 1 ms → 1000 µs
+        assert ev["dur"] == pytest.approx(2000.0)
+        assert ev["args"]["attempt"] == 1
+
+    def test_sim_trace_on_its_own_pid_with_metadata(self):
+        events = sim_trace_to_events(make_sim_trace(), pid=7, label="barrier")
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name"
+                   and "barrier" in e["args"]["name"] for e in meta)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {7}
+        assert {e["tid"] for e in xs} == {0, 1}
+        assert all(e["name"] == "Delay" for e in xs)
+        # Virtual ns written through as the viewer's µs unit.
+        assert xs[0]["ts"] == 0.0 and xs[0]["dur"] == 10.0
+
+    def test_non_json_attrs_are_stringified(self):
+        t = Tracer(enabled=True)
+        t.record("x", 0, 1, obj=object(), nested={"k": (1, 2)})
+        doc = chrome_trace(tracer=t, metrics={})
+        blob = json.dumps(doc)  # must not raise
+        assert "nested" in blob
+
+
+class TestFileRoundTrip:
+    def test_write_load_summarize(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        metrics = {
+            "runtime.tasks.done": {"type": "counter", "value": 2},
+            "runtime.task.duration_s": {
+                "type": "histogram", "count": 2, "sum": 0.5, "min": 0.2,
+                "max": 0.3, "p50": 0.25, "p95": 0.3, "unit": "s",
+            },
+        }
+        assert write_chrome_trace(path, tracer=make_tracer(),
+                                  metrics=metrics) == path
+        doc = load_trace_file(path)
+        summary = summarize(doc)
+        names = {row["name"] for row in summary["spans"]}
+        assert {"runtime.execute", "task:fig4", "task:fig9"} <= names
+        exe = next(r for r in summary["spans"]
+                   if r["name"] == "runtime.execute")
+        assert exe["count"] == 1
+        assert exe["total_ms"] == pytest.approx(5.0)
+        assert summary["metrics"]["runtime.tasks.done"]["value"] == 2
+
+    def test_summary_text_rendering(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome_trace(path, tracer=make_tracer(), metrics={
+            "bench.samples": {"type": "counter", "value": 11},
+        })
+        text = summary_to_text(summarize(load_trace_file(path)))
+        assert "task:fig4" in text
+        assert "bench.samples = 11" in text
+        assert "p95_ms" in text
+
+    def test_timeline_text(self):
+        doc = chrome_trace(tracer=make_tracer(), metrics={})
+        text = timeline_to_text(doc)
+        lines = text.splitlines()
+        assert "runtime.execute" in lines[1]  # earliest ts first
+        assert "task:fig9" in text
+
+    def test_bare_event_array_accepted(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([
+            {"name": "a", "ph": "X", "ts": 0, "dur": 5, "pid": 1, "tid": 0},
+        ]))
+        summary = summarize(load_trace_file(str(path)))
+        assert summary["events"] == 1
+
+    def test_bad_files_rejected(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            load_trace_file(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_trace_file(str(bad))
+        notrace = tmp_path / "notrace.json"
+        notrace.write_text('{"foo": 1}')
+        with pytest.raises(ReproError):
+            load_trace_file(str(notrace))
+
+
+class TestEngineExportHook:
+    def test_engine_publishes_trace_when_tracing(self):
+        from repro.machine.config import MachineConfig
+        from repro.machine.machine import KNLMachine
+        from repro.obs import disable_tracing, enable_tracing, get_tracer
+        from repro.sim import Engine
+        from repro.sim.program import Program
+
+        machine = KNLMachine(MachineConfig(), seed=5)
+        programs = [Program(thread=0, ops=[Delay(10.0), Delay(5.0)])]
+        tracer = enable_tracing()
+        n0 = len(tracer.sim_traces())
+        try:
+            Engine(machine, record_trace=True).run(programs)
+            Engine(machine, record_trace=False).run(programs)  # no publish
+        finally:
+            disable_tracing()
+        published = tracer.sim_traces()[n0:]
+        assert len(published) == 1
+        label, trace = published[0]
+        assert len(trace) == 2 and "2ops" in label
+        # And the published trace converts cleanly.
+        events = sim_trace_to_events(trace, pid=3, label=label)
+        assert sum(1 for e in events if e["ph"] == "X") == 2
+
+    def test_engine_does_not_publish_when_disabled(self):
+        from repro.machine.config import MachineConfig
+        from repro.machine.machine import KNLMachine
+        from repro.obs import get_tracer
+        from repro.sim import Engine
+        from repro.sim.program import Program
+
+        assert not get_tracer().enabled
+        machine = KNLMachine(MachineConfig(), seed=5)
+        n0 = len(get_tracer().sim_traces())
+        Engine(machine, record_trace=True).run(
+            [Program(thread=0, ops=[Delay(1.0)])]
+        )
+        assert len(get_tracer().sim_traces()) == n0

@@ -1,7 +1,12 @@
-"""Markdown report rendering + documentation/API integrity guards."""
+"""Markdown report rendering + documentation/API integrity guards,
+including executable documentation: every fenced ```python block in
+README.md and docs/*.md is extracted and run, so examples cannot rot."""
 
+import contextlib
 import importlib
+import io
 import os
+import re
 
 import pytest
 
@@ -63,6 +68,8 @@ class TestApiIntegrity:
         "repro.algorithms",
         "repro.sim",
         "repro.apps",
+        "repro.runtime",
+        "repro.obs",
     )
 
     @pytest.mark.parametrize("pkg", PACKAGES)
@@ -107,3 +114,104 @@ class TestDocsIntegrity:
         for artifact in ("Table I", "Table II", "Figure 1", "Figure 4",
                          "Figure 5", "Figures 6–8", "Figure 9", "Figure 10"):
             assert artifact in exps
+
+    def test_observability_doc_covers_cli_and_manifest(self):
+        obs = self._read("docs", "OBSERVABILITY.md")
+        for needle in ("--trace", "repro trace", "schema_version",
+                       "traceEvents", "perfetto", "manifest.json"):
+            assert needle.lower() in obs.lower(), f"missing {needle!r}"
+
+
+# --- executable documentation ---------------------------------------------
+
+#: Markdown files whose fenced ```python blocks must execute.
+DOC_FILES = sorted(
+    ["README.md"]
+    + [
+        os.path.join("docs", f)
+        for f in os.listdir(os.path.join(REPO_ROOT, "docs"))
+        if f.endswith(".md")
+    ]
+)
+
+#: All tracked markdown (link integrity): repo root + docs/.
+ALL_MD = sorted(
+    [f for f in os.listdir(REPO_ROOT) if f.endswith(".md")]
+    + [
+        os.path.join("docs", f)
+        for f in os.listdir(os.path.join(REPO_ROOT, "docs"))
+        if f.endswith(".md")
+    ]
+)
+
+
+def extract_python_blocks(markdown_text):
+    """Fenced ```python blocks as runnable sources.
+
+    Doctest-style blocks (``>>>``/``...`` prompts) are converted by
+    stripping the prompts and dropping expected-output lines — this is
+    smoke execution ("the example still runs"), not output comparison.
+    """
+    blocks = []
+    for m in re.finditer(r"```python[^\n]*\n(.*?)```", markdown_text, re.S):
+        body = m.group(1)
+        lines = []
+        is_doctest = any(
+            ln.lstrip().startswith(">>>") for ln in body.splitlines()
+        )
+        if not is_doctest:
+            blocks.append(body)
+            continue
+        for line in body.splitlines():
+            stripped = line.lstrip()
+            if stripped.startswith((">>>", "...")):
+                rest = stripped[3:]
+                # Drop the single prompt-separator space only: code
+                # indentation after "... " must survive intact.
+                lines.append(rest[1:] if rest.startswith(" ") else rest)
+            # anything else is expected output: dropped
+        blocks.append("\n".join(lines))
+    return blocks
+
+
+class TestDocExamplesExecute:
+    @pytest.mark.parametrize("relpath", DOC_FILES)
+    def test_python_blocks_run(self, relpath, tmp_path, monkeypatch):
+        with open(os.path.join(REPO_ROOT, relpath)) as fh:
+            blocks = extract_python_blocks(fh.read())
+        if not blocks:
+            pytest.skip(f"{relpath} has no python blocks")
+        # Examples may write files (traces, archives): run in a tmp cwd.
+        monkeypatch.chdir(tmp_path)
+        namespace = {"__name__": f"doc_example_{relpath}"}
+        for i, block in enumerate(blocks):
+            code = compile(block, f"{relpath}[block {i}]", "exec")
+            with contextlib.redirect_stdout(io.StringIO()):
+                exec(code, namespace)  # blocks share one namespace
+
+    def test_extractor_handles_doctest_prompts(self):
+        blocks = extract_python_blocks(
+            "```python\n>>> x = 1\n>>> x + 1\n2\n```\n"
+            "```python\na = [\n    1,\n]\n```\n"
+        )
+        assert blocks == ["x = 1\nx + 1", "a = [\n    1,\n]\n"]
+
+
+class TestMarkdownLinks:
+    LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+    @pytest.mark.parametrize("relpath", ALL_MD)
+    def test_intra_repo_links_resolve(self, relpath):
+        base = os.path.dirname(os.path.join(REPO_ROOT, relpath))
+        with open(os.path.join(REPO_ROOT, relpath)) as fh:
+            text = fh.read()
+        broken = []
+        for target in self.LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not os.path.exists(os.path.join(base, path)):
+                broken.append(target)
+        assert not broken, f"{relpath}: broken relative link(s): {broken}"
