@@ -10,6 +10,9 @@ Examples::
     python -m repro all --iterations 30 --no-cache
     python -m repro run fig9 --trace t.json     # + Perfetto trace of the run
     python -m repro trace t.json                # summarize a trace file
+    python -m repro serve --port 8080           # query service (docs/SERVING.md)
+    python -m repro loadgen --self-host         # drive it closed-loop
+    python -m repro version                     # or --version
 
 Experiments execute on the :mod:`repro.runtime` engine: ``--jobs N``
 fans them out across worker processes, results are served from a
@@ -31,7 +34,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro._version import __version__
 from repro.experiments import all_ids, get
+
+#: Subcommands with their own flag namespace, dispatched before the main
+#: parser sees the argv (``--port`` etc. would be unknown flags to it).
+_SUBCOMMANDS = ("serve", "loadgen")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,8 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help="experiment id (see --list), 'all'/'suite' (everything), "
              "'run <ids...>' (several), 'report' (render archived "
-             "--save-dir results as markdown), or 'trace <file>' "
-             "(summarize a --trace output)",
+             "--save-dir results as markdown), 'trace <file>' "
+             "(summarize a --trace output), 'serve'/'loadgen' (the "
+             "query service — each has its own --help), or 'version'",
+    )
+    p.add_argument(
+        "--version", action="version", version=f"repro-knl {__version__}"
     )
     p.add_argument(
         "targets",
@@ -152,6 +164,29 @@ def _trace_command(args, parser) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.obs import reset_metrics
+
+    # Each CLI invocation is its own run: two in-process invocations
+    # (as the tests do) must not leak counters into each other's
+    # snapshots/manifests.
+    reset_metrics()
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _SUBCOMMANDS:
+        # serve/loadgen own their flag namespace; hand the rest over
+        # before the experiment parser rejects --port & friends.
+        if argv[0] == "serve":
+            from repro.serve.app import main_serve
+
+            return main_serve(argv[1:])
+        from repro.serve.loadgen import main_loadgen
+
+        return main_loadgen(argv[1:])
+    if argv and argv[0] == "version":
+        print(f"repro-knl {__version__}")
+        return 0
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list or not args.experiment:

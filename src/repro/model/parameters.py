@@ -129,6 +129,65 @@ class CapabilityModel:
         per_thread = min(per_thread, 8.0)  # single-thread ceiling (§V-B)
         return CACHE_LINE_BYTES / per_thread
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; :meth:`from_dict` round-trips it exactly.
+
+        This is the wire/disk format of the fitted artifact: the serving
+        layer (:mod:`repro.serve.artifacts`) persists fitted models as
+        content-addressed JSON files in this shape.
+        """
+        return {
+            "config_label": self.config_label,
+            "r_local": self.r_local,
+            "r_tile": dict(self.r_tile),
+            "r_remote": dict(self.r_remote),
+            "r_memory": dict(self.r_memory),
+            "contention": {
+                "alpha": self.contention.alpha,
+                "beta": self.contention.beta,
+            },
+            "multiline": {
+                loc: {"alpha": lc.alpha, "beta": lc.beta}
+                for loc, lc in self.multiline.items()
+            },
+            "stream": dict(self.stream),
+            "congestion_factor": self.congestion_factor,
+            "compute_ns_per_line": self.compute_ns_per_line,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CapabilityModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        try:
+            return cls(
+                config_label=data["config_label"],
+                r_local=float(data["r_local"]),
+                r_tile={k: float(v) for k, v in data["r_tile"].items()},
+                r_remote={k: float(v) for k, v in data["r_remote"].items()},
+                r_memory={k: float(v) for k, v in data["r_memory"].items()},
+                contention=LinearCost(
+                    alpha=float(data["contention"]["alpha"]),
+                    beta=float(data["contention"]["beta"]),
+                ),
+                multiline={
+                    loc: LinearCost(
+                        alpha=float(lc["alpha"]), beta=float(lc["beta"])
+                    )
+                    for loc, lc in data["multiline"].items()
+                },
+                stream={k: float(v) for k, v in data["stream"].items()},
+                congestion_factor=float(data.get("congestion_factor", 1.0)),
+                compute_ns_per_line=float(
+                    data.get(
+                        "compute_ns_per_line", DEFAULT_COMPUTE_NS_PER_LINE
+                    )
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as e:
+            raise ModelError(f"malformed capability-model payload: {e}") from e
+
     # -- reporting -------------------------------------------------------------
 
     def describe(self) -> str:

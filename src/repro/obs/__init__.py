@@ -47,6 +47,7 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
     metrics_snapshot,
+    reset_metrics,
 )
 from repro.obs.summary import (
     load_trace_file,
@@ -85,6 +86,7 @@ __all__ = [
     "histogram",
     "load_trace_file",
     "metrics_snapshot",
+    "reset_metrics",
     "sim_trace_to_events",
     "span",
     "span_to_event",

@@ -175,6 +175,17 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def reset(self) -> None:
+        """Forget every registered metric (alias of :meth:`clear`).
+
+        Call between logically separate runs sharing one process —
+        e.g. two in-process CLI invocations in a test — so counters
+        from the first run don't leak into the second's snapshot.
+        Instrumentation re-creates metrics on demand, so handles are
+        never stale: ``counter(name)`` after a reset starts at zero.
+        """
+        self.clear()
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """JSON-ready ``{name: summary}`` of every registered metric."""
         with self._lock:
@@ -204,3 +215,13 @@ def histogram(name: str, unit: str = "") -> Histogram:
 
 def metrics_snapshot() -> Dict[str, Dict[str, Any]]:
     return _REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Reset the process-global registry (see :meth:`MetricsRegistry.reset`).
+
+    The CLI calls this on entry so repeated in-process invocations
+    (``repro.cli.main`` called twice, as the tests do) start from a
+    clean slate instead of accumulating each other's counters.
+    """
+    _REGISTRY.reset()

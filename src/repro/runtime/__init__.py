@@ -30,6 +30,8 @@ from repro.runtime.task import (
 
 _LAZY = {
     "ResultCache": "repro.runtime.cache",
+    "cache_key": "repro.runtime.cache",
+    "content_key": "repro.runtime.cache",
     "CharacterizationCache": "repro.runtime.cache",
     "default_cache_dir": "repro.runtime.cache",
     "install_characterization_cache": "repro.runtime.cache",

@@ -77,6 +77,21 @@ def content_key(payload: Any) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def cache_key(**parts: Any) -> str:
+    """Public content-address used by every cache in the workbench.
+
+    ``cache_key(exp_id=..., kwargs=...)`` hashes the keyword parts (via
+    :func:`fingerprint`) together with ``repro.__version__`` — pass an
+    explicit ``version=`` to pin or drop the automatic one.  Both
+    :class:`ResultCache` and :mod:`repro.serve.artifacts` derive their
+    keys through here, so the scheme stays in one place and the keys
+    stay byte-stable (a golden test guards the exact digests).
+    """
+    payload = dict(parts)
+    payload.setdefault("version", __version__)
+    return content_key(payload)
+
+
 def _atomic_write(path: str, data: bytes) -> None:
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
     try:
@@ -112,13 +127,10 @@ class ResultCache:
         """
         from repro.experiments.common import default_config
 
-        return content_key(
-            {
-                "exp_id": exp_id,
-                "kwargs": kwargs,
-                "default_config": default_config(),
-                "version": __version__,
-            }
+        return cache_key(
+            exp_id=exp_id,
+            kwargs=kwargs,
+            default_config=default_config(),
         )
 
     def _path(self, key: str) -> str:
@@ -253,7 +265,7 @@ class CharacterizationCache:
 
     @staticmethod
     def key_for_need(need: CharacterizationNeed) -> str:
-        return content_key({"need": need, "version": __version__})
+        return cache_key(need=need)
 
     @staticmethod
     def key_for_machine(

@@ -1,0 +1,798 @@
+"""The capability-model query service.
+
+``ServeApp`` wires the pieces together: an asyncio TCP server speaking
+the :mod:`~repro.serve.protocol` framing, a
+:class:`~repro.serve.batcher.MicroBatcher` coalescing concurrent
+queries, and an :class:`~repro.serve.artifacts.ArtifactRegistry`
+keeping fitted models warm.  Endpoints:
+
+========================  ====================================================
+``GET /healthz``          liveness — never batched, never shed
+``GET /metrics``          JSON snapshot of the :mod:`repro.obs` registry
+``POST /v1/predict``      point queries against the fitted model (latency per
+                          MESIF state/location, bandwidth, contention,
+                          multiline transfers)
+``POST /v1/advise``       buffer-placement ranking via ``model.advisor``
+``POST /v1/tune``         barrier/tree parameter search (model-pruned; with
+                          ``"measured": true`` the empirical
+                          ``algorithms.autotune`` loop runs on the simulated
+                          machine)
+========================  ====================================================
+
+Request flow for the POST endpoints: parse JSON (400 on garbage),
+content-address the query with the same SHA-256 scheme as
+:mod:`repro.runtime.cache`, and submit it to the batcher under the
+endpoint's deadline.  Admission overflow → 429 with ``Retry-After``;
+deadline → 504; per-query model errors → 400; anything unexpected →
+500 (and ``serve.errors`` ticks).  Every request is wrapped in a
+``serve.request`` span and the batch phases in
+``serve.batch.assemble`` / ``serve.batch.evaluate`` spans, so a traced
+server run shows exactly how queries coalesced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.model.advisor import BufferSpec, recommend_placement
+from repro.model.parameters import CapabilityModel
+from repro.obs import counter, histogram, metrics_snapshot, span
+from repro.serve.artifacts import Artifact, ArtifactRegistry, config_from_json
+from repro.serve.batcher import AdmissionError, MicroBatcher
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+    write_response,
+)
+from repro.units import GIB
+from repro._version import __version__
+
+#: Endpoint deadlines [s]: predict is interactive, measured tuning may
+#: legitimately run benchmark episodes.
+DEFAULT_DEADLINES = {
+    "/v1/predict": 10.0,
+    "/v1/advise": 15.0,
+    "/v1/tune": 60.0,
+}
+
+_POST_ROUTES = ("/v1/predict", "/v1/advise", "/v1/tune")
+_GET_ROUTES = ("/healthz", "/metrics")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Micro-batch window [s]; 0 disables coalescing (batch size 1).
+    window_s: float = 0.002
+    max_batch: int = 64
+    queue_limit: int = 256
+    #: Share one evaluation across identical concurrent queries.  Off in
+    #: the unbatched A/B twin so the baseline is a true per-request
+    #: server, not batching-with-benefits.
+    dedup: bool = True
+    deadlines: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DEADLINES)
+    )
+    #: Fit parameters for cold artifacts.
+    iterations: int = 20
+    seed: int = 1234
+    persist_artifacts: bool = True
+    artifact_dir: Optional[str] = None
+
+    @classmethod
+    def unbatched(cls, **kw: Any) -> "ServeConfig":
+        """A/B twin: same service, coalescing off."""
+        kw.setdefault("window_s", 0.0)
+        kw.setdefault("max_batch", 1)
+        kw.setdefault("dedup", False)
+        return cls(**kw)
+
+
+@dataclass
+class _Outcome:
+    """Evaluator verdict for one unique query.
+
+    The JSON encoding is computed lazily and cached: when 64 deduped
+    requests share one outcome, the payload is serialized once, not 64
+    times — the response write is the only per-request marginal cost.
+    """
+
+    status: int
+    payload: Any
+    _body: Optional[bytes] = None
+
+    def response(self) -> Response:
+        if self._body is None:
+            import json as _json
+
+            self._body = _json.dumps(self.payload, sort_keys=True).encode()
+        return Response(
+            status=self.status,
+            headers={"Content-Type": "application/json"},
+            body=self._body,
+        )
+
+
+class ServeApp:
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[ArtifactRegistry] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry or ArtifactRegistry(
+            iterations=self.config.iterations,
+            seed=self.config.seed,
+            directory=self.config.artifact_dir,
+            persist=self.config.persist_artifacts,
+        )
+        self.batcher = MicroBatcher(
+            self._evaluate_batch,
+            window_s=self.config.window_s,
+            max_batch=self.config.max_batch,
+            queue_limit=self.config.queue_limit,
+            dedup=self.config.dedup,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise ReproError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)`` with the
+        ephemeral port resolved."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_at = time.monotonic()
+        return self.config.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+
+    async def warm(self, config_json: Optional[Mapping] = None) -> Artifact:
+        """Pre-fit the default (or given) configuration before binding."""
+        return await self.registry.get(config_from_json(config_json))
+
+    # -- connection loop ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as e:
+                    await write_response(
+                        writer,
+                        Response.error(e.status, str(e)),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await write_response(
+                    writer, response, keep_alive=request.keep_alive
+                )
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight connection tasks; end
+            # quietly instead of tripping the stream protocol's
+            # exception-retrieval callback.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError, asyncio.CancelledError):
+                pass
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Response:
+        counter("serve.requests").inc()
+        t0 = time.perf_counter()
+        with span(
+            "serve.request",
+            category="serve",
+            method=request.method,
+            route=request.route,
+        ) as sp:
+            response = await self._route(request)
+            sp.set(status=response.status)
+        histogram("serve.latency_ms", unit="ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        counter(f"serve.http.{response.status // 100}xx").inc()
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        route = request.route
+        if route in _GET_ROUTES:
+            if request.method != "GET":
+                return Response.error(405, f"{route} only supports GET")
+            if route == "/healthz":
+                return self._healthz()
+            return Response.json({"metrics": metrics_snapshot()})
+        if route in _POST_ROUTES:
+            if request.method != "POST":
+                return Response.error(405, f"{route} only supports POST")
+            return await self._query(route, request)
+        return Response.error(404, f"no route {route!r}")
+
+    def _healthz(self) -> Response:
+        return Response.json(
+            {
+                "status": "ok",
+                "version": __version__,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "artifacts_warm": len(self.registry),
+                "queue_depth": self.batcher.depth,
+            }
+        )
+
+    async def _query(self, route: str, request: Request) -> Response:
+        # Dedup key: SHA-256 of the raw endpoint+body bytes.  Hashing
+        # the wire form (not a canonicalized parse) keeps the hot path
+        # at microseconds per request; byte-identical queries — the
+        # coalescing case that matters — always collide, and a client
+        # that reorders its JSON keys merely forgoes the dedup.  The
+        # body is parsed once per *unique* query, in the evaluator.
+        import hashlib
+
+        key = hashlib.sha256(
+            route.encode() + b"\0" + request.body
+        ).hexdigest()
+        item = {"endpoint": route, "raw": request.body}
+        deadline = self.config.deadlines.get(
+            route, DEFAULT_DEADLINES.get(route, 30.0)
+        )
+        try:
+            outcome = await asyncio.wait_for(
+                self.batcher.submit(key, item), timeout=deadline
+            )
+        except AdmissionError as e:
+            return Response.error(
+                429,
+                str(e),
+                headers={
+                    "Retry-After": f"{max(1, round(e.retry_after_s)):d}"
+                },
+            )
+        except asyncio.TimeoutError:
+            counter("serve.timeouts").inc()
+            return Response.error(
+                504, f"deadline of {deadline:g}s exceeded for {route}"
+            )
+        return outcome.response()
+
+    # -- batch evaluation ---------------------------------------------------
+
+    async def _evaluate_batch(
+        self, batch: Dict[str, Any]
+    ) -> Dict[str, _Outcome]:
+        """Evaluate one coalesced batch of unique queries.
+
+        Two phases: *assemble* resolves each distinct machine config to a
+        warm artifact (async — a cold config triggers a single-flighted
+        fit in a worker thread), *evaluate* runs the pure model
+        arithmetic for every query in one worker thread so the event
+        loop keeps answering ``/healthz`` under load.
+        """
+        import json as _json
+
+        artifacts: Dict[str, Artifact] = {}
+        bodies: Dict[str, Dict[str, Any]] = {}
+        errors: Dict[str, _Outcome] = {}
+        with span("serve.batch.assemble", category="serve", size=len(batch)):
+            for key, item in batch.items():
+                try:
+                    body = _json.loads(item["raw"]) if item["raw"] else None
+                except ValueError as e:
+                    errors[key] = _error_outcome(
+                        400, f"request body is not valid JSON: {e}"
+                    )
+                    continue
+                if not isinstance(body, dict):
+                    errors[key] = _error_outcome(
+                        400, "request body must be a JSON object"
+                    )
+                    continue
+                bodies[key] = body
+                try:
+                    config = config_from_json(body.get("config"))
+                    artifacts[key] = await self.registry.get(config)
+                except ProtocolError as e:
+                    errors[key] = _error_outcome(e.status, str(e))
+                except ReproError as e:
+                    errors[key] = _error_outcome(400, str(e))
+                except Exception as e:  # noqa: BLE001 — fit blew up
+                    counter("serve.errors").inc()
+                    errors[key] = _error_outcome(
+                        500, f"artifact fit failed: {e}"
+                    )
+
+        def evaluate() -> Dict[str, _Outcome]:
+            out: Dict[str, _Outcome] = dict(errors)
+            for key, item in batch.items():
+                if key in out:
+                    continue
+                out[key] = self._evaluate_one(
+                    item["endpoint"], bodies[key], artifacts[key]
+                )
+            return out
+
+        return await asyncio.to_thread(evaluate)
+
+    def _evaluate_one(
+        self, endpoint: str, body: Mapping, artifact: Artifact
+    ) -> _Outcome:
+        try:
+            if endpoint == "/v1/predict":
+                payload = _handle_predict(artifact.capability, body)
+            elif endpoint == "/v1/advise":
+                payload = _handle_advise(artifact.capability, body)
+            else:
+                payload = _handle_tune(
+                    artifact.capability,
+                    body,
+                    lambda: self.registry.machine_for(artifact),
+                )
+            return _Outcome(status=200, payload=payload)
+        except ProtocolError as e:
+            return _error_outcome(e.status, str(e))
+        except ReproError as e:
+            return _error_outcome(400, str(e))
+        except Exception as e:  # noqa: BLE001 — surface, don't crash batch
+            counter("serve.errors").inc()
+            return _error_outcome(500, f"internal error: {e}")
+
+
+def _error_outcome(status: int, message: str) -> _Outcome:
+    return _Outcome(
+        status=status,
+        payload={"error": {"status": status, "message": message}},
+    )
+
+
+# -- endpoint handlers (pure: capability model in, JSON out) ----------------
+
+
+def _handle_predict(cap: CapabilityModel, body: Mapping) -> dict:
+    queries = body.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ProtocolError("predict needs a non-empty 'queries' list")
+    results = [_predict_one(cap, q) for q in queries]
+    return {"config_label": cap.config_label, "results": results}
+
+
+def _predict_one(cap: CapabilityModel, query: Any) -> dict:
+    if not isinstance(query, Mapping):
+        raise ProtocolError("each query must be a JSON object")
+    metric = query.get("metric")
+    if metric == "latency":
+        location = query.get("location", "memory")
+        state = query.get("state", "M")
+        if location == "local":
+            value = cap.RL
+        elif location == "tile":
+            if state not in cap.r_tile:
+                raise ProtocolError(
+                    f"no tile latency for state {state!r}; "
+                    f"have {sorted(cap.r_tile)}"
+                )
+            value = cap.r_tile[state]
+        elif location == "remote":
+            if state not in cap.r_remote:
+                raise ProtocolError(
+                    f"no remote latency for state {state!r}; "
+                    f"have {sorted(cap.r_remote)}"
+                )
+            value = cap.r_remote[state]
+        elif location == "memory":
+            value = cap.RI_kind(query.get("kind", "ddr"))
+        else:
+            raise ProtocolError(
+                f"latency location must be local|tile|remote|memory, "
+                f"got {location!r}"
+            )
+        return {"metric": metric, "value": value, "unit": "ns"}
+    if metric == "bandwidth":
+        value = cap.bw(
+            query.get("op", "copy"),
+            query.get("kind", "ddr"),
+            peak=bool(query.get("peak", False)),
+        )
+        return {"metric": metric, "value": value, "unit": "GB/s"}
+    if metric == "contention":
+        n = _positive_int(query, "n")
+        return {"metric": metric, "value": cap.T_C(n), "unit": "ns"}
+    if metric == "multiline":
+        nbytes = _positive_int(query, "bytes")
+        value = cap.multiline_ns(query.get("location", "remote"), nbytes)
+        return {"metric": metric, "value": value, "unit": "ns"}
+    raise ProtocolError(
+        f"metric must be latency|bandwidth|contention|multiline, "
+        f"got {metric!r}"
+    )
+
+
+def _handle_advise(cap: CapabilityModel, body: Mapping) -> dict:
+    buffers = body.get("buffers")
+    if not isinstance(buffers, list) or not buffers:
+        raise ProtocolError("advise needs a non-empty 'buffers' list")
+    specs = []
+    for b in buffers:
+        if not isinstance(b, Mapping) or "name" not in b:
+            raise ProtocolError("each buffer needs at least a 'name'")
+        try:
+            specs.append(
+                BufferSpec(
+                    name=str(b["name"]),
+                    size_bytes=int(b.get("size_bytes", 0)),
+                    traffic_bytes=int(b.get("traffic_bytes", 0)),
+                    pattern=b.get("pattern", "stream"),
+                    op=b.get("op", "copy"),
+                    n_threads=int(b.get("n_threads", 64)),
+                )
+            )
+        except (TypeError, ValueError) as e:
+            raise ProtocolError(f"bad buffer spec: {e}") from e
+    capacity = body.get("mcdram_capacity", 16 * GIB)
+    try:
+        capacity = int(capacity)
+    except (TypeError, ValueError) as e:
+        raise ProtocolError(f"bad mcdram_capacity: {e}") from e
+    placement = recommend_placement(cap, specs, mcdram_capacity=capacity)
+    used = sum(
+        s.size_bytes
+        for s in specs
+        if placement.assignments[s.name] == "mcdram"
+    )
+    return {
+        "config_label": cap.config_label,
+        "assignments": placement.assignments,
+        "predicted_ns": placement.predicted_ns,
+        "all_ddr_ns": placement.all_ddr_ns,
+        "predicted_speedup": placement.predicted_speedup,
+        "mcdram_capacity": capacity,
+        "mcdram_bytes_used": used,
+    }
+
+
+def _handle_tune(cap: CapabilityModel, body: Mapping, machine_provider) -> dict:
+    target = body.get("target", "barrier")
+    n = _positive_int(body, "n")
+    if target == "barrier":
+        if body.get("measured"):
+            return _tune_barrier_measured(cap, body, n, machine_provider)
+        from repro.algorithms.barrier import tune_barrier
+
+        tuned = tune_barrier(cap, n)
+        return {
+            "target": "barrier",
+            "mode": "model",
+            "n": n,
+            "arity": tuned.arity,
+            "rounds": tuned.rounds,
+            "best_ns": tuned.model.best_ns,
+            "worst_ns": tuned.model.worst_ns,
+        }
+    if target == "tree":
+        from repro.algorithms.tree_opt import tune_tree
+
+        max_degree = body.get("max_degree")
+        tuned = tune_tree(
+            cap,
+            n,
+            payload_bytes=int(body.get("payload_bytes", 64)),
+            is_reduce=bool(body.get("is_reduce", False)),
+            max_degree=None if max_degree is None else int(max_degree),
+        )
+        return {
+            "target": "tree",
+            "mode": "model",
+            "n": n,
+            "root_degree": tuned.tree.root.degree,
+            "depth": tuned.tree.root.depth(),
+            "best_ns": tuned.model.best_ns,
+            "worst_ns": tuned.model.worst_ns,
+        }
+    raise ProtocolError(f"tune target must be barrier|tree, got {target!r}")
+
+
+def _tune_barrier_measured(
+    cap: CapabilityModel, body: Mapping, n: int, machine_provider
+) -> dict:
+    from repro.algorithms.autotune import autotune_barrier
+
+    result = autotune_barrier(
+        machine_provider(),
+        cap,
+        threads=list(range(n)),
+        arities=body.get("arities"),
+        margin=float(body.get("margin", 0.25)),
+        iterations=int(body.get("iterations", 10)),
+    )
+    return {
+        "target": "barrier",
+        "mode": "measured",
+        "n": n,
+        "winner": result.winner.label,
+        "winner_measured_ns": result.winner.measured_ns,
+        "measured_fraction": result.measured_fraction,
+        "candidates": [
+            {
+                "label": c.label,
+                "model_ns": c.model_ns,
+                "measured_ns": c.measured_ns,
+            }
+            for c in result.candidates
+        ],
+    }
+
+
+def _positive_int(mapping: Mapping, field_name: str) -> int:
+    value = mapping.get(field_name)
+    try:
+        value = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as e:
+        raise ProtocolError(
+            f"{field_name!r} must be a positive integer, got {value!r}"
+        ) from e
+    if value < 1:
+        raise ProtocolError(
+            f"{field_name!r} must be a positive integer, got {value}"
+        )
+    return value
+
+
+# -- CLI: `repro serve` ------------------------------------------------------
+
+
+def build_serve_parser():
+    import argparse
+
+    p = argparse.ArgumentParser(
+        prog="repro-knl serve",
+        description=(
+            "Serve the fitted capability model over HTTP: /v1/predict, "
+            "/v1/advise, /v1/tune, /healthz, /metrics."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 = ephemeral, printed on startup; default 8080)",
+    )
+    batching = p.add_argument_group("micro-batching")
+    batching.add_argument(
+        "--window-ms", type=float, default=2.0, metavar="MS",
+        help="coalescing window (default 2 ms)",
+    )
+    batching.add_argument(
+        "--batch-cap", type=int, default=64, metavar="N",
+        help="max unique queries per batch; a full batch flushes "
+             "without waiting the window (default 64)",
+    )
+    batching.add_argument(
+        "--no-batching", action="store_true",
+        help="disable coalescing (window 0, batch size 1)",
+    )
+    admission = p.add_argument_group("admission control")
+    admission.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="max admitted-but-unresolved requests before shedding "
+             "with 429 (default 256)",
+    )
+    admission.add_argument(
+        "--deadline", action="append", default=None, metavar="ROUTE=SECONDS",
+        help="per-endpoint deadline override, e.g. --deadline "
+             "/v1/predict=2.5 (repeatable)",
+    )
+    artifacts = p.add_argument_group("artifacts")
+    artifacts.add_argument(
+        "--iterations", type=int, default=20, metavar="N",
+        help="benchmark iterations when fitting a cold artifact "
+             "(default 20)",
+    )
+    artifacts.add_argument("--seed", type=int, default=1234)
+    artifacts.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="artifact store (default: <cache root>/serve/artifacts)",
+    )
+    artifacts.add_argument(
+        "--no-persist", action="store_true",
+        help="don't write fitted artifacts to disk",
+    )
+    artifacts.add_argument(
+        "--no-warm", action="store_true",
+        help="skip pre-fitting the default SNC4-flat artifact at startup",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="self-check: boot on an ephemeral port, exercise /healthz, "
+             "/v1/advise, and a 64-way /v1/predict burst, fail on any "
+             "5xx or weak batching, then exit",
+    )
+    p.add_argument("--quiet", action="store_true")
+    return p
+
+
+def _config_from_args(args) -> ServeConfig:
+    deadlines = dict(DEFAULT_DEADLINES)
+    for spec in args.deadline or ():
+        route, sep, seconds = spec.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--deadline wants ROUTE=SECONDS, got {spec!r}"
+            )
+        deadlines[route] = float(seconds)
+    if args.no_batching:
+        return ServeConfig.unbatched(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            deadlines=deadlines,
+            iterations=args.iterations,
+            seed=args.seed,
+            persist_artifacts=not args.no_persist,
+            artifact_dir=args.artifact_dir,
+        )
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1e3,
+        max_batch=args.batch_cap,
+        queue_limit=args.queue_limit,
+        deadlines=deadlines,
+        iterations=args.iterations,
+        seed=args.seed,
+        persist_artifacts=not args.no_persist,
+        artifact_dir=args.artifact_dir,
+    )
+
+
+async def run_smoke(config: ServeConfig, quiet: bool = False) -> int:
+    """The `serve --smoke` self-check (also the CI serve-smoke job).
+
+    Boots the real server on an ephemeral port and drives real HTTP
+    over loopback: /healthz, one /v1/advise round-trip, then a 64-way
+    burst of identical /v1/predict queries.  Fails (exit 1) on any 5xx,
+    an unhealthy /healthz, or a burst that needed more than 8 model
+    evaluations (i.e. coalescing + dedup not working).
+    """
+    from repro.serve.loadgen import DEFAULT_ADVISE_BODY, run_loadgen
+    from repro.serve.protocol import http_request
+
+    config.port = 0
+    app = ServeApp(config)
+    failures = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        if not quiet or not ok:
+            state = "ok" if ok else "FAIL"
+            print(f"[smoke] {label:<28s} {state} {detail}".rstrip())
+        if not ok:
+            failures.append(label)
+
+    await app.warm()
+    host, port = await app.start()
+    try:
+        status, _, body = await http_request(host, port, "GET", "/healthz")
+        check("healthz", status == 200 and body["status"] == "ok",
+              f"(status {status})")
+
+        status, _, advice = await http_request(
+            host, port, "POST", "/v1/advise", DEFAULT_ADVISE_BODY
+        )
+        check(
+            "advise round-trip",
+            status == 200 and "assignments" in advice,
+            f"(status {status})",
+        )
+
+        async def evaluations() -> int:
+            _, _, m = await http_request(host, port, "GET", "/metrics")
+            metric = m["metrics"].get("serve.batch.evaluations", {})
+            return int(metric.get("value", 0))
+
+        before = await evaluations()
+        burst = await run_loadgen(
+            host, port, endpoint="/v1/predict", concurrency=64, requests=64
+        )
+        evaluated = await evaluations() - before
+        check(
+            "burst has no 5xx",
+            burst.server_errors == 0,
+            f"(status counts {burst.status_counts})",
+        )
+        check(
+            "burst coalesced",
+            evaluated <= 8,
+            f"(64 identical queries -> {evaluated} evaluations)",
+        )
+
+        status, _, body = await http_request(host, port, "GET", "/healthz")
+        check("healthz after burst", status == 200, f"(status {status})")
+
+        _, _, m = await http_request(host, port, "GET", "/metrics")
+        served_5xx = m["metrics"].get("serve.http.5xx", {}).get("value", 0)
+        check("no 5xx served at all", served_5xx == 0,
+              f"(counter {served_5xx})")
+    finally:
+        await app.stop()
+    if not quiet:
+        verdict = "FAILED" if failures else "passed"
+        print(f"[smoke] {verdict} ({len(failures)} failure(s))")
+    return 1 if failures else 0
+
+
+def main_serve(argv=None) -> int:
+    """Entry point of ``repro serve``."""
+    args = build_serve_parser().parse_args(argv)
+    config = _config_from_args(args)
+    if args.smoke:
+        return asyncio.run(run_smoke(config, quiet=args.quiet))
+
+    async def run() -> None:
+        app = ServeApp(config)
+        if not args.no_warm:
+            if not args.quiet:
+                print(
+                    f"[serve] fitting default artifact "
+                    f"({config.iterations} iterations)...",
+                    flush=True,
+                )
+            await app.warm()
+        host, port = await app.start()
+        if not args.quiet:
+            mode = (
+                "batching off"
+                if config.window_s == 0
+                else f"window {config.window_s * 1e3:g} ms, "
+                     f"cap {config.max_batch}"
+            )
+            print(
+                f"[serve] listening on http://{host}:{port} ({mode}, "
+                f"queue limit {config.queue_limit})",
+                flush=True,
+            )
+        await app.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0

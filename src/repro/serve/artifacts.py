@@ -1,0 +1,260 @@
+"""Warm registry of fitted :class:`CapabilityModel` artifacts.
+
+The serving asymmetry this module exploits: *fitting* a model means
+running the whole microbenchmark suite against a simulated machine
+(hundreds of milliseconds to seconds), while *evaluating* the fitted
+model is arithmetic on a dozen scalars (microseconds).  So the registry
+
+* keys artifacts content-addressed through the same
+  :func:`repro.runtime.cache.cache_key` scheme as the experiment result
+  cache — machine config + fit parameters + package version;
+* keeps fitted models warm in-process (a dict hit is the fast path);
+* persists them as JSON under the cache root so a restarted server
+  skips refitting (``CapabilityModel.to_dict`` is the disk format);
+* single-flights cold fits: under concurrent demand for the same
+  configuration exactly one coroutine fits, everyone else awaits the
+  same future (``serve.artifacts.fits`` counts real fits — the test
+  asserts one fit for N concurrent requests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.machine.config import ClusterMode, MachineConfig, MemoryMode
+from repro.model.parameters import CapabilityModel
+from repro.obs import counter, span
+from repro.runtime.cache import cache_key, default_cache_dir
+from repro.serve.protocol import ProtocolError
+
+#: Bump when the on-disk artifact JSON layout changes.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def config_from_json(obj: Optional[Mapping[str, Any]]) -> MachineConfig:
+    """Build a :class:`MachineConfig` from a request's ``config`` object.
+
+    ``null``/missing → the paper's headline SNC4-flat part.  String
+    fields name enum values case-insensitively (``"snc4"``, ``"flat"``);
+    the remaining keys pass through to :class:`MachineConfig`, whose own
+    validation turns nonsense into a 400 via :class:`ConfigurationError`.
+    """
+    if obj is None:
+        obj = {}
+    if not isinstance(obj, Mapping):
+        raise ProtocolError("config must be a JSON object")
+    kwargs: Dict[str, Any] = dict(obj)
+    try:
+        cluster = kwargs.pop("cluster_mode", "snc4")
+        memory = kwargs.pop("memory_mode", "flat")
+        if isinstance(cluster, str):
+            cluster = ClusterMode(cluster.lower())
+        if isinstance(memory, str):
+            memory = MemoryMode(memory.lower())
+        return MachineConfig(
+            cluster_mode=cluster, memory_mode=memory, **kwargs
+        )
+    except (ValueError, TypeError) as e:
+        raise ProtocolError(f"bad machine config: {e}") from e
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One fitted model, warm in memory."""
+
+    key: str
+    config: MachineConfig
+    capability: CapabilityModel
+    #: "fit" (benchmarked now), "disk" (loaded), or "preload" (injected).
+    source: str
+    fit_seconds: float = 0.0
+
+
+class ArtifactRegistry:
+    """Content-addressed, single-flight home of fitted models."""
+
+    def __init__(
+        self,
+        iterations: int = 20,
+        seed: int = 1234,
+        directory: Optional[str] = None,
+        persist: bool = True,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError("artifact fit needs >= 1 iteration")
+        self.iterations = iterations
+        self.seed = seed
+        self.persist = persist
+        self.directory = directory or os.path.join(
+            default_cache_dir(), "serve", "artifacts"
+        )
+        self._warm: Dict[str, Artifact] = {}
+        self._machines: Dict[str, Any] = {}
+        self._fitting: Dict[str, asyncio.Future] = {}
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_for(self, config: MachineConfig) -> str:
+        """Content address of the fitted artifact for ``config``.
+
+        Same scheme as the runtime result cache: SHA-256 over the
+        fingerprinted parts + ``repro.__version__`` (a version bump
+        invalidates every artifact — the model code may have changed).
+        """
+        return cache_key(
+            scope="serve.artifact",
+            schema=ARTIFACT_SCHEMA_VERSION,
+            config=config,
+            iterations=self.iterations,
+            seed=self.seed,
+        )
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._warm)
+
+    def labels(self) -> Dict[str, str]:
+        """``{key: config_label}`` of everything warm."""
+        return {k: a.capability.config_label for k, a in self._warm.items()}
+
+    # -- population ---------------------------------------------------------
+
+    def preload(
+        self, config: MachineConfig, capability: CapabilityModel
+    ) -> Artifact:
+        """Inject an already-fitted model (tests, offline-fitted files)."""
+        key = self.key_for(config)
+        artifact = Artifact(
+            key=key, config=config, capability=capability, source="preload"
+        )
+        self._warm[key] = artifact
+        return artifact
+
+    async def get(self, config: MachineConfig) -> Artifact:
+        """The fitted artifact for ``config`` — warm hit, disk load, or
+        a single-flighted fit, in that order."""
+        key = self.key_for(config)
+        hit = self._warm.get(key)
+        if hit is not None:
+            counter("serve.artifacts.hits").inc()
+            return hit
+
+        pending = self._fitting.get(key)
+        if pending is not None:
+            counter("serve.artifacts.joined").inc()
+            return await asyncio.shield(pending)
+
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._fitting[key] = fut
+        try:
+            artifact = await asyncio.to_thread(self._load_or_fit, key, config)
+            self._warm[key] = artifact
+            fut.set_result(artifact)
+            return artifact
+        except BaseException as e:
+            fut.set_exception(e)
+            # Nobody may be awaiting the shared future; don't warn.
+            fut.exception()
+            raise
+        finally:
+            del self._fitting[key]
+
+    def machine_for(self, artifact: Artifact):
+        """A booted machine matching the artifact (for measured tuning).
+
+        Built on demand and cached per key — construction is cheap
+        next to a fit but not free, and measured ``/v1/tune`` calls
+        reuse the machine's deterministic seed.
+        """
+        machine = self._machines.get(artifact.key)
+        if machine is None:
+            from repro.machine.machine import KNLMachine
+
+            machine = KNLMachine(artifact.config, seed=self.seed)
+            self._machines[artifact.key] = machine
+        return machine
+
+    # -- disk + fit (worker thread) -----------------------------------------
+
+    def _load_or_fit(self, key: str, config: MachineConfig) -> Artifact:
+        artifact = self._load(key, config)
+        if artifact is not None:
+            counter("serve.artifacts.loads").inc()
+            return artifact
+        return self._fit(key, config)
+
+    def _load(self, key: str, config: MachineConfig) -> Optional[Artifact]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+                return None
+            capability = CapabilityModel.from_dict(payload["capability"])
+        except (OSError, ValueError, KeyError, ReproError):
+            return None  # corrupt entry: refit rather than fail the query
+        return Artifact(
+            key=key, config=config, capability=capability, source="disk"
+        )
+
+    def _fit(self, key: str, config: MachineConfig) -> Artifact:
+        from repro.bench import characterize
+        from repro.machine.machine import KNLMachine
+        from repro.model import derive_capability_model
+
+        counter("serve.artifacts.fits").inc()
+        t0 = time.perf_counter()
+        with span("serve.artifact.fit", category="serve", key=key[:12]):
+            machine = KNLMachine(config, seed=self.seed)
+            char = characterize(
+                machine, iterations=self.iterations, seed=self.seed
+            )
+            capability = derive_capability_model(char)
+        elapsed = time.perf_counter() - t0
+        self._machines[key] = machine
+        artifact = Artifact(
+            key=key,
+            config=config,
+            capability=capability,
+            source="fit",
+            fit_seconds=elapsed,
+        )
+        if self.persist:
+            self._persist(key, artifact)
+        return artifact
+
+    def _persist(self, key: str, artifact: Artifact) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            blob = json.dumps(
+                {
+                    "schema_version": ARTIFACT_SCHEMA_VERSION,
+                    "key": key,
+                    "config_label": artifact.capability.config_label,
+                    "iterations": self.iterations,
+                    "seed": self.seed,
+                    "fit_seconds": artifact.fit_seconds,
+                    "capability": artifact.capability.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            tmp = f"{self._path(key)}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            pass  # persistence is an optimization, never a failure

@@ -1,0 +1,375 @@
+"""Closed-loop load generator for the query service.
+
+``concurrency`` workers each keep exactly one request in flight over a
+persistent connection (closed-loop: a worker issues its next request
+only after the previous answer lands), so offered load tracks service
+capacity instead of overrunning it.  Per-request latency and status
+codes are recorded; :func:`summarize` reduces them to
+p50/p95/p99/throughput.
+
+:func:`bench_matrix` is the benchmark behind ``BENCH_serve.json``: it
+boots two self-hosted servers sharing one pre-fitted artifact registry
+— micro-batching on vs off — and drives the same burst matrix
+(1/8/64-way concurrency) at both, demonstrating what coalescing +
+dedup buy at high concurrency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.serve.protocol import ClientConnection
+
+#: Default burst body: a grid of point queries (latency per MESIF state
+#: and location + bandwidth per op/kind) — the §VII "ask the model"
+#: query shape, heavy enough that evaluation is worth coalescing.
+DEFAULT_PREDICT_BODY = {
+    "queries": [
+        {"metric": "latency", "location": "local"},
+        *[
+            {"metric": "latency", "location": loc, "state": st}
+            for loc in ("tile", "remote")
+            for st in ("M", "E", "S")
+        ],
+        *[
+            {"metric": "latency", "location": "memory", "kind": kind}
+            for kind in ("ddr", "mcdram")
+        ],
+        *[
+            {"metric": "bandwidth", "op": op, "kind": kind}
+            for op in ("copy", "triad", "read")
+            for kind in ("ddr", "mcdram")
+        ],
+        *[{"metric": "contention", "n": n} for n in (2, 16, 64, 256)],
+    ]
+}
+
+DEFAULT_ADVISE_BODY = {
+    "buffers": [
+        {"name": "grid", "size_bytes": 8 << 30, "traffic_bytes": 400 << 30},
+        {"name": "halo", "size_bytes": 2 << 30, "traffic_bytes": 100 << 30},
+        {
+            "name": "index",
+            "size_bytes": 12 << 30,
+            "traffic_bytes": 50 << 30,
+            "pattern": "latency",
+        },
+    ]
+}
+
+DEFAULT_TUNE_BODY = {"target": "barrier", "n": 256}
+
+
+def default_body(endpoint: str) -> Dict[str, Any]:
+    if endpoint == "/v1/predict":
+        return DEFAULT_PREDICT_BODY
+    if endpoint == "/v1/advise":
+        return DEFAULT_ADVISE_BODY
+    if endpoint == "/v1/tune":
+        return DEFAULT_TUNE_BODY
+    raise ReproError(f"no default body for endpoint {endpoint!r}")
+
+
+@dataclass
+class LoadgenResult:
+    """One closed-loop run."""
+
+    endpoint: str
+    concurrency: int
+    requests: int
+    duration_s: float
+    latencies_ms: List[float] = field(default_factory=list)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> int:
+        return self.status_counts.get(200, 0)
+
+    @property
+    def shed(self) -> int:
+        return self.status_counts.get(429, 0)
+
+    @property
+    def server_errors(self) -> int:
+        return sum(
+            n for status, n in self.status_counts.items() if status >= 500
+        )
+
+    def summarize(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "endpoint": self.endpoint,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "server_errors": self.server_errors,
+            "status_counts": {
+                str(k): v for k, v in sorted(self.status_counts.items())
+            },
+            "duration_s": round(self.duration_s, 4),
+            "throughput_rps": (
+                round(self.requests / self.duration_s, 1)
+                if self.duration_s > 0
+                else math.inf
+            ),
+        }
+        if self.latencies_ms:
+            ordered = sorted(self.latencies_ms)
+            stats.update(
+                p50_ms=round(_percentile(ordered, 0.50), 3),
+                p95_ms=round(_percentile(ordered, 0.95), 3),
+                p99_ms=round(_percentile(ordered, 0.99), 3),
+                mean_ms=round(sum(ordered) / len(ordered), 3),
+                max_ms=round(ordered[-1], 3),
+            )
+        return stats
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    endpoint: str = "/v1/predict",
+    body: Optional[Dict[str, Any]] = None,
+    concurrency: int = 8,
+    requests: int = 256,
+    timeout: float = 60.0,
+) -> LoadgenResult:
+    """Drive ``requests`` total requests with ``concurrency`` workers."""
+    if concurrency < 1 or requests < 1:
+        raise ReproError("loadgen needs concurrency >= 1 and requests >= 1")
+    payload = body if body is not None else default_body(endpoint)
+    remaining = list(range(requests))
+    result = LoadgenResult(
+        endpoint=endpoint,
+        concurrency=concurrency,
+        requests=requests,
+        duration_s=0.0,
+    )
+    lock = asyncio.Lock()
+
+    async def worker() -> None:
+        conn = ClientConnection(host, port)
+        try:
+            while True:
+                async with lock:
+                    if not remaining:
+                        return
+                    remaining.pop()
+                t0 = time.perf_counter()
+                status, _headers, _body = await conn.request(
+                    "POST", endpoint, payload, timeout=timeout
+                )
+                elapsed_ms = (time.perf_counter() - t0) * 1e3
+                async with lock:
+                    result.latencies_ms.append(elapsed_ms)
+                    result.status_counts[status] = (
+                        result.status_counts.get(status, 0) + 1
+                    )
+        finally:
+            await conn.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, requests))))
+    result.duration_s = time.perf_counter() - t0
+    return result
+
+
+# -- the A/B benchmark behind BENCH_serve.json ------------------------------
+
+
+async def bench_matrix(
+    concurrencies: Sequence[int] = (1, 8, 64),
+    requests_per_level: int = 192,
+    endpoint: str = "/v1/predict",
+    iterations: int = 10,
+    seed: int = 1234,
+) -> Dict[str, Any]:
+    """Batching-on vs batching-off latency/throughput matrix.
+
+    Both servers share one pre-fitted artifact registry, so the
+    comparison isolates the dispatcher: identical model, identical
+    protocol, only the coalescing differs.
+    """
+    from repro.serve.app import ServeApp, ServeConfig
+    from repro.serve.artifacts import ArtifactRegistry
+
+    registry = ArtifactRegistry(
+        iterations=iterations, seed=seed, persist=False
+    )
+    doc: Dict[str, Any] = {
+        "benchmark": "repro.serve micro-batching A/B",
+        "endpoint": endpoint,
+        "requests_per_level": requests_per_level,
+        "artifact_fit_iterations": iterations,
+        "levels": [],
+    }
+    apps = {
+        "batched": ServeApp(ServeConfig(), registry=registry),
+        "unbatched": ServeApp(ServeConfig.unbatched(), registry=registry),
+    }
+    try:
+        for app in apps.values():
+            await app.warm()
+            await app.start()
+        for concurrency in concurrencies:
+            level: Dict[str, Any] = {"concurrency": concurrency}
+            for mode, app in apps.items():
+                run = await run_loadgen(
+                    app.config.host,
+                    app.port,
+                    endpoint=endpoint,
+                    concurrency=concurrency,
+                    requests=requests_per_level,
+                )
+                level[mode] = run.summarize()
+            doc["levels"].append(level)
+    finally:
+        for app in apps.values():
+            await app.stop()
+    return doc
+
+
+def write_bench(path: str, doc: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# -- CLI: `repro loadgen` ----------------------------------------------------
+
+
+def build_loadgen_parser():
+    import argparse
+
+    p = argparse.ArgumentParser(
+        prog="repro-knl loadgen",
+        description=(
+            "Closed-loop load generator for the repro.serve query "
+            "service: N workers, one request in flight each."
+        ),
+    )
+    target = p.add_argument_group("target")
+    target.add_argument("--host", default="127.0.0.1")
+    target.add_argument(
+        "--port", type=int, default=None,
+        help="port of a running `repro serve` (omit with --self-host)",
+    )
+    target.add_argument(
+        "--self-host", action="store_true",
+        help="boot a server in-process on an ephemeral port first",
+    )
+    load = p.add_argument_group("load")
+    load.add_argument(
+        "--endpoint", default="/v1/predict",
+        choices=("/v1/predict", "/v1/advise", "/v1/tune"),
+    )
+    load.add_argument("--concurrency", type=int, default=8, metavar="N")
+    load.add_argument("--requests", type=int, default=256, metavar="N")
+    load.add_argument(
+        "--body", default=None, metavar="FILE",
+        help="JSON file with the request body (default: a built-in "
+             "per-endpoint query)",
+    )
+    p.add_argument(
+        "--bench", action="store_true",
+        help="run the full batching-on/off A/B matrix at 1/8/64-way "
+             "concurrency (implies --self-host) — the BENCH_serve.json "
+             "generator",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=10, metavar="N",
+        help="artifact fit iterations for self-hosted servers "
+             "(default 10)",
+    )
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON results to this file",
+    )
+    p.add_argument("--quiet", action="store_true")
+    return p
+
+
+def main_loadgen(argv=None) -> int:
+    """Entry point of ``repro loadgen``."""
+    parser = build_loadgen_parser()
+    args = parser.parse_args(argv)
+    if not args.bench and not args.self_host and args.port is None:
+        parser.error("need --port (a running server) or --self-host")
+
+    body = None
+    if args.body:
+        with open(args.body) as fh:
+            body = json.load(fh)
+
+    async def run() -> Dict[str, Any]:
+        if args.bench:
+            return await bench_matrix(
+                endpoint=args.endpoint,
+                requests_per_level=args.requests,
+                iterations=args.iterations,
+                seed=args.seed,
+            )
+        if args.self_host:
+            from repro.serve.app import ServeApp, ServeConfig
+
+            app = ServeApp(
+                ServeConfig(iterations=args.iterations, seed=args.seed)
+            )
+            await app.warm()
+            await app.start()
+            try:
+                result = await run_loadgen(
+                    app.config.host,
+                    app.port,
+                    endpoint=args.endpoint,
+                    body=body,
+                    concurrency=args.concurrency,
+                    requests=args.requests,
+                )
+            finally:
+                await app.stop()
+        else:
+            result = await run_loadgen(
+                args.host,
+                args.port,
+                endpoint=args.endpoint,
+                body=body,
+                concurrency=args.concurrency,
+                requests=args.requests,
+            )
+        return result.summarize()
+
+    doc = asyncio.run(run())
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if not args.quiet:
+        print(text)
+    if args.out:
+        write_bench(args.out, doc)
+
+    if args.bench:
+        failed = any(
+            level[mode]["server_errors"]
+            for level in doc["levels"]
+            for mode in ("batched", "unbatched")
+        )
+    else:
+        failed = doc["server_errors"] > 0
+    return 1 if failed else 0

@@ -1,0 +1,311 @@
+"""Minimal HTTP/1.1 framing for :mod:`repro.serve` — stdlib only.
+
+The serving layer deliberately avoids third-party web frameworks: the
+container that runs the reproduction has numpy/scipy and nothing else,
+and the service speaks a small, fixed protocol (JSON in, JSON out,
+``Content-Length`` framing, optional keep-alive).  This module owns the
+wire format on both sides:
+
+* :func:`read_request` / :class:`Request` — parse one request from an
+  :class:`asyncio.StreamReader`, with header/body size caps;
+* :class:`Response` / :func:`write_response` — serialize a response
+  (``Response.json`` builds the common JSON case);
+* :class:`ClientConnection` / :func:`http_request` — the client used by
+  the load generator, tests, and the ``serve --smoke`` self-check.
+
+Anything malformed raises :class:`ProtocolError` carrying the HTTP
+status the server should answer with; the app layer never has to guess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+
+#: Upper bound on the request line + headers (bytes).
+MAX_HEADER_BYTES = 64 * 1024
+#: Upper bound on a request body (bytes).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(ReproError):
+    """A request the server cannot or will not process.
+
+    ``status`` is the HTTP answer (400 for malformed JSON, 413 for an
+    oversized body, ...).
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    route: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON (400 on anything else)."""
+        if not self.body:
+            raise ProtocolError("request body must be JSON, got empty body")
+        try:
+            return json.loads(self.body)
+        except ValueError as e:
+            raise ProtocolError(f"request body is not valid JSON: {e}") from e
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request; ``None`` on clean EOF (peer closed keep-alive)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as e:
+        if not e.partial:
+            return None
+        raise ProtocolError("truncated request head", status=400) from e
+    except asyncio.LimitOverrunError as e:
+        raise ProtocolError("request head too large", status=431) from e
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request head too large", status=431)
+
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as e:
+        raise ProtocolError("malformed request line", status=400) from e
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}", status=400)
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError as e:
+            raise ProtocolError("bad Content-Length", status=400) from e
+        if n < 0:
+            raise ProtocolError("bad Content-Length", status=400)
+        if n > MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", status=413)
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError as e:
+            raise ProtocolError("truncated request body", status=400) from e
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(
+            "chunked requests are not supported; send Content-Length",
+            status=400,
+        )
+
+    return Request(
+        method=method.upper(),
+        target=target,
+        route=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+@dataclass
+class Response:
+    """One HTTP response; :meth:`encode` renders the wire form."""
+
+    status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        body = json.dumps(payload, sort_keys=True).encode()
+        hdrs = {"Content-Type": "application/json"}
+        if headers:
+            hdrs.update(headers)
+        return cls(status=status, headers=hdrs, body=body)
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        return cls.json(
+            {"error": {"status": status, "message": message}},
+            status=status,
+            headers=headers,
+        )
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        head = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("Content-Type", "application/json")
+        headers["Content-Length"] = str(len(self.body))
+        headers["Connection"] = "keep-alive" if keep_alive else "close"
+        for name, value in headers.items():
+            head.append(f"{name}: {value}")
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + self.body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool = True
+) -> None:
+    writer.write(response.encode(keep_alive=keep_alive))
+    await writer.drain()
+
+
+# -- client ------------------------------------------------------------------
+
+
+class ClientConnection:
+    """A persistent keep-alive connection to one server.
+
+    The load generator keeps one of these per in-flight worker so a
+    closed-loop run measures the service, not TCP handshakes.  A server
+    that answered ``Connection: close`` (or dropped the socket) is
+    reconnected transparently on the next request.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        timeout: float = 30.0,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """One round-trip; returns ``(status, headers, decoded body)``."""
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = [f"{method.upper()} {path} HTTP/1.1"]
+        head.append(f"Host: {self.host}:{self.port}")
+        if body:
+            head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(body)}")
+        wire = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            assert self._writer is not None and self._reader is not None
+            try:
+                self._writer.write(wire)
+                await self._writer.drain()
+                return await asyncio.wait_for(
+                    self._read_response(), timeout=timeout
+                )
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                BrokenPipeError,
+            ):
+                # A keep-alive peer may have closed between requests;
+                # retry exactly once on a fresh connection.
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _read_response(self) -> Tuple[int, Dict[str, str], Any]:
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if line:
+                name, _sep, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0"))
+        if length:
+            body = await self._reader.readexactly(length)
+        if headers.get("connection") == "close":
+            await self.close()
+        decoded: Any = None
+        if body:
+            if "json" in headers.get("content-type", ""):
+                decoded = json.loads(body)
+            else:
+                decoded = body.decode("utf-8", "replace")
+        return status, headers, decoded
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any = None,
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, str], Any]:
+    """One-shot convenience wrapper around :class:`ClientConnection`."""
+    conn = ClientConnection(host, port)
+    try:
+        return await conn.request(method, path, payload, timeout=timeout)
+    finally:
+        await conn.close()

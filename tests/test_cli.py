@@ -164,3 +164,43 @@ class TestReportErrors:
         capsys.readouterr()
         assert main(["report", "--save-dir", str(save)]) == 0
         assert "fig5" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-knl {__version__}"
+
+    def test_version_subcommand(self, capsys):
+        from repro._version import __version__
+
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro-knl {__version__}"
+
+
+class TestServeDispatch:
+    """`repro serve` / `repro loadgen` own their flag namespaces."""
+
+    def test_serve_help_reaches_the_serve_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--window-ms" in out and "--queue-limit" in out
+
+    def test_loadgen_help_reaches_the_loadgen_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--self-host" in out and "--bench" in out
+
+    def test_serve_rejects_unknown_flags_with_its_own_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--jobs", "4"])
+        assert exc.value.code == 2
+        assert "serve" in capsys.readouterr().err

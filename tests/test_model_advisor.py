@@ -116,3 +116,80 @@ class TestRecommendation:
             )
         with pytest.raises(ModelError):
             recommend_placement(capability, [spec("a", 1, 1)]).kind_of("b")
+
+
+class TestSpillPath:
+    """Hot sets larger than the 16 GiB of MCDRAM must *spill*: rank a
+    placement that keeps the densest traffic on-package and never
+    assigns more bytes to MCDRAM than it has."""
+
+    def mcdram_bytes(self, placement, buffers):
+        by_name = {b.name: b for b in buffers}
+        return sum(
+            by_name[name].size_bytes
+            for name, kind in placement.assignments.items()
+            if kind == "mcdram"
+        )
+
+    def test_three_hot_8gib_buffers_spill_one(self, capability):
+        buffers = [
+            spec("a", 8, 500, threads=256),
+            spec("b", 8, 300, threads=256),
+            spec("c", 8, 100, threads=256),
+        ]
+        pl = recommend_placement(capability, buffers)
+        assert self.mcdram_bytes(pl, buffers) <= 16 * GIB
+        kinds = sorted(pl.assignments.values())
+        assert kinds == ["ddr", "mcdram", "mcdram"], (
+            "a 24 GiB hot set over 16 GiB MCDRAM must spill exactly one "
+            "8 GiB buffer"
+        )
+        assert pl.kind_of("c") == "ddr"  # the least-traffic one spills
+        assert pl.predicted_speedup > 1.0
+
+    def test_single_buffer_larger_than_capacity_stays_in_ddr(
+        self, capability
+    ):
+        pl = recommend_placement(
+            capability, [spec("huge", 20, 1000, threads=256)]
+        )
+        assert pl.kind_of("huge") == "ddr"
+        assert self.mcdram_bytes(pl, []) == 0
+        assert pl.predicted_speedup == pytest.approx(1.0)
+
+    def test_oversubscribed_mix_never_overflows_capacity(self, capability):
+        """Many buffers of varied density: whatever the ranking picks,
+        the MCDRAM byte total must respect capacity exactly."""
+        buffers = [
+            spec("s1", 3, 250, threads=256),
+            spec("s2", 5, 240, threads=256),
+            spec("s3", 7, 200, threads=256),
+            spec("s4", 6, 180, threads=256),
+            spec("s5", 4, 60, threads=256),
+            spec("idx", 2, 90, pattern="latency"),
+        ]
+        pl = recommend_placement(capability, buffers)
+        used = self.mcdram_bytes(pl, buffers)
+        assert 0 < used <= 16 * GIB
+        assert any(k == "ddr" for k in pl.assignments.values()), (
+            "a 25 GiB stream set cannot fit entirely in MCDRAM"
+        )
+
+    def test_custom_capacity_is_honored(self, capability):
+        buffers = [spec("a", 8, 500, threads=256),
+                   spec("b", 8, 300, threads=256)]
+        pl = recommend_placement(
+            capability, buffers, mcdram_capacity=8 * GIB
+        )
+        assert self.mcdram_bytes(pl, buffers) <= 8 * GIB
+        assert pl.kind_of("a") == "mcdram" and pl.kind_of("b") == "ddr"
+
+    def test_spill_ranking_beats_all_ddr(self, capability):
+        """The ranked spilling placement must strictly beat the
+        do-nothing baseline it reports."""
+        buffers = [
+            spec("a", 12, 600, threads=256),
+            spec("b", 12, 500, threads=256),
+        ]
+        pl = recommend_placement(capability, buffers)
+        assert pl.predicted_ns < pl.all_ddr_ns

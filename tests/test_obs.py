@@ -223,3 +223,39 @@ class TestInstrumentationEmitsDocumentedMetrics:
                 f"metric {name!r} is emitted but missing from "
                 f"docs/OBSERVABILITY.md"
             )
+
+
+class TestRegistryReset:
+    """Explicit reset: each CLI invocation is its own metrics run."""
+
+    def test_reset_metrics_clears_the_global_registry(self):
+        from repro.obs import counter, metrics_snapshot, reset_metrics
+
+        counter("test.obs.reset.probe").inc(5)
+        assert "test.obs.reset.probe" in metrics_snapshot()
+        reset_metrics()
+        assert "test.obs.reset.probe" not in metrics_snapshot()
+        # The registry stays usable after a reset.
+        counter("test.obs.reset.probe").inc()
+        assert metrics_snapshot()["test.obs.reset.probe"]["value"] == 1
+
+    def test_registry_reset_is_clear(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.0)
+        reg.histogram("c").observe(1.0)
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_two_cli_invocations_do_not_leak_counters(self, capsys):
+        """Regression: before reset-at-entry, a second in-process
+        ``main()`` call started with the first call's counters."""
+        from repro.cli import main
+        from repro.obs import counter, metrics_snapshot
+
+        counter("test.obs.leaked.from.before").inc(99)
+        assert main(["--list"]) == 0
+        capsys.readouterr()
+        assert "test.obs.leaked.from.before" not in metrics_snapshot()

@@ -179,3 +179,54 @@ class TestCharacterizationCache:
             CharacterizationCache.key_for_need(need5)
             != CharacterizationCache.key_for_need(need6)
         )
+
+
+class TestPublicCacheKey:
+    """The shared content-address helper behind every cache."""
+
+    def test_exported_from_the_runtime_package(self):
+        from repro.runtime import cache_key as exported
+
+        from repro.runtime.cache import cache_key
+
+        assert exported is cache_key
+
+    def test_version_added_automatically(self):
+        from repro.runtime.cache import cache_key, content_key
+
+        assert cache_key(a=1) == content_key({"a": 1, "version": __version__})
+        assert cache_key(a=1) != cache_key(a=1, version="other")
+
+    def test_golden_digests_are_byte_stable(self):
+        """Pinned digests: a refactor of the key scheme would silently
+        invalidate every user's on-disk cache — these must never move
+        (except through an intentional, documented format change)."""
+        from repro.runtime.cache import cache_key
+
+        assert cache_key(
+            version="vGOLDEN", exp_id="fig4", kwargs={"iterations": 8}
+        ) == ("7295e426d1ed8da6ac8e4ef666daaeae"
+              "a863964c10986bf5d3cf163945dee770")
+        assert cache_key(
+            version="vGOLDEN", need={"a": 1, "b": [1, 2]}
+        ) == ("1f8bcc4a39b555cff2bccb658307e68e"
+              "33839e3bd9640a9237a9257584dcf240")
+
+    def test_result_cache_key_for_goes_through_cache_key(self, tmp_path):
+        from repro.experiments.common import default_config
+        from repro.runtime.cache import cache_key
+
+        cache = ResultCache(str(tmp_path))
+        assert cache.key_for("fig4", {"iterations": 8}) == cache_key(
+            exp_id="fig4",
+            kwargs={"iterations": 8},
+            default_config=default_config(),
+        )
+
+    def test_characterization_key_goes_through_cache_key(self):
+        from repro.runtime.cache import cache_key
+
+        need = CharacterizationNeed(
+            config=MachineConfig(), machine_seed=7, iterations=5
+        )
+        assert CharacterizationCache.key_for_need(need) == cache_key(need=need)

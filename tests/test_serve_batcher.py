@@ -1,0 +1,219 @@
+"""Micro-batching dispatcher: coalescing, dedup, admission, failure."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.batcher import AdmissionError, BatcherClosed, MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Recorder:
+    """Evaluator double: records every batch it was handed."""
+
+    def __init__(self, delay_s=0.0, fail_keys=()):
+        self.batches = []
+        self.delay_s = delay_s
+        self.fail_keys = set(fail_keys)
+
+    async def __call__(self, batch):
+        self.batches.append(dict(batch))
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        for key in batch:
+            if key in self.fail_keys:
+                raise ReproError(f"evaluator refused {key}")
+        return {key: f"result:{payload}" for key, payload in batch.items()}
+
+    @property
+    def evaluated(self):
+        return sum(len(b) for b in self.batches)
+
+
+class TestValidation:
+    def test_rejects_nonsense_parameters(self):
+        async def go():
+            for kw in (
+                {"window_s": -1},
+                {"max_batch": 0},
+                {"queue_limit": 0},
+            ):
+                with pytest.raises(ConfigurationError):
+                    MicroBatcher(Recorder(), **kw)
+
+        run(go())
+
+
+class TestCoalescing:
+    def test_distinct_queries_share_one_batch(self):
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.01)
+            results = await asyncio.gather(
+                *(b.submit(f"k{i}", f"p{i}") for i in range(5))
+            )
+            await b.close()
+            return results
+
+        results = run(go())
+        assert results == [f"result:p{i}" for i in range(5)]
+        assert len(rec.batches) == 1 and len(rec.batches[0]) == 5
+
+    def test_identical_queries_evaluate_once(self):
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.01)
+            results = await asyncio.gather(
+                *(b.submit("same", "payload") for _ in range(32))
+            )
+            await b.close()
+            return results
+
+        results = run(go())
+        assert set(results) == {"result:payload"}
+        assert rec.evaluated == 1
+
+    def test_full_batch_of_duplicates_flushes_before_window(self):
+        """max_batch caps *requests* (dups included): a full batch of
+        identical queries must not sit out a long window."""
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=5.0, max_batch=8)
+            t0 = time.perf_counter()
+            await asyncio.gather(*(b.submit("same", "p") for _ in range(8)))
+            elapsed = time.perf_counter() - t0
+            await b.close()
+            return elapsed
+
+        assert run(go()) < 1.0
+        assert rec.evaluated == 1
+
+    def test_single_flight_joins_running_evaluation(self):
+        rec = Recorder(delay_s=0.05)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0)
+            first = asyncio.create_task(b.submit("k", "p"))
+            await asyncio.sleep(0.01)  # evaluation now in flight
+            second = await b.submit("k", "p")
+            await b.close()
+            return await first, second
+
+        assert run(go()) == ("result:p", "result:p")
+        assert rec.evaluated == 1
+
+    def test_window_zero_still_answers(self):
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0, max_batch=1)
+            result = await b.submit("k", "p")
+            await b.close()
+            return result
+
+        assert run(go()) == "result:p"
+
+    def test_dedup_off_evaluates_every_request(self):
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0, max_batch=1, dedup=False)
+            await asyncio.gather(*(b.submit("same", "p") for _ in range(6)))
+            await b.close()
+
+        run(go())
+        assert rec.evaluated == 6
+
+
+class TestAdmission:
+    def test_overload_sheds_with_retry_hint(self):
+        rec = Recorder(delay_s=0.05)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0, max_batch=1, queue_limit=2)
+            admitted = [
+                asyncio.create_task(b.submit(f"k{i}", "p")) for i in range(2)
+            ]
+            await asyncio.sleep(0.01)  # both occupy the admission budget
+            with pytest.raises(AdmissionError) as exc:
+                await b.submit("k-over", "p")
+            assert exc.value.retry_after_s > 0
+            results = await asyncio.gather(*admitted)
+            await b.close()
+            return results
+
+        assert run(go()) == ["result:p", "result:p"]
+
+    def test_depth_returns_to_zero(self):
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0)
+            await asyncio.gather(*(b.submit(f"k{i}", "p") for i in range(4)))
+            depth = b.depth
+            await b.close()
+            return depth
+
+        assert run(go()) == 0
+
+
+class TestFailure:
+    def test_evaluator_exception_fails_every_waiter(self):
+        rec = Recorder(fail_keys={"bad"})
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.01)
+            results = await asyncio.gather(
+                b.submit("bad", "p"),
+                b.submit("bad", "p"),
+                return_exceptions=True,
+            )
+            await b.close()
+            return results
+
+        results = run(go())
+        assert all(isinstance(r, ReproError) for r in results)
+
+    def test_missing_result_key_is_an_error(self):
+        async def forgetful(batch):
+            return {}
+
+        async def go():
+            b = MicroBatcher(forgetful, window_s=0.0)
+            with pytest.raises(ReproError, match="no result"):
+                await b.submit("k", "p")
+            await b.close()
+
+        run(go())
+
+    def test_cancelled_waiter_does_not_kill_shared_evaluation(self):
+        rec = Recorder(delay_s=0.05)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.01)
+            doomed = asyncio.create_task(b.submit("k", "p"))
+            survivor = asyncio.create_task(b.submit("k", "p"))
+            await asyncio.sleep(0.02)
+            doomed.cancel()
+            result = await survivor
+            await b.close()
+            return result
+
+        assert run(go()) == "result:p"
+
+    def test_submit_after_close_raises(self):
+        async def go():
+            b = MicroBatcher(Recorder(), window_s=0.0)
+            await b.close()
+            with pytest.raises(BatcherClosed):
+                await b.submit("k", "p")
+
+        run(go())

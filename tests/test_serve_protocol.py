@@ -1,0 +1,197 @@
+"""HTTP/1.1 framing: request parsing, response encoding, the client."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ClientConnection,
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    http_request,
+    read_request,
+    write_response,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def parse(wire: bytes):
+    async def go():
+        # The reader must be created inside a running loop.
+        reader = asyncio.StreamReader()
+        if wire:
+            reader.feed_data(wire)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query_string(self):
+        req = parse(b"GET /metrics?pretty=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.route == "/metrics"
+        assert req.query == {"pretty": "1"}
+        assert req.body == b""
+
+    def test_post_with_content_length_body(self):
+        body = json.dumps({"queries": []}).encode()
+        req = parse(
+            b"POST /v1/predict HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert req.method == "POST" and req.body == body
+        assert req.json() == {"queries": []}
+
+    def test_header_names_are_case_insensitive(self):
+        req = parse(b"GET / HTTP/1.1\r\nCoNNecTion: close\r\n\r\n")
+        assert req.headers["connection"] == "close"
+        assert not req.keep_alive
+
+    def test_keep_alive_is_the_default(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_a_400(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse(b"GET / HTTP/1.1\r\nHost")
+        assert exc.value.status == 400
+
+    def test_malformed_request_line_is_a_400(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_bad_content_length_is_a_400(self):
+        for value in (b"banana", b"-3"):
+            with pytest.raises(ProtocolError) as exc:
+                parse(
+                    b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+                )
+            assert exc.value.status == 400
+
+    def test_oversized_body_is_a_413(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: "
+                + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n"
+            )
+        assert exc.value.status == 413
+
+    def test_chunked_transfer_is_rejected(self):
+        with pytest.raises(ProtocolError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_empty_body_json_is_a_400(self):
+        req = parse(b"POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+        with pytest.raises(ProtocolError):
+            req.json()
+
+
+class TestResponse:
+    def test_encode_frames_content_length_and_connection(self):
+        wire = Response.json({"a": 1}).encode(keep_alive=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: keep-alive" in head
+        assert json.loads(body) == {"a": 1}
+
+    def test_close_encoding(self):
+        wire = Response.json({}).encode(keep_alive=False)
+        assert b"Connection: close" in wire
+
+    def test_error_shape(self):
+        resp = Response.error(429, "busy", headers={"Retry-After": "1"})
+        assert resp.status == 429
+        assert resp.headers["Retry-After"] == "1"
+        assert json.loads(resp.body)["error"]["message"] == "busy"
+
+
+class TestClientServerRoundTrip:
+    """The client against a real asyncio server speaking this framing."""
+
+    @staticmethod
+    async def echo_app(reader, writer):
+        while True:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as e:
+                await write_response(
+                    writer, Response.error(e.status, str(e)), keep_alive=False
+                )
+                break
+            if request is None:
+                break
+            payload = {
+                "route": request.route,
+                "method": request.method,
+                "echo": json.loads(request.body) if request.body else None,
+            }
+            await write_response(
+                writer, Response.json(payload), keep_alive=request.keep_alive
+            )
+            if not request.keep_alive:
+                break
+        writer.close()
+
+    def test_round_trip_and_keep_alive_reuse(self):
+        async def go():
+            server = await asyncio.start_server(
+                self.echo_app, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            conn = ClientConnection("127.0.0.1", port)
+            try:
+                first = await conn.request("POST", "/a", {"n": 1})
+                writer_before = conn._writer
+                second = await conn.request("GET", "/b")
+                reused = conn._writer is writer_before
+            finally:
+                await conn.close()
+                server.close()
+                await server.wait_closed()
+            return first, second, reused
+
+        (s1, _h1, b1), (s2, _h2, b2), reused = run(go())
+        assert s1 == 200 and b1 == {"route": "/a", "method": "POST",
+                                    "echo": {"n": 1}}
+        assert s2 == 200 and b2["route"] == "/b"
+        assert reused, "keep-alive client must reuse the connection"
+
+    def test_one_shot_helper(self):
+        async def go():
+            server = await asyncio.start_server(
+                self.echo_app, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await http_request(
+                    "127.0.0.1", port, "POST", "/x", {"k": "v"}
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        status, headers, body = run(go())
+        assert status == 200
+        assert "json" in headers["content-type"]
+        assert body["echo"] == {"k": "v"}
+
+    def test_request_dataclass_defaults(self):
+        req = Request(
+            method="GET", target="/", route="/", query={}, headers={}
+        )
+        assert req.keep_alive and req.body == b""
