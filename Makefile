@@ -2,13 +2,16 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-only experiments examples outputs clean
+.PHONY: install test lint bench bench-only experiments examples outputs clean
 
 install:
 	pip install -e '.[test]' || pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
+
+lint:
+	$(PY) -m repro lint --baseline
 
 bench:
 	$(PY) -m pytest benchmarks/

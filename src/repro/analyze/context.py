@@ -1,0 +1,171 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` per source file: the parsed AST with parent
+links, the raw source lines, the ``# repro: noqa[...]`` suppression
+map, and the path classification helpers rules scope themselves with
+(``subsystem()`` — which top-level ``repro`` subpackage the file lives
+in).  Building this once and handing it to every rule keeps each rule a
+pure ``check(ctx) -> findings`` function.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: ``# repro: noqa`` / ``# repro: noqa[DET001, ASY]`` (line-scoped) and
+#: ``# repro: noqa-file[...]`` (whole-file).  A bare ``noqa`` suppresses
+#: every rule; ``DET`` (a family prefix) suppresses ``DET001``-``DET999``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Matches every rule (bare ``noqa``).
+ALL_RULES = "*"
+
+
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        #: Repo-relative posix path (e.g. ``src/repro/sim/engine.py``).
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._line_noqa, self._file_noqa = _parse_noqa(self.lines)
+
+    # -- path classification ------------------------------------------------
+
+    def subsystem(self) -> str:
+        """Top-level subpackage under ``repro`` (``"sim"``, ``"serve"``,
+        ...), or ``""`` for top-level modules like ``cli.py``."""
+        parts = self.path.split("/")
+        if "repro" in parts:
+            rest = parts[parts.index("repro") + 1:]
+        else:
+            rest = parts
+        return rest[0] if len(rest) > 1 else ""
+
+    def module_name(self) -> str:
+        """File name without extension (``engine`` for ``.../engine.py``)."""
+        return self.path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+
+    # -- tree navigation ----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Nearest enclosing (async) function definition, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def in_async_function(self, node: ast.AST) -> bool:
+        """True when the *nearest* enclosing function is ``async def``.
+
+        A synchronous closure nested inside an ``async def`` (the
+        ``asyncio.to_thread`` pattern) is deliberately *not* async
+        context: it runs in a worker thread where blocking is fine.
+        """
+        return isinstance(self.enclosing_function(node), ast.AsyncFunctionDef)
+
+    def held_lock_names(self, node: ast.AST) -> Set[str]:
+        """Names of lock-ish context managers held around ``node``.
+
+        Any enclosing ``with``/``async with`` whose context expression
+        mentions a name containing ``lock`` or ``mutex`` counts.
+        """
+        held: Set[str] = set()
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.With, ast.AsyncWith)):
+                for item in anc.items:
+                    for name in _names_in(item.context_expr):
+                        if "lock" in name.lower() or "mutex" in name.lower():
+                            held.add(name)
+        return held
+
+    # -- suppression --------------------------------------------------------
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` noqa'd at ``line`` (1-based) or file-wide?"""
+        if _matches(self._file_noqa, rule_id):
+            return True
+        return _matches(self._line_noqa.get(line, set()), rule_id)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    # -- dotted-name resolution ---------------------------------------------
+
+    def dotted_name(self, node: ast.AST) -> str:
+        """``a.b.c`` for a Name/Attribute chain, ``""`` otherwise."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            return ".".join(reversed(parts))
+        return ""
+
+    def call_name(self, call: ast.Call) -> str:
+        return self.dotted_name(call.func)
+
+
+def _parse_noqa(
+    lines: List[str],
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for i, line in enumerate(lines, start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        rules = m.group("rules")
+        ids = (
+            {ALL_RULES}
+            if rules is None
+            else {r.strip() for r in rules.split(",") if r.strip()}
+        )
+        if m.group("file"):
+            per_file |= ids
+        else:
+            per_line.setdefault(i, set()).update(ids)
+    return per_line, per_file
+
+
+def _matches(suppressions: Set[str], rule_id: str) -> bool:
+    if not suppressions:
+        return False
+    if ALL_RULES in suppressions or rule_id in suppressions:
+        return True
+    # Family prefix: noqa[DET] covers DET001, DET002, ...
+    family = rule_id.rstrip("0123456789")
+    return family in suppressions
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr

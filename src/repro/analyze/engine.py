@@ -1,0 +1,171 @@
+"""The analysis engine: walk sources, run rules, filter suppressions.
+
+The engine is deliberately boring: parse each file once into a
+:class:`~repro.analyze.context.FileContext` (parent links + noqa map),
+hand the context to every selected rule, drop findings the file
+suppresses, and aggregate.  All policy lives in the rules; all
+reporting lives in the formatters; CI gating lives in
+:mod:`~repro.analyze.baseline`.
+
+Observability: ``lint.files`` counts files scanned, ``lint.findings``
+and ``lint.findings.<RULE>`` count surviving findings, and the whole
+pass runs under a ``lint.run`` span (per-file ``lint.file`` spans when
+tracing is enabled).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.analyze.context import FileContext
+from repro.analyze.findings import Finding
+from repro.analyze.rules import Rule, make_rules
+from repro.obs import counter, span
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis pass over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    #: Findings dropped by ``# repro: noqa`` suppressions.
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> dict:
+        out: dict = {}
+        for f in self.findings:
+            out[f.rule_id] = out.get(f.rule_id, 0) + 1
+        return out
+
+
+def package_root() -> str:
+    """Directory of the installed ``repro`` package sources."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def repo_root() -> str:
+    """Best-effort repository root: the directory holding ``src/``
+    (falls back to the package parent when not in a src layout)."""
+    pkg = package_root()
+    parent = os.path.dirname(pkg)
+    if os.path.basename(parent) == "src":
+        return os.path.dirname(parent)
+    return parent
+
+
+def default_targets() -> List[str]:
+    """What ``repro lint`` scans when given no paths: its own package."""
+    return [package_root()]
+
+
+def iter_python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__"
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _relative_path(path: str, root: Optional[str]) -> str:
+    ap = os.path.abspath(path)
+    base = os.path.abspath(root) if root else os.getcwd()
+    try:
+        rel = os.path.relpath(ap, base)
+    except ValueError:  # different drive (windows)
+        rel = ap
+    if rel.startswith(".."):
+        rel = ap
+    return rel.replace(os.sep, "/")
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze one in-memory source blob.
+
+    ``path`` is virtual but meaningful: rules scope themselves by it
+    (``src/repro/sim/x.py`` gets the DET pack, ``src/repro/serve/x.py``
+    the ASY pack).  Returns surviving findings sorted by location.
+    """
+    report = AnalysisReport()
+    _analyze_one(source, path, make_rules(rules), report)
+    return report.findings
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[str] = None,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under each path.
+
+    Raises :class:`AnalysisError` for a missing path, a target with no
+    python files, or an unparseable file — *running* the lint failing
+    is distinct from the lint *finding* something.
+    """
+    rule_objs = make_rules(rules)
+    base = root or repo_root()
+    report = AnalysisReport()
+    with span("lint.run", category="lint", targets=len(paths)):
+        for target in paths:
+            if not os.path.exists(target):
+                raise AnalysisError(f"lint target does not exist: {target}")
+            files = list(iter_python_files(target))
+            if not files:
+                raise AnalysisError(
+                    f"lint target has no python files: {target}"
+                )
+            for fp in files:
+                with open(fp, encoding="utf-8") as fh:
+                    source = fh.read()
+                _analyze_one(
+                    source, _relative_path(fp, base), rule_objs, report
+                )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    counter("lint.findings").inc(len(report.findings))
+    for rule_id, n in report.by_rule().items():
+        counter(f"lint.findings.{rule_id}").inc(n)
+    return report
+
+
+def _analyze_one(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    report: AnalysisReport,
+) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as e:
+        raise AnalysisError(
+            f"cannot parse {path}: line {e.lineno}: {e.msg}"
+        ) from e
+    ctx = FileContext(path, source, tree)
+    report.files_scanned += 1
+    counter("lint.files").inc()
+    with span("lint.file", category="lint", path=path):
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding.rule_id, finding.line):
+                    report.suppressed += 1
+                    counter("lint.suppressed").inc()
+                else:
+                    report.findings.append(finding)

@@ -1,0 +1,244 @@
+"""ASY — concurrency discipline in the serving and runtime layers.
+
+``repro.serve`` promises interactive tail latency from a single event
+loop, and ``repro.runtime`` coordinates worker processes from one
+scheduler thread.  Both die quietly when someone blocks the loop,
+mutates shared module state racily, or drops a task reference the
+garbage collector is then free to cancel mid-flight.
+
+Scope: ``serve/`` and ``runtime/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analyze.context import FileContext
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules.base import Rule, register_rule
+
+ASY_SCOPE = frozenset({"serve", "runtime"})
+
+#: Dotted call names that block the calling thread.  Inside ``async
+#: def`` these stall the entire event loop: every other connection,
+#: batch timer and health check waits behind them.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "io.open",
+        "os.system",
+        "os.popen",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+#: Blocking method suffixes (pathlib-style sync file I/O).
+BLOCKING_METHOD_SUFFIXES = (
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+)
+
+#: Mutating calls on a collection.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+    }
+)
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.subsystem() in ASY_SCOPE
+
+
+@register_rule
+class BlockingInAsyncRule(Rule):
+    id = "ASY001"
+    name = "blocking call inside async def"
+    severity = Severity.ERROR
+    rationale = (
+        "a time.sleep / sync open() / subprocess call inside an async "
+        "def freezes the event loop: /healthz stops answering, the "
+        "micro-batch window timer slips, and every connection's tail "
+        "latency absorbs the stall.  Use asyncio.sleep, "
+        "asyncio.to_thread, or move the work into a worker.  A sync "
+        "closure nested in an async def (the to_thread pattern) is "
+        "exempt — it runs off-loop."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not ctx.in_async_function(node):
+                continue
+            name = ctx.call_name(node)
+            if name in BLOCKING_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"blocking call {name}() inside async def — use the "
+                    "asyncio equivalent or asyncio.to_thread",
+                )
+            elif name.split(".")[-1] in BLOCKING_METHOD_SUFFIXES:
+                yield self.finding(
+                    ctx, node,
+                    f"sync file I/O ({name.split('.')[-1]}) inside "
+                    "async def — hand it to asyncio.to_thread",
+                )
+
+
+@register_rule
+class UnlockedSharedStateRule(Rule):
+    id = "ASY002"
+    name = "module-level mutable state mutated without a lock"
+    severity = Severity.WARNING
+    rationale = (
+        "a module-level list/dict/set is shared by every thread that "
+        "imports the module; mutating it from function bodies without "
+        "holding a lock is a data race the moment a worker thread or "
+        "to_thread offload touches the same structure.  Hold a lock "
+        "around the mutation or make the state instance-owned."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        shared = _module_level_mutables(ctx.tree)
+        if not shared:
+            return
+        for node in ast.walk(ctx.tree):
+            target = _mutation_target(node, shared)
+            if target is None:
+                continue
+            if ctx.enclosing_function(node) is None:
+                continue  # module-init population happens pre-share
+            if ctx.held_lock_names(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"module-level {target!r} mutated without holding a "
+                "lock — wrap in `with <lock>:` or move the state onto "
+                "an instance",
+            )
+
+
+@register_rule
+class DanglingTaskRule(Rule):
+    id = "ASY003"
+    name = "asyncio.create_task without a kept reference"
+    severity = Severity.ERROR
+    rationale = (
+        "the event loop keeps only a weak reference to tasks; a "
+        "create_task() whose result is discarded can be garbage-"
+        "collected mid-flight and silently vanish (documented asyncio "
+        "behaviour).  Keep the task in a container until done, or "
+        "await it."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            # Match on the final attribute so chains with a call base
+            # (asyncio.get_running_loop().create_task(...)) hit too.
+            if isinstance(call.func, ast.Attribute):
+                tail = call.func.attr
+            elif isinstance(call.func, ast.Name):
+                tail = call.func.id
+            else:
+                continue
+            if tail in ("create_task", "ensure_future"):
+                yield self.finding(
+                    ctx, node,
+                    f"{tail}() result discarded — the loop holds only a "
+                    "weak reference; store the task and discard it on "
+                    "completion",
+                )
+
+
+def _module_level_mutables(tree: ast.AST) -> Set[str]:
+    """Module-level names bound to a mutable collection."""
+    names: Set[str] = set()
+    body = getattr(tree, "body", [])
+    for stmt in body:
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+    return names
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "defaultdict",
+                                "OrderedDict", "Counter", "deque")
+    return False
+
+
+def _mutation_target(node: ast.AST, shared: Set[str]) -> "str | None":
+    """Name of the shared structure ``node`` mutates, if any."""
+    # x.append(...), x.update(...), ...
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        base = node.func.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in shared
+            and node.func.attr in MUTATOR_METHODS
+        ):
+            return base.id
+    # x[k] = v  /  x[k] += v  /  del x[k]
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [
+            node.target
+        ]
+        for t in targets:
+            if (
+                isinstance(t, ast.Subscript)
+                and isinstance(t.value, ast.Name)
+                and t.value.id in shared
+            ):
+                return t.value.id
+    if isinstance(node, ast.Delete):
+        for t in node.targets:
+            if (
+                isinstance(t, ast.Subscript)
+                and isinstance(t.value, ast.Name)
+                and t.value.id in shared
+            ):
+                return t.value.id
+    return None

@@ -1,0 +1,283 @@
+"""DET — determinism contracts of the simulation/model/runtime core.
+
+The whole reproduction leans on one promise: the same inputs produce
+byte-identical outputs, serial or parallel, today or next week.  The
+simulator runs on *virtual* time, every RNG is seeded through
+:mod:`repro.rng`, and cached results are content-addressed.  These
+rules flag the classic ways that promise silently breaks.
+
+Scope: ``sim/``, ``model/``, ``experiments/``, ``runtime/``.  The
+``bench/`` and ``obs/`` packages are exempt by construction — one
+*simulates* the measurement pipeline (its "clock" is the simulated
+TSC), the other's entire job is wall-clock telemetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analyze.context import FileContext
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules.base import Rule, register_rule
+
+#: Subsystems whose results must be reproducible.
+DET_SCOPE = frozenset({"sim", "model", "experiments", "runtime"})
+
+#: Wall-clock reads.  Matched on the dotted call name, so a planted
+#: ``time.time()`` is caught even without import tracking.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy legacy global-RNG entry points (``np.random.seed`` included:
+#: seeding a process-global RNG still races under ``--jobs N``).
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+#: Sinks whose output ordering is observable (cached, hashed, joined).
+ORDER_SENSITIVE_SINKS = frozenset(
+    {
+        "list",
+        "tuple",
+        "enumerate",
+        "join",
+        "cache_key",
+        "content_key",
+        "fingerprint",
+    }
+)
+#: Hash-only sinks: ``.keys()``/``.values()``/``.items()`` views are
+#: insertion-ordered (deterministic), so they only matter when fed to
+#: an actual content address.
+HASH_SINKS = frozenset({"cache_key", "content_key", "fingerprint"})
+
+#: Functions whose *name* marks them as a configuration entry point —
+#: the one sanctioned place to read the environment.
+CONFIG_ENTRY_PREFIXES = ("default_",)
+CONFIG_ENTRY_SUFFIXES = ("_from_env",)
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.subsystem() in DET_SCOPE
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "DET001"
+    name = "wall-clock read in deterministic code"
+    severity = Severity.ERROR
+    rationale = (
+        "sim/, model/, experiments/ and runtime/ compute results that "
+        "must be byte-identical across runs and across --jobs N; a "
+        "time.time()/perf_counter()/datetime.now() read leaking into a "
+        "result (or a cache key) makes outputs differ run to run.  "
+        "Wall-clock telemetry belongs in obs/ (tracing/metrics) or "
+        "bench/ (the simulated measurement pipeline); genuinely "
+        "intentional reads take a noqa with a rationale."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {name}() in {ctx.subsystem()}/ — use the "
+                    "virtual clock / bench timers, or suppress with a "
+                    "rationale if this is pure telemetry",
+                )
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    id = "DET002"
+    name = "unseeded or process-global RNG"
+    severity = Severity.ERROR
+    rationale = (
+        "every stochastic path must draw from a seeded "
+        "numpy.random.Generator handed down through repro.rng so runs "
+        "replay exactly; the stdlib random module and numpy's legacy "
+        "np.random.* global functions share hidden process state that "
+        "differs per worker under --jobs N."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        random_aliases = _module_aliases(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            parts = name.split(".")
+            # stdlib `random.choice(...)` via any import alias.
+            if len(parts) >= 2 and parts[0] in random_aliases:
+                yield self.finding(
+                    ctx, node,
+                    f"stdlib random usage ({name}) — draw from a seeded "
+                    "repro.rng generator instead",
+                )
+            # numpy legacy global RNG: np.random.shuffle, np.random.seed...
+            elif (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[-1] not in _NP_RANDOM_OK
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"numpy global RNG usage ({name}) — use "
+                    "np.random.default_rng(seed) / repro.rng",
+                )
+            # default_rng() with no seed argument.
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "default_rng() without a seed is entropy-seeded — "
+                    "pass an explicit seed",
+                )
+
+
+@register_rule
+class SetOrderRule(Rule):
+    id = "DET003"
+    name = "set iteration order feeding an ordered sink"
+    severity = Severity.ERROR
+    rationale = (
+        "python set iteration order varies with PYTHONHASHSEED and "
+        "insertion history; materializing a set into a list/tuple/join "
+        "— or feeding any unordered view into cache_key/fingerprint — "
+        "bakes that order into cached or hashed results.  Wrap the set "
+        "in sorted() first."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                sink = ctx.call_name(node).split(".")[-1]
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    if sink in ORDER_SENSITIVE_SINKS and _is_set_expr(arg):
+                        yield self.finding(
+                            ctx, node,
+                            f"set passed to {sink}() — iteration order "
+                            "is not deterministic; wrap in sorted()",
+                        )
+                    elif sink in HASH_SINKS and _is_dict_view(arg):
+                        yield self.finding(
+                            ctx, node,
+                            f"dict view passed to {sink}() — sort it "
+                            "before it reaches a content address",
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                node.iter
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "iterating a set directly — order is not "
+                    "deterministic; iterate sorted(...) instead",
+                )
+
+
+@register_rule
+class EnvReadRule(Rule):
+    id = "DET004"
+    name = "environment read outside a config entry point"
+    severity = Severity.WARNING
+    rationale = (
+        "os.environ reads scattered through deterministic code make "
+        "results depend on invisible ambient state.  Environment "
+        "lookups belong in named configuration entry points (functions "
+        "named default_*() or *_from_env()) so every knob is "
+        "discoverable and testable."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            read = _env_read(ctx, node)
+            if read is None:
+                continue
+            fn = ctx.enclosing_function(node)
+            if fn is not None and _is_config_entry(fn.name):
+                continue
+            where = f"in {fn.name}()" if fn is not None else "at module level"
+            yield self.finding(
+                ctx, node,
+                f"{read} {where} — move the lookup into a default_*() / "
+                "*_from_env() configuration entry point",
+            )
+
+
+def _is_config_entry(name: str) -> bool:
+    return name.startswith(CONFIG_ENTRY_PREFIXES) or name.endswith(
+        CONFIG_ENTRY_SUFFIXES
+    )
+
+
+def _env_read(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """A description of the env read at ``node``, or None."""
+    if isinstance(node, ast.Call):
+        name = ctx.call_name(node)
+        if name.endswith("os.getenv") or name == "getenv":
+            return "os.getenv()"
+        if name in ("os.environ.get", "environ.get"):
+            return "os.environ.get()"
+    elif isinstance(node, ast.Subscript):
+        if ctx.dotted_name(node.value) in ("os.environ", "environ"):
+            return "os.environ[...]"
+    return None
+
+
+def _module_aliases(tree: ast.AST, module: str) -> Set[str]:
+    """Names the given top-level module is imported as in this file."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A syntactic set: literal, comprehension, or set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+    )

@@ -1,0 +1,113 @@
+"""REG — registry and schema contracts of the experiment pipeline.
+
+The runtime scheduler can only share characterization work it knows
+about, and persisted JSON can only be migrated if its schema version is
+a single source of truth.  Both contracts are declarative, so both are
+checkable.
+
+Scope: REG001 applies to ``experiments/`` modules; REG002 to the whole
+package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analyze.context import FileContext
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules.base import Rule, register_rule
+
+
+@register_rule
+class UndeclaredNeedsRule(Rule):
+    id = "REG001"
+    name = "experiment characterizes without declaring needs="
+    severity = Severity.WARNING
+    rationale = (
+        "an experiment that calls characterize() but registers without "
+        "needs= still works — it just computes its characterization "
+        "inline, invisibly to the scheduler, so `--jobs N` re-runs the "
+        "most expensive phase once per worker instead of sharing the "
+        "warm-up bundle.  Declare the CharacterizationNeed in "
+        "@register(id, needs=...)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.subsystem() != "experiments":
+            return
+        if ctx.module_name().startswith("_"):
+            return  # shared helpers, not registered experiments
+        if not _calls_characterize(ctx):
+            return
+        for call in _register_calls(ctx):
+            if not any(kw.arg == "needs" for kw in call.keywords):
+                yield self.finding(
+                    ctx, call,
+                    "module calls characterize() but this @register() "
+                    "has no needs= declaration — the scheduler cannot "
+                    "share the characterization bundle",
+                )
+
+
+@register_rule
+class SchemaVersionLiteralRule(Rule):
+    id = "REG002"
+    name = "schema_version written as a bare literal"
+    severity = Severity.WARNING
+    rationale = (
+        "manifest/artifact schema versions must reference the module "
+        "constant (MANIFEST_SCHEMA_VERSION, ARTIFACT_SCHEMA_VERSION, "
+        "...) — a literal in one writer silently forks the schema the "
+        "day the constant is bumped, and old readers accept files they "
+        "can no longer parse."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value == "schema_version"
+                        and _is_number(value)
+                    ):
+                        yield self.finding(
+                            ctx, value,
+                            "dict literal writes schema_version as a "
+                            "bare number — reference the module's "
+                            "*_SCHEMA_VERSION constant",
+                        )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "schema_version" and _is_number(kw.value):
+                        yield self.finding(
+                            ctx, kw.value,
+                            "schema_version= passed as a bare number — "
+                            "reference the module's *_SCHEMA_VERSION "
+                            "constant",
+                        )
+
+
+def _is_number(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool)
+
+
+def _calls_characterize(ctx: FileContext) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and ctx.call_name(node).split(".")[-1] == "characterize"
+        for node in ast.walk(ctx.tree)
+    )
+
+
+def _register_calls(ctx: FileContext) -> List[ast.Call]:
+    """Every ``register(...)`` call (decorator or direct)."""
+    return [
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.Call)
+        and ctx.call_name(node).split(".")[-1] == "register"
+    ]

@@ -1,0 +1,152 @@
+"""UNIT — unit discipline for quantities flowing through the models.
+
+:mod:`repro.units` fixes the conventions (time in ns at the machine
+layer, bandwidth in GB/s, sizes in bytes) and the whole model stack
+carries them through suffixed parameter names (``window_s``,
+``payload_bytes``, ``skew_sigma_ns``).  These rules catch the two ways
+unit bugs actually enter: a constant written in the wrong unit (a
+nanosecond count passed to a ``_s`` parameter is off by 10^9 — cf. the
+bandwidth-model literature, where unit slips are the classic
+reproduction killer), and arithmetic mixing dimensions of the
+:mod:`repro.units` constants.
+
+Scope: the whole package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analyze.context import FileContext
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules.base import Rule, register_rule
+
+#: Per-suffix plausibility windows for a *literal* argument.  A literal
+#: outside its window is almost certainly written in a sibling unit
+#: (1e9 passed to ``_s`` is a ns count; 2e-3 passed to ``_ns`` is 2 ms).
+#: Windows are deliberately generous — this rule must only fire on
+#: order-of-magnitude category errors, never on unusual-but-legal values.
+_SUFFIX_WINDOWS: Tuple[Tuple[str, float, float], ...] = (
+    # (suffix, min inclusive, max exclusive) — 0 is always allowed.
+    ("_ns", 1e-2, 1e15),     # below 10 fs it was probably seconds
+    ("_us", 1e-3, 1e12),
+    ("_ms", 1e-4, 1e10),
+    ("_s", 1e-9, 1e6),       # above ~11 days it was probably ns
+    ("_seconds", 1e-9, 1e6),
+    ("_ghz", 1e-3, 1e3),     # outside this it was Hz/MHz
+    ("_gbps", 1e-3, 1e5),
+)
+
+#: Dimension of each :mod:`repro.units` constant.
+UNIT_CONSTANT_DIMS = {
+    "CACHE_LINE_BYTES": "bytes",
+    "KIB": "bytes",
+    "MIB": "bytes",
+    "GIB": "bytes",
+    "GB": "bytes",
+    "NS_PER_S": "ns/s",
+    "CYCLE_NS": "ns",
+    "CORE_CLOCK_GHZ": "GHz",
+}
+
+
+@register_rule
+class SuspiciousMagnitudeRule(Rule):
+    id = "UNIT001"
+    name = "literal magnitude implausible for unit-suffixed parameter"
+    severity = Severity.WARNING
+    rationale = (
+        "parameter names carry the unit (window_s, payload_bytes, "
+        "skew_sigma_ns — the repro.units convention); a numeric literal "
+        "whose magnitude is impossible in that unit is almost always a "
+        "constant pasted from code using a sibling unit, an error of "
+        "10^3-10^9 that no test tolerance hides.  Also flags fractional "
+        "literals for _bytes parameters (bytes are integral)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                value = _numeric_literal(kw.value)
+                if value is None:
+                    continue
+                msg = _magnitude_problem(kw.arg, value)
+                if msg:
+                    yield self.finding(ctx, kw.value, msg)
+
+
+@register_rule
+class MixedUnitConstantsRule(Rule):
+    id = "UNIT002"
+    name = "adding repro.units constants of different dimensions"
+    severity = Severity.ERROR
+    rationale = (
+        "the constants in repro.units each carry a dimension (bytes, "
+        "ns, GHz); adding or subtracting across dimensions (GIB + "
+        "NS_PER_S) is meaningless no matter the magnitudes, and the "
+        "numeric result looks plausible enough to survive review.  "
+        "Multiplying/dividing across dimensions is legitimate "
+        "(bytes / ns is GB/s) and not flagged."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = _unit_dim(ctx, node.left)
+            right = _unit_dim(ctx, node.right)
+            if left and right and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                yield self.finding(
+                    ctx, node,
+                    f"{op} mixes units: left side is {left}, right side "
+                    f"is {right}",
+                )
+
+
+def _numeric_literal(node: ast.AST) -> Optional[float]:
+    """The value of a (possibly negated) bare numeric literal."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _numeric_literal(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _magnitude_problem(arg_name: str, value: float) -> Optional[str]:
+    if value == 0:
+        return None
+    if arg_name.endswith("_bytes") and not float(value).is_integer():
+        return (
+            f"{arg_name}={value!r}: bytes are integral — a fractional "
+            "literal suggests a unit conversion leaked in"
+        )
+    for suffix, lo, hi in _SUFFIX_WINDOWS:
+        if not arg_name.endswith(suffix):
+            continue
+        mag = abs(value)
+        if mag < lo or mag >= hi:
+            return (
+                f"{arg_name}={value!r}: magnitude is implausible for a "
+                f"{suffix.lstrip('_')} quantity — check the unit of the "
+                "constant"
+            )
+        return None
+    return None
+
+
+def _unit_dim(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    name = ctx.dotted_name(node)
+    if not name:
+        return None
+    return UNIT_CONSTANT_DIMS.get(name.split(".")[-1])

@@ -1,0 +1,77 @@
+"""SARIF 2.1.0 export of an analysis report.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI surfaces ingest to annotate diffs; emitting it makes ``repro lint``
+a first-class CI citizen without any custom glue.  One run, one tool
+(``repro-lint``), the full rule table in the driver (so suppressed/
+clean runs still document what was checked), one result per finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro._version import __version__
+from repro.analyze.engine import AnalysisReport
+from repro.analyze.rules import make_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    report: AnalysisReport,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for ``report``.
+
+    ``rule_ids`` selects which rules appear in the tool driver's rule
+    table (default: every registered rule).
+    """
+    rules = make_rules(rule_ids)
+    driver = {
+        "name": "repro-lint",
+        "version": __version__,
+        "informationUri": "docs/LINTING.md",
+        "rules": [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {
+                    "level": rule.severity.sarif_level
+                },
+            }
+            for rule in rules
+        ],
+    }
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": rule_index.get(f.rule_id, -1),
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }

@@ -12,6 +12,7 @@ Examples::
     python -m repro trace t.json                # summarize a trace file
     python -m repro serve --port 8080           # query service (docs/SERVING.md)
     python -m repro loadgen --self-host         # drive it closed-loop
+    python -m repro lint --baseline             # static analysis (docs/LINTING.md)
     python -m repro version                     # or --version
 
 Experiments execute on the :mod:`repro.runtime` engine: ``--jobs N``
@@ -39,7 +40,7 @@ from repro.experiments import all_ids, get
 
 #: Subcommands with their own flag namespace, dispatched before the main
 #: parser sees the argv (``--port`` etc. would be unknown flags to it).
-_SUBCOMMANDS = ("serve", "loadgen")
+_SUBCOMMANDS = ("serve", "loadgen", "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,7 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
              "'run <ids...>' (several), 'report' (render archived "
              "--save-dir results as markdown), 'trace <file>' "
              "(summarize a --trace output), 'serve'/'loadgen' (the "
-             "query service — each has its own --help), or 'version'",
+             "query service), 'lint' (static analysis) — each with its "
+             "own --help — or 'version'",
     )
     p.add_argument(
         "--version", action="version", version=f"repro-knl {__version__}"
@@ -180,6 +182,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.serve.app import main_serve
 
             return main_serve(argv[1:])
+        if argv[0] == "lint":
+            from repro.analyze.cli import main_lint
+
+            return main_lint(argv[1:])
         from repro.serve.loadgen import main_loadgen
 
         return main_loadgen(argv[1:])

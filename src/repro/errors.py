@@ -27,3 +27,8 @@ class ModelError(ReproError):
 
 class BenchmarkError(ReproError):
     """A microbenchmark was configured with invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass could not run (bad path, unparseable
+    source, unknown rule) — distinct from *findings*, which are results."""

@@ -158,7 +158,8 @@ class ResultCache:
                exp_id: Optional[str] = None) -> None:
         index = self._load_index()
         entry = index.setdefault(key, {})
-        entry["atime"] = time.time()
+        # Eviction bookkeeping, not an experiment input.
+        entry["atime"] = time.time()  # repro: noqa[DET001]
         if size is not None:
             entry["size"] = size
         if exp_id is not None:

@@ -35,12 +35,16 @@ class ProgressPrinter:
                  enabled: bool = True) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
-        self._t0 = time.time()
+        # Monotonic, not wall clock: an NTP step mid-run would make the
+        # "+12.3s" offsets jump or go negative.  Display-only telemetry,
+        # never feeds a result.
+        self._t0 = time.monotonic()  # repro: noqa[DET001]
 
     def _emit(self, text: str) -> None:
         if not self.enabled:
             return
-        print(f"[runtime +{time.time() - self._t0:6.1f}s] {text}",
+        elapsed = time.monotonic() - self._t0  # repro: noqa[DET001]
+        print(f"[runtime +{elapsed:6.1f}s] {text}",
               file=self.stream, flush=True)
 
     def phase(self, name: str, detail: str = "") -> None:

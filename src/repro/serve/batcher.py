@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Awaitable, Callable, Dict, Optional
+from typing import Any, Awaitable, Callable, Dict, Optional, Set
 
 from repro.errors import ConfigurationError, ReproError
 from repro.obs import counter, gauge, histogram, span
@@ -91,6 +91,11 @@ class MicroBatcher:
         self._open_requests = 0
         #: Evaluations in flight: key -> shared future (single-flight).
         self._inflight: Dict[str, asyncio.Future] = {}
+        #: Strong references to running batch tasks.  The event loop
+        #: only keeps a weak reference to a task — a flush whose task
+        #: nobody holds can be garbage-collected mid-evaluation and
+        #: every waiter of that batch would hang until its deadline.
+        self._tasks: Set[asyncio.Task] = set()
         self._pending_requests = 0
         self._timer: Optional[asyncio.TimerHandle] = None
         self._closed = False
@@ -183,9 +188,11 @@ class MicroBatcher:
         self._inflight.update(futures)
         counter("serve.batch.batches").inc()
         histogram("serve.batch.size").observe(len(batch))
-        asyncio.get_running_loop().create_task(
+        task = asyncio.get_running_loop().create_task(
             self._run_batch(batch, futures)
         )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
 
     async def _run_batch(
         self, batch: Dict[str, Any], futures: Dict[str, asyncio.Future]
@@ -222,5 +229,5 @@ class MicroBatcher:
         """Refuse new work, flush and drain what was admitted."""
         self._closed = True
         self._flush()
-        while self._inflight:
-            await asyncio.sleep(0.001)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -204,3 +204,90 @@ class TestServeDispatch:
             main(["serve", "--jobs", "4"])
         assert exc.value.code == 2
         assert "serve" in capsys.readouterr().err
+
+
+class TestLintDispatch:
+    """`repro lint` — exit codes 0/1/2 and robust error paths."""
+
+    def test_lint_help_reaches_the_lint_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--baseline" in out and "--format" in out
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "ASY003", "UNIT001", "REG002"):
+            assert rule_id in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("X = 1\n")
+        assert main(["lint", str(mod)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one_with_location(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        mod = pkg / "dirty.py"
+        mod.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "dirty.py:5" in out
+
+    def test_nonexistent_path_exits_two_with_message(self, capsys):
+        assert main(["lint", "/nonexistent/lint/target"]) == 2
+        err = capsys.readouterr().err
+        assert "[lint] error:" in err and "does not exist" in err
+        assert "Traceback" not in err
+
+    def test_directory_without_python_exits_two(self, tmp_path, capsys):
+        (tmp_path / "notes.txt").write_text("hello\n")
+        assert main(["lint", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no python files" in err and "Traceback" not in err
+
+    def test_syntax_error_exits_two_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n    pass\n")
+        assert main(["lint", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot parse" in err and "line 1" in err
+        assert "Traceback" not in err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rule", "NOPE99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+
+    def test_missing_baseline_exits_two_with_hint(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("X = 1\n")
+        missing = str(tmp_path / "nope.json")
+        assert main(["lint", str(mod), "--baseline",
+                     "--baseline-file", missing]) == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+    def test_baseline_gates_only_new_findings(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        mod = pkg / "legacy.py"
+        mod.write_text("import time\nT = time.time()\n")
+        bl = str(tmp_path / "lint-baseline.json")
+        # Accept the legacy finding, then gate: nothing new.
+        assert main(["lint", str(tmp_path), "--update-baseline",
+                     "--baseline-file", bl]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--baseline",
+                     "--baseline-file", bl]) == 0
+        assert "0 finding(s) new vs baseline" in capsys.readouterr().err
+        # A fresh violation still fails the gate.
+        mod.write_text(
+            "import time\nT = time.time()\n"
+            "import random\nR = random.random()\n"
+        )
+        assert main(["lint", str(tmp_path), "--baseline",
+                     "--baseline-file", bl]) == 1
+        assert "DET002" in capsys.readouterr().out

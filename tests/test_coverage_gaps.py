@@ -147,3 +147,21 @@ class TestCLIOutputs:
         out = capsys.readouterr().out
         assert "mcdram_GBs" in out
         assert "+" in out  # chart frame
+
+
+class TestLintDocCatalog:
+    def test_every_rule_id_is_documented_in_linting_md(self):
+        from repro.analyze import all_rule_ids, make_rules
+
+        here = os.path.dirname(os.path.abspath(__file__))
+        path = os.path.join(here, "..", "docs", "LINTING.md")
+        with open(path) as fh:
+            doc = fh.read()
+        for rule_id in all_rule_ids():
+            assert rule_id in doc, f"docs/LINTING.md missing rule {rule_id}"
+        # The catalog also names every rule, not just its id.
+        for rule in make_rules():
+            assert rule.name in doc, (
+                f"docs/LINTING.md missing the name of {rule.id}: "
+                f"{rule.name!r}"
+            )

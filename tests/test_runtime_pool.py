@@ -136,3 +136,40 @@ class TestManifest:
         with pytest.raises(ReproError):
             execute(plan_run(["fig4", "nope"], no_cache=True,
                              progress=False))
+
+
+class TestProgressPrinter:
+    def test_elapsed_uses_monotonic_clock(self, monkeypatch):
+        """A wall-clock step must not corrupt the +elapsed offsets.
+
+        Regression for the DET001 lint finding: the printer used
+        ``time.time()``, so an NTP adjustment mid-run made offsets
+        jump or go negative.
+        """
+        import io
+        import time as time_mod
+
+        from repro.runtime.progress import ProgressPrinter
+
+        out = io.StringIO()
+        printer = ProgressPrinter(stream=out)
+        # Step the wall clock back an hour; monotonic is unaffected.
+        real_time = time_mod.time
+        monkeypatch.setattr(time_mod, "time",
+                            lambda: real_time() - 3600.0)
+        printer.phase("warmup")
+        line = out.getvalue()
+        assert "[runtime +" in line
+        elapsed = float(line.split("+")[1].split("s]")[0])
+        assert 0.0 <= elapsed < 5.0
+
+    def test_disabled_printer_emits_nothing(self):
+        import io
+
+        from repro.runtime.progress import ProgressPrinter
+
+        out = io.StringIO()
+        printer = ProgressPrinter(stream=out, enabled=False)
+        printer.phase("warmup")
+        printer.task("fig4", TaskStatus.DONE)
+        assert out.getvalue() == ""

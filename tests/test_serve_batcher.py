@@ -217,3 +217,49 @@ class TestFailure:
                 await b.submit("k", "p")
 
         run(go())
+
+
+class TestTaskReferences:
+    """The flush task must be strongly held until it completes.
+
+    The event loop keeps only a weak reference to tasks
+    (``create_task`` docs); without ``_tasks`` a garbage-collection
+    pass during evaluation could collect the batch task and leave
+    every waiter hanging.  Regression for the ASY003 lint finding.
+    """
+
+    def test_flush_task_is_held_then_discarded(self):
+        rec = Recorder(delay_s=0.02)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0)
+            waiter = asyncio.create_task(b.submit("k", "p"))
+            await asyncio.sleep(0.005)  # flush ran, evaluation pending
+            held = len(b._tasks)
+            import gc
+
+            gc.collect()  # must not collect the in-flight batch task
+            result = await waiter
+            await asyncio.sleep(0)  # let done-callbacks run
+            return held, len(b._tasks), result
+
+        held, after, result = run(go())
+        assert held == 1
+        assert after == 0
+        assert result == "result:p"
+
+    def test_close_drains_running_batches(self):
+        rec = Recorder(delay_s=0.02)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.05)
+            waiters = [
+                asyncio.create_task(b.submit(f"k{i}", f"p{i}"))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)
+            await b.close()  # flushes the open window and drains
+            assert not b._tasks
+            return await asyncio.gather(*waiters)
+
+        assert run(go()) == [f"result:p{i}" for i in range(3)]
