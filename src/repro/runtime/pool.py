@@ -243,6 +243,11 @@ def execute(plan: RunPlan) -> RunReport:
     printer = ProgressPrinter(enabled=plan.progress)
     manifest = RunManifest(
         jobs=plan.jobs,
+        # Absolute timestamp only — never differenced.  Every duration
+        # in this module (wall_s below, per-task duration_s, backoff
+        # deadlines) comes from time.perf_counter(), so an NTP step
+        # mid-run cannot corrupt them (the bug class ProgressPrinter
+        # fixed by moving to time.monotonic()).
         started_at=time.time(),
         cache_enabled=plan.cache_dir is not None,
     )

@@ -15,7 +15,12 @@ is arithmetic.  This package serves that asymmetry at scale:
   ``/v1/advise``, ``/v1/tune``, ``/healthz``, ``/metrics``;
 * :mod:`~repro.serve.protocol` — stdlib-only HTTP/1.1 framing + client;
 * :mod:`~repro.serve.loadgen` — closed-loop load generator and the
-  batching-on/off benchmark matrix (``BENCH_serve.json``).
+  batching-on/off benchmark matrix (``BENCH_serve.json``);
+* :mod:`~repro.serve.fleet` / :mod:`~repro.serve.router` — the prefork
+  worker fleet (``repro serve --workers N``): a consistent-hash routing
+  front end over N serving processes, with health-checked
+  backoff/quarantine restarts and SIGTERM drain
+  (``BENCH_fleet.json``).
 
 Quickstart (in-process; ``repro serve --port 8080`` from a shell)::
 
@@ -46,6 +51,12 @@ from repro.serve.artifacts import (
     config_from_json,
 )
 from repro.serve.batcher import AdmissionError, BatcherClosed, MicroBatcher
+from repro.serve.fleet import (
+    Fleet,
+    FleetConfig,
+    run_fleet,
+    run_fleet_smoke,
+)
 from repro.serve.loadgen import (
     LoadgenResult,
     bench_matrix,
@@ -62,6 +73,7 @@ from repro.serve.protocol import (
     read_request,
     write_response,
 )
+from repro.serve.router import HashRing, WorkerClient
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
@@ -71,6 +83,9 @@ __all__ = [
     "BatcherClosed",
     "ClientConnection",
     "DEFAULT_DEADLINES",
+    "Fleet",
+    "FleetConfig",
+    "HashRing",
     "LoadgenResult",
     "MicroBatcher",
     "ProtocolError",
@@ -78,11 +93,14 @@ __all__ = [
     "Response",
     "ServeApp",
     "ServeConfig",
+    "WorkerClient",
     "bench_matrix",
     "config_from_json",
     "default_body",
     "http_request",
     "read_request",
+    "run_fleet",
+    "run_fleet_smoke",
     "run_loadgen",
     "write_bench",
 ]

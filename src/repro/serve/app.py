@@ -40,9 +40,9 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.errors import ReproError
 from repro.model.advisor import BufferSpec, recommend_placement
 from repro.model.parameters import CapabilityModel
-from repro.obs import counter, histogram, metrics_snapshot, span
+from repro.obs import counter, gauge, histogram, metrics_snapshot, span
 from repro.serve.artifacts import Artifact, ArtifactRegistry, config_from_json
-from repro.serve.batcher import AdmissionError, MicroBatcher
+from repro.serve.batcher import AdmissionError, BatcherClosed, MicroBatcher
 from repro.serve.protocol import (
     ProtocolError,
     Request,
@@ -144,6 +144,12 @@ class ServeApp:
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._started_at = time.monotonic()
+        #: Open connections and requests mid-dispatch — what a graceful
+        #: drain has to wait for (and then actively close: on Python
+        #: 3.12.1+ ``wait_closed`` waits for connection handlers, so an
+        #: idle keep-alive peer would hold shutdown open forever).
+        self._conn_writers: set = set()
+        self._active_requests = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -169,12 +175,32 @@ class ServeApp:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        await self.batcher.close()
+    async def stop(self, drain_grace_s: float = 5.0) -> None:
+        """Graceful drain: stop accepting, let admitted work finish.
+
+        Order matters — close the listener first (no new connections),
+        then close the batcher (flushes the open window and awaits every
+        running batch, so in-flight waiters get their results), then
+        wait for the connection handlers to finish *writing* those
+        responses before actively closing lingering keep-alive sockets.
+        A request arriving mid-drain gets a 503 + ``Retry-After`` via
+        the :class:`BatcherClosed` mapping, never a dropped connection.
+        """
+        gauge("serve.draining").set(1)
+        try:
+            if self._server is not None:
+                self._server.close()
+            await self.batcher.close()
+            deadline = time.monotonic() + drain_grace_s
+            while self._active_requests and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            for writer in list(self._conn_writers):
+                writer.close()
+            if self._server is not None:
+                await self._server.wait_closed()
+                self._server = None
+        finally:
+            gauge("serve.draining").set(0)
 
     async def warm(self, config_json: Optional[Mapping] = None) -> Artifact:
         """Pre-fit the default (or given) configuration before binding."""
@@ -185,6 +211,7 @@ class ServeApp:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._conn_writers.add(writer)
         try:
             while True:
                 try:
@@ -198,7 +225,11 @@ class ServeApp:
                     break
                 if request is None:
                     break
-                response = await self._dispatch(request)
+                self._active_requests += 1
+                try:
+                    response = await self._dispatch(request)
+                finally:
+                    self._active_requests -= 1
                 await write_response(
                     writer, response, keep_alive=request.keep_alive
                 )
@@ -212,6 +243,7 @@ class ServeApp:
             # exception-retrieval callback.
             pass
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -289,6 +321,17 @@ class ServeApp:
                 headers={
                     "Retry-After": f"{max(1, round(e.retry_after_s)):d}"
                 },
+            )
+        except BatcherClosed:
+            # A submit racing shutdown: the server is draining, not
+            # broken.  503 + Retry-After tells the client (and the fleet
+            # front end) to try again — as a plain ReproError this used
+            # to masquerade as a 400 "model error".
+            counter("serve.draining.rejected").inc()
+            return Response.error(
+                503,
+                "server is draining; retry against a live instance",
+                headers={"Retry-After": "1"},
             )
         except asyncio.TimeoutError:
             counter("serve.timeouts").inc()
@@ -596,6 +639,12 @@ def build_serve_parser():
         "--port", type=int, default=8080,
         help="TCP port (0 = ephemeral, printed on startup; default 8080)",
     )
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; N > 1 runs a prefork fleet with "
+             "consistent-hash routing by query content key "
+             "(default 1 = single process)",
+    )
     batching = p.add_argument_group("micro-batching")
     batching.add_argument(
         "--window-ms", type=float, default=2.0, metavar="MS",
@@ -603,8 +652,9 @@ def build_serve_parser():
     )
     batching.add_argument(
         "--batch-cap", type=int, default=64, metavar="N",
-        help="max unique queries per batch; a full batch flushes "
-             "without waiting the window (default 64)",
+        help="max requests riding one batch, duplicates included; a "
+             "full batch flushes without waiting the window "
+             "(default 64)",
     )
     batching.add_argument(
         "--no-batching", action="store_true",
@@ -761,7 +811,26 @@ async def run_smoke(config: ServeConfig, quiet: bool = False) -> int:
 
 def main_serve(argv=None) -> int:
     """Entry point of ``repro serve``."""
+    import signal
+
     args = build_serve_parser().parse_args(argv)
+
+    if args.workers > 1:
+        # Prefork fleet: N worker processes behind a consistent-hash
+        # routing front end (docs/SERVING.md, "Scaling out").
+        from repro.serve.fleet import (
+            fleet_config_from_args,
+            run_fleet,
+            run_fleet_smoke,
+        )
+
+        fleet_config = fleet_config_from_args(args)
+        if args.smoke:
+            return asyncio.run(
+                run_fleet_smoke(fleet_config, quiet=args.quiet)
+            )
+        return asyncio.run(run_fleet(fleet_config, quiet=args.quiet))
+
     config = _config_from_args(args)
     if args.smoke:
         return asyncio.run(run_smoke(config, quiet=args.quiet))
@@ -789,10 +858,22 @@ def main_serve(argv=None) -> int:
                 f"queue limit {config.queue_limit})",
                 flush=True,
             )
-        await app.serve_forever()
+        # SIGTERM — what an init system, container runtime, or the
+        # fleet supervisor sends — must run the same drain path as
+        # Ctrl+C.  Before this handler, SIGTERM killed mid-batch.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        if not args.quiet:
+            print("[serve] draining...", flush=True)
+        await app.stop()
+        if not args.quiet:
+            print("[serve] drained; bye", flush=True)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
-        pass
+        pass  # second Ctrl+C mid-drain: exit without finishing drain
     return 0

@@ -130,14 +130,24 @@ class ArtifactRegistry:
     # -- population ---------------------------------------------------------
 
     def preload(
-        self, config: MachineConfig, capability: CapabilityModel
+        self,
+        config: MachineConfig,
+        capability: CapabilityModel,
+        persist: bool = False,
     ) -> Artifact:
-        """Inject an already-fitted model (tests, offline-fitted files)."""
+        """Inject an already-fitted model (tests, offline-fitted files).
+
+        ``persist=True`` also writes it to the artifact directory, so a
+        separately-booted process (a fleet worker, a restarted server)
+        warm-loads from disk instead of refitting.
+        """
         key = self.key_for(config)
         artifact = Artifact(
             key=key, config=config, capability=capability, source="preload"
         )
         self._warm[key] = artifact
+        if persist:
+            self._persist(key, artifact)
         return artifact
 
     async def get(self, config: MachineConfig) -> Artifact:

@@ -16,8 +16,10 @@ Mechanics per request (:meth:`MicroBatcher.submit`):
 2. dedup — an identical query already collecting or already evaluating
    gets the existing future (``serve.batch.deduped``);
 3. batching — otherwise the query joins the open batch; the first
-   entrant arms a ``window_s`` timer, and reaching ``max_batch`` unique
-   queries flushes immediately (so a full batch never waits the window);
+   entrant arms a ``window_s`` timer, and reaching ``max_batch``
+   *requests* — duplicate riders included, deliberately — flushes
+   immediately, so a full batch (even 64 copies of one query) never
+   waits out the window;
 4. evaluation — the flush hands the unique queries to the evaluator as
    one call (``serve.batch.evaluations`` counts unique queries
    evaluated; the acceptance bound "64 identical concurrent requests →

@@ -11,7 +11,10 @@ p50/p95/p99/throughput.
 boots two self-hosted servers sharing one pre-fitted artifact registry
 — micro-batching on vs off — and drives the same burst matrix
 (1/8/64-way concurrency) at both, demonstrating what coalescing +
-dedup buy at high concurrency.
+dedup buy at high concurrency.  :func:`bench_fleet_matrix`
+(``BENCH_fleet.json``) adds the prefork fleet: the same bursts against
+``--workers N`` consistent-hash-routed processes vs the single-process
+servers, under both identical-query and distinct-query workloads.
 """
 
 from __future__ import annotations
@@ -150,11 +153,24 @@ async def run_loadgen(
     concurrency: int = 8,
     requests: int = 256,
     timeout: float = 60.0,
+    bodies: Optional[Sequence[Any]] = None,
 ) -> LoadgenResult:
-    """Drive ``requests`` total requests with ``concurrency`` workers."""
+    """Drive ``requests`` total requests with ``concurrency`` workers.
+
+    ``bodies`` (mutually exclusive with ``body``) cycles request *i*
+    through ``bodies[i % len(bodies)]`` — a distinct-query workload, so
+    benchmarks can separate "dedup pays" from "batching pays".  Bodies
+    are pre-encoded once; the hot loop sends raw bytes.
+    """
     if concurrency < 1 or requests < 1:
         raise ReproError("loadgen needs concurrency >= 1 and requests >= 1")
-    payload = body if body is not None else default_body(endpoint)
+    if bodies is not None and body is not None:
+        raise ReproError("pass body or bodies, not both")
+    if bodies is not None:
+        encoded = [json.dumps(b).encode() for b in bodies]
+    else:
+        payload = body if body is not None else default_body(endpoint)
+        encoded = [json.dumps(payload).encode()]
     remaining = list(range(requests))
     result = LoadgenResult(
         endpoint=endpoint,
@@ -171,10 +187,13 @@ async def run_loadgen(
                 async with lock:
                     if not remaining:
                         return
-                    remaining.pop()
+                    index = remaining.pop()
                 t0 = time.perf_counter()
                 status, _headers, _body = await conn.request(
-                    "POST", endpoint, payload, timeout=timeout
+                    "POST",
+                    endpoint,
+                    encoded[index % len(encoded)],
+                    timeout=timeout,
                 )
                 elapsed_ms = (time.perf_counter() - t0) * 1e3
                 async with lock:
@@ -246,6 +265,143 @@ async def bench_matrix(
     return doc
 
 
+# -- the fleet A/B benchmark behind BENCH_fleet.json -------------------------
+
+#: The fleet benchmark's burst body: the §VII grid *densified* — the
+#: full contention curve (n = 1..256, one point per thread count) plus
+#: the multi-line transfer curve at cache-line granularity (64 B steps
+#: up to 32 KiB, both fitted locations).  The fleet exists for the
+#: popular-expensive-query regime — evaluation must cost enough that
+#: coalescing it beats a proxy hop — and this is that query: ~1300
+#: points, several ms to evaluate per request unbatched.  The default
+#: grid (~20 points, sub-ms) stays the single-server bench body; a
+#: fleet "win" measured on it would be noise.
+DENSE_PREDICT_BODY = {
+    "queries": [
+        *DEFAULT_PREDICT_BODY["queries"][:-4],  # drop the sparse curve
+        *[{"metric": "contention", "n": n} for n in range(1, 257)],
+        *[
+            {"metric": "multiline", "location": loc, "bytes": 64 * i}
+            for loc in ("tile", "remote")
+            for i in range(1, 513)
+        ],
+    ]
+}
+
+
+def _distinct_bodies(n: int) -> List[Dict[str, Any]]:
+    """``n`` structurally-identical but byte-distinct predict bodies.
+
+    Each variant appends one extra latency query, so every body hashes
+    to a different content key (no dedup, keys spread over the ring)
+    while the evaluation cost stays comparable to the identical
+    workload's :data:`DENSE_PREDICT_BODY`.
+    """
+    return [
+        {
+            "queries": DENSE_PREDICT_BODY["queries"]
+            + [{"metric": "contention", "n": 256 + i + 1}]
+        }
+        for i in range(n)
+    ]
+
+
+async def bench_fleet_matrix(
+    workers: int = 2,
+    concurrencies: Sequence[int] = (8, 64),
+    requests_per_level: int = 192,
+    endpoint: str = "/v1/predict",
+    iterations: int = 10,
+    seed: int = 1234,
+) -> Dict[str, Any]:
+    """Fleet vs single-process serving under two workloads.
+
+    Three servers answer the same burst matrix from one pre-fitted
+    model: the prefork **fleet** (``workers`` batched processes behind
+    the consistent-hash front end), a **single_batched** process (PR 3's
+    server), and a **single_unbatched** naive per-request process — the
+    single-worker baseline of the acceptance criterion.  Two workloads
+    per concurrency level: ``identical`` (every request is the same
+    query — affinity routing keeps fleet-wide dedup intact) and
+    ``distinct`` (32 byte-distinct queries — keys spread across the
+    ring, isolating raw sharding from dedup).  Both use the dense
+    :data:`DENSE_PREDICT_BODY` grid, the expensive-popular-query regime
+    the fleet is built for.
+    """
+    from repro.serve.app import ServeApp, ServeConfig
+    from repro.serve.artifacts import ArtifactRegistry, config_from_json
+    from repro.serve.fleet import Fleet, FleetConfig
+
+    registry = ArtifactRegistry(
+        iterations=iterations, seed=seed, persist=False
+    )
+    artifact = await registry.get(config_from_json(None))
+    warm_model = artifact.capability.to_dict()
+
+    worker_config = ServeConfig(
+        iterations=iterations, seed=seed, persist_artifacts=False
+    )
+    fleet = Fleet(
+        FleetConfig(workers=workers, worker=worker_config),
+        warm_model=warm_model,
+    )
+    singles = {
+        "single_batched": ServeApp(
+            ServeConfig(iterations=iterations, seed=seed),
+            registry=registry,
+        ),
+        "single_unbatched": ServeApp(
+            ServeConfig.unbatched(iterations=iterations, seed=seed),
+            registry=registry,
+        ),
+    }
+    doc: Dict[str, Any] = {
+        "benchmark": "repro.serve fleet A/B",
+        "endpoint": endpoint,
+        "workers": workers,
+        "requests_per_level": requests_per_level,
+        "artifact_fit_iterations": iterations,
+        "levels": [],
+    }
+    workloads = {
+        "identical": {"body": DENSE_PREDICT_BODY, "bodies": None},
+        "distinct": {"body": None, "bodies": _distinct_bodies(32)},
+    }
+    try:
+        fleet_host, fleet_port = await fleet.start()
+        for app in singles.values():
+            await app.start()
+        targets = {
+            "fleet": (fleet_host, fleet_port),
+            **{
+                mode: (app.config.host, app.port)
+                for mode, app in singles.items()
+            },
+        }
+        for concurrency in concurrencies:
+            for workload, kw in workloads.items():
+                level: Dict[str, Any] = {
+                    "concurrency": concurrency,
+                    "workload": workload,
+                }
+                for mode, (host, port) in targets.items():
+                    run = await run_loadgen(
+                        host,
+                        port,
+                        endpoint=endpoint,
+                        concurrency=concurrency,
+                        requests=requests_per_level,
+                        **kw,
+                    )
+                    level[mode] = run.summarize()
+                doc["levels"].append(level)
+    finally:
+        await fleet.stop()
+        for app in singles.values():
+            await app.stop()
+    return doc
+
+
 def write_bench(path: str, doc: Dict[str, Any]) -> None:
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -294,6 +450,15 @@ def build_loadgen_parser():
              "generator",
     )
     p.add_argument(
+        "--bench-fleet", action="store_true",
+        help="run the fleet-vs-single-process A/B matrix (implies "
+             "--self-host) — the BENCH_fleet.json generator",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fleet size for --bench-fleet (default 2)",
+    )
+    p.add_argument(
         "--iterations", type=int, default=10, metavar="N",
         help="artifact fit iterations for self-hosted servers "
              "(default 10)",
@@ -311,7 +476,12 @@ def main_loadgen(argv=None) -> int:
     """Entry point of ``repro loadgen``."""
     parser = build_loadgen_parser()
     args = parser.parse_args(argv)
-    if not args.bench and not args.self_host and args.port is None:
+    if (
+        not args.bench
+        and not args.bench_fleet
+        and not args.self_host
+        and args.port is None
+    ):
         parser.error("need --port (a running server) or --self-host")
 
     body = None
@@ -320,6 +490,14 @@ def main_loadgen(argv=None) -> int:
             body = json.load(fh)
 
     async def run() -> Dict[str, Any]:
+        if args.bench_fleet:
+            return await bench_fleet_matrix(
+                workers=args.workers,
+                endpoint=args.endpoint,
+                requests_per_level=args.requests,
+                iterations=args.iterations,
+                seed=args.seed,
+            )
         if args.bench:
             return await bench_matrix(
                 endpoint=args.endpoint,
@@ -364,7 +542,13 @@ def main_loadgen(argv=None) -> int:
     if args.out:
         write_bench(args.out, doc)
 
-    if args.bench:
+    if args.bench_fleet:
+        failed = any(
+            level[mode]["server_errors"]
+            for level in doc["levels"]
+            for mode in ("fleet", "single_batched", "single_unbatched")
+        )
+    elif args.bench:
         failed = any(
             level[mode]["server_errors"]
             for level in doc["levels"]

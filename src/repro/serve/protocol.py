@@ -239,8 +239,42 @@ class ClientConnection:
         payload: Any = None,
         timeout: float = 30.0,
     ) -> Tuple[int, Dict[str, str], Any]:
-        """One round-trip; returns ``(status, headers, decoded body)``."""
-        body = b"" if payload is None else json.dumps(payload).encode()
+        """One round-trip; returns ``(status, headers, decoded body)``.
+
+        ``payload`` may be any JSON-serializable object, or raw
+        ``bytes`` sent verbatim (pre-encoded bodies — the load
+        generator's hot path and the fleet proxy both use this to skip
+        re-serialization).
+        """
+        if payload is None:
+            body = b""
+        elif isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            body = json.dumps(payload).encode()
+        status, headers, raw = await self.request_bytes(
+            method, path, body, timeout=timeout
+        )
+        decoded: Any = None
+        if raw:
+            if "json" in headers.get("content-type", ""):
+                decoded = json.loads(raw)
+            else:
+                decoded = raw.decode("utf-8", "replace")
+        return status, headers, decoded
+
+    async def request_bytes(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        timeout: float = 30.0,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One round-trip without decoding: ``(status, headers, raw body)``.
+
+        The fleet front end proxies with this — the worker's response
+        bytes are relayed verbatim, never parsed and re-serialized.
+        """
         head = [f"{method.upper()} {path} HTTP/1.1"]
         head.append(f"Host: {self.host}:{self.port}")
         if body:
@@ -270,7 +304,7 @@ class ClientConnection:
                     raise
         raise AssertionError("unreachable")
 
-    async def _read_response(self) -> Tuple[int, Dict[str, str], Any]:
+    async def _read_response(self) -> Tuple[int, Dict[str, str], bytes]:
         assert self._reader is not None
         head = await self._reader.readuntil(b"\r\n\r\n")
         lines = head.decode("latin-1").split("\r\n")
@@ -286,13 +320,7 @@ class ClientConnection:
             body = await self._reader.readexactly(length)
         if headers.get("connection") == "close":
             await self.close()
-        decoded: Any = None
-        if body:
-            if "json" in headers.get("content-type", ""):
-                decoded = json.loads(body)
-            else:
-                decoded = body.decode("utf-8", "replace")
-        return status, headers, decoded
+        return status, headers, body
 
 
 async def http_request(

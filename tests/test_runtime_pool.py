@@ -138,6 +138,36 @@ class TestManifest:
                              progress=False))
 
 
+class TestClockDiscipline:
+    def test_wall_clock_step_does_not_corrupt_durations(
+            self, tmp_path, monkeypatch):
+        """Every duration the pool reports must come from the monotonic
+        family, so a wall-clock step mid-run (NTP slew, container clock
+        sync) cannot make ``wall_s`` or per-task durations negative.
+
+        ``time.time()`` jumps back an hour after its first call — the
+        worst-case step.  Only the absolute ``started_at`` stamp may
+        reflect it; every differenced duration stays sane.
+        """
+        import time as time_mod
+
+        real = time_mod.time
+        calls = {"n": 0}
+
+        def stepping():
+            calls["n"] += 1
+            return real() - (3600.0 if calls["n"] > 1 else 0.0)
+
+        monkeypatch.setattr(time_mod, "time", stepping)
+        report = execute(plan_run(
+            FAST_IDS[:1], FAST_KW,
+            cache_dir=str(tmp_path / "cache"), progress=False))
+        m = report.manifest
+        assert 0.0 <= m.wall_s < 600.0
+        assert all(0.0 <= t.duration_s < 600.0 for t in m.tasks)
+        assert all(o.duration_s >= 0.0 for o in report.outcomes)
+
+
 class TestProgressPrinter:
     def test_elapsed_uses_monotonic_clock(self, monkeypatch):
         """A wall-clock step must not corrupt the +elapsed offsets.

@@ -97,7 +97,10 @@ class TestPlumbing:
                 await conn._connect()
                 conn._writer.write(wire)
                 await conn._writer.drain()
-                return await conn._read_response()
+                # _read_response hands back raw bytes (the fleet proxy
+                # relays them verbatim); decode here.
+                status, headers, raw = await conn._read_response()
+                return status, headers, json.loads(raw)
             finally:
                 await conn.close()
 
@@ -360,3 +363,77 @@ class TestServeCli:
         config = ServeConfig.unbatched(queue_limit=7)
         assert config.window_s == 0 and config.max_batch == 1
         assert not config.dedup and config.queue_limit == 7
+
+
+class TestShutdown:
+    """Drain semantics: the shutdown race answers 503, never a 500,
+    and ``stop()`` completes every request it already accepted."""
+
+    def test_request_racing_shutdown_gets_503_with_retry_hint(
+        self, snc4_flat_config, capability
+    ):
+        """Regression for the shutdown race: a request landing after
+        the batcher closed used to surface BatcherClosed as a 500; it
+        must be a clean 503 + Retry-After so load balancers retry
+        elsewhere."""
+        app = make_app(snc4_flat_config, capability)
+
+        async def client(host, port):
+            # Close only the batcher — the listener is still accepting,
+            # exactly the race window during a real drain.
+            await app.batcher.close()
+            return await http_request(
+                host, port, "POST", "/v1/predict",
+                {"queries": [{"metric": "latency", "location": "local"}]},
+            )
+
+        status, headers, body = serve(app, client)
+        assert status == 503
+        assert "retry-after" in headers
+        assert "draining" in body["error"]["message"]
+
+    def test_draining_rejections_are_counted(
+        self, snc4_flat_config, capability
+    ):
+        reset_metrics()
+        app = make_app(snc4_flat_config, capability)
+
+        async def client(host, port):
+            await app.batcher.close()
+            await http_request(
+                host, port, "POST", "/v1/predict",
+                {"queries": [{"metric": "latency", "location": "local"}]},
+            )
+            return await http_request(host, port, "GET", "/metrics")
+
+        _, _, body = serve(app, client)
+        rejected = body["metrics"]["serve.draining.rejected"]["value"]
+        assert rejected == 1
+
+    def test_stop_completes_inflight_requests(
+        self, snc4_flat_config, capability
+    ):
+        """SIGTERM-drain contract at the app layer: requests already
+        admitted when stop() begins are answered, none dropped."""
+        app = make_app(snc4_flat_config, capability, window_s=0.2)
+
+        async def go():
+            host, port = await app.start()
+            inflight = [
+                asyncio.create_task(
+                    http_request(
+                        host, port, "POST", "/v1/predict",
+                        {"queries": [{"metric": "contention", "n": n}]},
+                        timeout=30.0,
+                    )
+                )
+                for n in range(1, 9)
+            ]
+            # All eight are sitting in the 200 ms batching window when
+            # the drain begins.
+            await asyncio.sleep(0.05)
+            await app.stop()
+            return await asyncio.gather(*inflight)
+
+        responses = run(go())
+        assert [status for status, _, _ in responses] == [200] * 8

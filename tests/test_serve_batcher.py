@@ -248,6 +248,67 @@ class TestTaskReferences:
         assert after == 0
         assert result == "result:p"
 
+    def test_close_with_armed_window_timer_flushes_immediately(self):
+        """close() racing an armed window timer: the open batch must
+        flush *now*, not after the (possibly multi-second) window, and
+        the cancelled timer handle must be dropped."""
+        rec = Recorder()
+
+        async def go():
+            b = MicroBatcher(rec, window_s=5.0)
+            waiter = asyncio.create_task(b.submit("k", "p"))
+            await asyncio.sleep(0.01)  # timer armed, window wide open
+            assert b._timer is not None
+            t0 = time.perf_counter()
+            await b.close()
+            elapsed = time.perf_counter() - t0
+            assert b._timer is None
+            return await waiter, elapsed
+
+        result, elapsed = run(go())
+        assert result == "result:p"
+        assert elapsed < 1.0, f"close waited out the window ({elapsed:.2f}s)"
+        assert rec.evaluated == 1
+
+    def test_submit_racing_close_rejects_but_inflight_completes(self):
+        """The shutdown race behind the 503 bugfix: a submit landing
+        after close() raises BatcherClosed, while the batch already in
+        flight still delivers its results."""
+        rec = Recorder(delay_s=0.05)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0)
+            inflight = asyncio.create_task(b.submit("k", "p"))
+            await asyncio.sleep(0.01)  # evaluation running
+            closer = asyncio.create_task(b.close())
+            await asyncio.sleep(0)  # close() has marked the batcher
+            with pytest.raises(BatcherClosed):
+                await b.submit("late", "p")
+            await closer
+            return await inflight
+
+        assert run(go()) == "result:p"
+        assert rec.evaluated == 1  # the late request never ran
+
+    def test_deadline_cancelled_waiter_leaves_evaluation_joinable(self):
+        """A waiter that times out (asyncio.wait_for cancels it) must
+        not poison the shared evaluation: a later identical submit
+        still joins the in-flight batch and gets the result, and the
+        evaluator runs exactly once."""
+        rec = Recorder(delay_s=0.05)
+
+        async def go():
+            b = MicroBatcher(rec, window_s=0.0)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(b.submit("k", "p"), timeout=0.01)
+            # The evaluation is still in flight; join it.
+            result = await b.submit("k", "p")
+            await b.close()
+            return result
+
+        assert run(go()) == "result:p"
+        assert rec.evaluated == 1
+
     def test_close_drains_running_batches(self):
         rec = Recorder(delay_s=0.02)
 

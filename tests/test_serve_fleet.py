@@ -1,0 +1,529 @@
+"""The prefork worker fleet: routing, supervision, drain.
+
+Unit tests cover the consistent-hash ring in isolation; the integration
+tests boot a *real* fleet — forked worker processes with the
+session-scoped fitted model preloaded (no fitting anywhere on the test
+path) — and exercise crash detection, restart, affinity routing, and
+graceful drain over real sockets.
+"""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.app import ServeConfig, build_serve_parser
+from repro.serve.fleet import (
+    UP,
+    Fleet,
+    FleetConfig,
+    fleet_config_from_args,
+)
+from repro.serve.loadgen import run_loadgen
+from repro.serve.protocol import http_request
+from repro.serve.router import HashRing, WorkerClient
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fleet tests rely on the fork start method",
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- HashRing ----------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_rejects_nonsense_replicas(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(replicas=0)
+
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().node_for("anything") is None
+
+    def test_membership_and_idempotence(self):
+        ring = HashRing(replicas=8)
+        ring.add("w0")
+        ring.add("w0")  # idempotent
+        ring.add("w1")
+        assert len(ring) == 2 and "w0" in ring and "w1" in ring
+        assert ring.nodes == ("w0", "w1")
+        ring.remove("w1")
+        ring.remove("w1")  # idempotent
+        assert ring.nodes == ("w0",)
+
+    def test_ownership_is_deterministic(self):
+        a, b = HashRing(), HashRing()
+        for ring in (a, b):
+            for name in ("w0", "w1", "w2"):
+                ring.add(name)
+        keys = [f"key-{i}" for i in range(256)]
+        assert [a.node_for(k) for k in keys] == [b.node_for(k) for k in keys]
+
+    def test_virtual_replicas_balance_ownership(self):
+        ring = HashRing(replicas=64)
+        for i in range(4):
+            ring.add(f"w{i}")
+        shares = Counter(ring.node_for(f"key-{i}") for i in range(4000))
+        assert set(shares) == {"w0", "w1", "w2", "w3"}
+        # With 64 virtual points each, no worker owns less than ~1/3 of
+        # its fair share or more than ~2x of it.
+        for count in shares.values():
+            assert 4000 / 12 < count < 4000 / 2
+
+    def test_removal_moves_only_the_dead_nodes_keys(self):
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"w{i}")
+        keys = [f"key-{i}" for i in range(1000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove("w2")
+        for key in keys:
+            owner = ring.node_for(key)
+            if before[key] != "w2":
+                assert owner == before[key], (
+                    f"{key} moved {before[key]} -> {owner} although its "
+                    "owner never died"
+                )
+            else:
+                assert owner != "w2"
+
+
+class TestWorkerClient:
+    def test_pools_connections_and_drops_broken_ones(self):
+        async def go():
+            writers = []
+
+            async def handler(reader, writer):
+                writers.append(writer)
+                try:
+                    while True:
+                        await reader.readuntil(b"\r\n\r\n")
+                        writer.write(
+                            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n"
+                            b"Content-Type: application/json\r\n\r\n{}"
+                        )
+                        await writer.drain()
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    pass
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = WorkerClient("127.0.0.1", port)
+            try:
+                await client.request_bytes("GET", "/healthz")
+                assert len(client._idle) == 1
+                await client.request_bytes("GET", "/healthz")
+                assert len(client._idle) == 1  # reused, not duplicated
+                # A dead server (listener gone, live connections reset)
+                # breaks the pooled connection: the error surfaces and
+                # the connection is dropped, not re-pooled.
+                server.close()
+                await server.wait_closed()
+                for w in writers:
+                    w.transport.abort()
+                await asyncio.sleep(0.05)
+                with pytest.raises(
+                    (ConnectionError, asyncio.IncompleteReadError, OSError)
+                ):
+                    await client.request_bytes("GET", "/healthz")
+                assert client._idle == []
+            finally:
+                await client.close()
+                server.close()
+
+        run(go())
+
+
+# -- FleetConfig / CLI glue --------------------------------------------------
+
+
+class TestFleetConfig:
+    def test_rejects_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(health_misses=0)
+
+    def test_parser_maps_workers_flag(self):
+        args = build_serve_parser().parse_args(
+            ["--workers", "4", "--port", "9999", "--batch-cap", "16"]
+        )
+        config = fleet_config_from_args(args)
+        assert config.workers == 4
+        assert config.port == 9999
+        assert config.worker.max_batch == 16
+
+    def test_port_property_requires_started_front_end(self):
+        with pytest.raises(ReproError):
+            Fleet(FleetConfig()).port
+
+
+# -- the real thing ----------------------------------------------------------
+
+
+def make_fleet(capability, workers=2, **fleet_kw):
+    """A fleet whose workers preload the session-fitted model (no fits)."""
+    fleet_kw.setdefault(
+        "worker", ServeConfig(persist_artifacts=False)
+    )
+    return Fleet(
+        FleetConfig(workers=workers, **fleet_kw),
+        warm_model=capability.to_dict(),
+    )
+
+
+PREDICT_BODY = {"queries": [{"metric": "latency", "location": "local"}]}
+
+
+class TestFleetServing:
+    def test_boot_route_and_drain(self, capability):
+        async def go():
+            fleet = make_fleet(capability)
+            host, port = await fleet.start()
+            try:
+                status, _, health = await http_request(
+                    host, port, "GET", "/healthz"
+                )
+                assert status == 200 and health["status"] == "ok"
+                assert health["fleet"]["up"] == 2
+
+                status, _, out = await http_request(
+                    host, port, "POST", "/v1/predict", PREDICT_BODY
+                )
+                assert status == 200
+                assert out["results"][0]["value"] == pytest.approx(
+                    capability.RL
+                )
+
+                # Bad queries still come back as clean 400s through the
+                # proxy (response bytes relayed verbatim).
+                status, _, out = await http_request(
+                    host, port, "POST", "/v1/predict", {"queries": []}
+                )
+                assert status == 400 and "queries" in out["error"]["message"]
+            finally:
+                await fleet.stop()
+            assert all(
+                not w.process.is_alive() for w in fleet._workers.values()
+            )
+            # Workers exit 0: they drained, they did not crash.
+            assert all(
+                w.process.exitcode == 0 for w in fleet._workers.values()
+            )
+
+        run(go())
+
+    def test_affinity_identical_queries_land_on_one_worker(self, capability):
+        """The SNC4 analogy made testable: one content key, one owner —
+        so fleet-wide dedup still holds under a 32-way identical burst."""
+
+        async def go():
+            fleet = make_fleet(capability)
+            host, port = await fleet.start()
+            try:
+                burst = await run_loadgen(
+                    host, port,
+                    endpoint="/v1/predict",
+                    body=PREDICT_BODY,
+                    concurrency=32,
+                    requests=64,
+                )
+                assert burst.status_counts == {200: 64}
+                _, _, doc = await http_request(host, port, "GET", "/metrics")
+                evaluated = {
+                    name: w["metrics"]
+                    .get("serve.batch.evaluations", {})
+                    .get("value", 0)
+                    for name, w in doc["workers"].items()
+                }
+                busy = [n for n, v in evaluated.items() if v > 0]
+                assert len(busy) == 1, (
+                    f"identical queries spread over {busy}: {evaluated}"
+                )
+                # And the owner coalesced them (the PR 3 acceptance
+                # bound, now holding across the fleet).
+                assert evaluated[busy[0]] <= 8
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+    def test_distinct_queries_spread_over_the_ring(self, capability):
+        async def go():
+            fleet = make_fleet(capability)
+            host, port = await fleet.start()
+            try:
+                bodies = [
+                    {"queries": [{"metric": "contention", "n": n}]}
+                    for n in range(1, 33)
+                ]
+                burst = await run_loadgen(
+                    host, port,
+                    endpoint="/v1/predict",
+                    bodies=bodies,
+                    concurrency=8,
+                    requests=64,
+                )
+                assert burst.server_errors == 0
+                _, _, doc = await http_request(host, port, "GET", "/metrics")
+                served = {
+                    name: w["metrics"]
+                    .get("serve.requests", {})
+                    .get("value", 0)
+                    for name, w in doc["workers"].items()
+                }
+                busy = [n for n, v in served.items() if v > 0]
+                assert len(busy) == 2, f"load never spread: {served}"
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+    def test_metrics_aggregate_with_worker_labels(self, capability):
+        async def go():
+            fleet = make_fleet(capability)
+            host, port = await fleet.start()
+            try:
+                await http_request(
+                    host, port, "POST", "/v1/predict", PREDICT_BODY
+                )
+                status, _, doc = await http_request(
+                    host, port, "GET", "/metrics"
+                )
+                assert status == 200
+                assert "serve.fleet.requests" in doc["metrics"]
+                labeled = [
+                    k for k in doc["metrics"] if '{worker="' in k
+                ]
+                assert labeled, "no worker-labeled series in /metrics"
+                assert set(doc["workers"]) == {"w0", "w1"}
+                assert all(
+                    w["state"] == UP for w in doc["workers"].values()
+                )
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+
+class TestFleetSupervision:
+    def test_sigkilled_worker_is_detected_and_restarted(self, capability):
+        async def go():
+            fleet = make_fleet(
+                capability,
+                health_interval_s=0.05,
+                stable_s=0.5,
+            )
+            host, port = await fleet.start()
+            try:
+                victim = fleet._workers["w0"]
+                victim_pid = victim.process.pid
+                os.kill(victim_pid, signal.SIGKILL)
+
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    fresh = fleet._workers["w0"]
+                    if (
+                        fresh.state == UP
+                        and fresh.process.pid != victim_pid
+                    ):
+                        break
+                    await asyncio.sleep(0.05)
+                fresh = fleet._workers["w0"]
+                assert fresh.state == UP and fresh.process.pid != victim_pid
+
+                # The ring has the replacement; queries flow again.
+                burst = await run_loadgen(
+                    host, port,
+                    endpoint="/v1/predict",
+                    body=PREDICT_BODY,
+                    concurrency=8,
+                    requests=32,
+                )
+                assert burst.status_counts == {200: 32}
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+    def test_load_survives_a_mid_flight_kill(self, capability):
+        """SIGKILL under load: clients may see bounded 503s but never a
+        hang, and never another 5xx class."""
+
+        async def go():
+            fleet = make_fleet(capability, health_interval_s=0.05)
+            host, port = await fleet.start()
+            try:
+                load = asyncio.create_task(
+                    run_loadgen(
+                        host, port,
+                        endpoint="/v1/predict",
+                        body=PREDICT_BODY,
+                        concurrency=8,
+                        requests=128,
+                    )
+                )
+                await asyncio.sleep(0.1)
+                # Kill the owner of the burst's content key — the worker
+                # actually holding the load.
+                import hashlib
+
+                key = hashlib.sha256(
+                    b"/v1/predict\0" + json.dumps(PREDICT_BODY).encode()
+                ).hexdigest()
+                owner = fleet._ring.node_for(key)
+                os.kill(fleet._workers[owner].process.pid, signal.SIGKILL)
+                result = await asyncio.wait_for(load, timeout=60.0)
+                hard = sum(
+                    n
+                    for status, n in result.status_counts.items()
+                    if status >= 500 and status != 503
+                )
+                assert hard == 0, f"5xx storm: {result.status_counts}"
+                assert result.status_counts.get(200, 0) > 0
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+
+class TestFleetDrain:
+    def test_stop_completes_inflight_requests(self, capability):
+        """SIGTERM-drain semantics: every request accepted before the
+        drain begins is answered, none dropped."""
+
+        async def go():
+            fleet = make_fleet(
+                capability,
+                worker=ServeConfig(
+                    window_s=0.1,  # widen so requests are truly in flight
+                    persist_artifacts=False,
+                ),
+            )
+            host, port = await fleet.start()
+            inflight = [
+                asyncio.create_task(
+                    http_request(
+                        host, port, "POST", "/v1/predict",
+                        {"queries": [{"metric": "contention", "n": n}]},
+                        timeout=30.0,
+                    )
+                )
+                for n in range(1, 17)
+            ]
+            # Let every connection establish and submit, then drain.
+            await asyncio.sleep(0.05)
+            await fleet.stop()
+            responses = await asyncio.gather(*inflight)
+            assert [status for status, _, _ in responses] == [200] * 16
+
+        run(go())
+
+
+class TestCliSignalDrain:
+    def test_sigterm_drains_single_process_serve(self, tmp_path):
+        """Regression for the satellite bugfix: SIGTERM used to kill
+        ``repro serve`` mid-batch; now it runs the same drain path as
+        Ctrl+C, and an in-flight request completes before exit."""
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.path.join(os.path.dirname(__file__), "..", "src"),
+            REPRO_CACHE_DIR=str(tmp_path),
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--iterations", "3", "--no-persist",
+                "--window-ms", "150",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.split("http://")[1].split("/")[0]
+                               .split(":")[1].split(" ")[0])
+                    break
+            assert port, "server never reported its port"
+
+            import http.client
+            import threading
+
+            outcome = {}
+
+            def request():
+                conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                  timeout=30)
+                try:
+                    conn.request(
+                        "POST", "/v1/predict",
+                        body=json.dumps(PREDICT_BODY),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    outcome["status"] = conn.getresponse().status
+                finally:
+                    conn.close()
+
+            t = threading.Thread(target=request)
+            t.start()
+            # The 150 ms batching window guarantees the request is still
+            # in flight when the signal lands.
+            time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            t.join(timeout=30)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert outcome.get("status") == 200, (out, outcome)
+        assert proc.returncode == 0, out
+        assert "draining" in out
+
+
+class TestCommittedFleetBench:
+    def test_committed_bench_meets_the_acceptance_criterion(self):
+        """BENCH_fleet.json (committed, regenerable with ``repro loadgen
+        --bench-fleet``) must show the fleet at >= 2x the single-worker
+        baseline's throughput with equal-or-better p95 at 64-way
+        identical-query load, and zero server errors anywhere."""
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_fleet.json"
+        )
+        if not os.path.exists(path):
+            pytest.skip("BENCH_fleet.json not generated yet")
+        with open(path) as fh:
+            doc = json.load(fh)
+        for level in doc["levels"]:
+            for mode in ("fleet", "single_batched", "single_unbatched"):
+                assert level[mode]["server_errors"] == 0, (level, mode)
+        headline = [
+            level
+            for level in doc["levels"]
+            if level["concurrency"] == 64 and level["workload"] == "identical"
+        ]
+        assert headline, "no 64-way identical-query level in the bench"
+        fleet = headline[0]["fleet"]
+        single = headline[0]["single_unbatched"]
+        assert fleet["throughput_rps"] >= 2 * single["throughput_rps"], (
+            fleet, single
+        )
+        assert fleet["p95_ms"] <= single["p95_ms"], (fleet, single)
