@@ -6,10 +6,13 @@ simulator runs on *virtual* time, every RNG is seeded through
 :mod:`repro.rng`, and cached results are content-addressed.  These
 rules flag the classic ways that promise silently breaks.
 
-Scope: ``sim/``, ``model/``, ``experiments/``, ``runtime/``.  The
-``bench/`` and ``obs/`` packages are exempt by construction — one
-*simulates* the measurement pipeline (its "clock" is the simulated
-TSC), the other's entire job is wall-clock telemetry.
+Scope: ``sim/``, ``model/``, ``experiments/``, ``runtime/``,
+``machines/``.  The ``bench/`` and ``obs/`` packages are exempt by
+construction — one *simulates* the measurement pipeline (its "clock"
+is the simulated TSC), the other's entire job is wall-clock telemetry.
+``machines/`` is in scope because preset resolution feeds cache keys:
+a wall clock or an unsorted iteration there would silently fork the
+model catalog.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from repro.analyze.findings import Finding, Severity
 from repro.analyze.rules.base import Rule, register_rule
 
 #: Subsystems whose results must be reproducible.
-DET_SCOPE = frozenset({"sim", "model", "experiments", "runtime"})
+DET_SCOPE = frozenset({"sim", "model", "experiments", "runtime", "machines"})
 
 #: Wall-clock reads.  Matched on the dotted call name, so a planted
 #: ``time.time()`` is caught even without import tracking.

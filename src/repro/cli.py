@@ -13,6 +13,7 @@ Examples::
     python -m repro serve --port 8080           # query service (docs/SERVING.md)
     python -m repro loadgen --self-host         # drive it closed-loop
     python -m repro lint --baseline             # static analysis (docs/LINTING.md)
+    python -m repro machines list               # hardware catalog (docs/MACHINES.md)
     python -m repro version                     # or --version
 
 Experiments execute on the :mod:`repro.runtime` engine: ``--jobs N``
@@ -40,7 +41,7 @@ from repro.experiments import all_ids, get
 
 #: Subcommands with their own flag namespace, dispatched before the main
 #: parser sees the argv (``--port`` etc. would be unknown flags to it).
-_SUBCOMMANDS = ("serve", "loadgen", "lint")
+_SUBCOMMANDS = ("serve", "loadgen", "lint", "machines")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,8 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
              "'run <ids...>' (several), 'report' (render archived "
              "--save-dir results as markdown), 'trace <file>' "
              "(summarize a --trace output), 'serve'/'loadgen' (the "
-             "query service), 'lint' (static analysis) — each with its "
-             "own --help — or 'version'",
+             "query service), 'lint' (static analysis), 'machines' "
+             "(the hardware catalog) — each with its own --help — or "
+             "'version'",
     )
     p.add_argument(
         "--version", action="version", version=f"repro-knl {__version__}"
@@ -186,6 +188,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.analyze.cli import main_lint
 
             return main_lint(argv[1:])
+        if argv[0] == "machines":
+            from repro.machines.cli import main_machines
+
+            return main_machines(argv[1:])
         from repro.serve.loadgen import main_loadgen
 
         return main_loadgen(argv[1:])

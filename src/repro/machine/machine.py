@@ -80,19 +80,38 @@ class KNLMachine:
         config: MachineConfig,
         seed: SeedLike = None,
         noise: bool = True,
+        *,
+        calibration: Optional[Calibration] = None,
+        noise_params: Optional["NoiseParams"] = None,
+        caches: Optional[CacheHierarchy] = None,
+        machine_id: Optional[str] = None,
     ) -> None:
+        """``calibration``/``noise_params``/``caches`` override the
+        per-mode KNL tables — the hook :mod:`repro.machines` presets use
+        to describe non-KNL hardware (a NUMA Xeon, an HBM+DRAM node) on
+        the same engine.  All ``None`` (the default) reproduces the
+        hardwired KNL part exactly, including RNG stream order.
+        ``machine_id`` names the preset for cache fingerprinting: two
+        machines with equal configs but different calibrations must
+        never share a characterization-cache entry.
+        """
         self.config = config
         # Recorded for cache fingerprinting (repro.runtime): a machine
         # built from (config, int seed, noise) is exactly reconstructable.
         self.seed = maybe_int_seed(seed)
         self.noisy = bool(noise)
+        self.machine_id = machine_id
         root = generator(seed)
         self.topology = Topology(config, spawn(root, "topo"))
         self.mesh = Mesh(self.topology)
         self.memory = MemorySystem(config, self.topology)
         self.directory = TagDirectory(self.topology)
-        self.caches = CacheHierarchy()
-        self.calibration = Calibration.for_mode(config.cluster_mode)
+        self.caches = caches if caches is not None else CacheHierarchy()
+        self.calibration = (
+            calibration
+            if calibration is not None
+            else Calibration.for_mode(config.cluster_mode)
+        )
         self.mcdram_cache = McdramCache(config.mcdram_cache_bytes)
         self.bandwidth = BandwidthModel(
             self.calibration,
@@ -101,7 +120,11 @@ class KNLMachine:
             core_ghz_scale=config.core_ghz / 1.3,
             ddr_mts_scale=config.ddr_mts / 2133.0,
         )
-        params = NoiseParams.for_mode(config.cluster_mode)
+        params = (
+            noise_params
+            if noise_params is not None
+            else NoiseParams.for_mode(config.cluster_mode)
+        )
         if not noise:
             params = NoiseParams(sigma=0.0, outlier_p=0.0, quantum_ns=0.0)
         self.noise = NoiseModel(params, spawn(root, "noise"))

@@ -1,0 +1,37 @@
+"""Machine zoo: declarative hardware descriptions and a preset catalog.
+
+The paper's method is machine-agnostic — KNL is a case study.  This
+package lets one platform serve many hardwares: presets are JSON
+documents of validated knobs (:mod:`repro.machines.schema`), resolved
+into canonical, content-addressed machines
+(:mod:`repro.machines.spec`), and discovered by name from the shipped
+catalog plus a user directory (:mod:`repro.machines.catalog`).
+"""
+
+from repro.machines.catalog import (
+    DEFAULT_MACHINE,
+    builtin_dir,
+    catalog_paths,
+    default_machine,
+    default_machines_dir,
+    get_machine,
+    list_machines,
+    load_preset_file,
+)
+from repro.machines.schema import MACHINES_SCHEMA_VERSION, describe_knobs
+from repro.machines.spec import ResolvedMachine, resolve
+
+__all__ = [
+    "DEFAULT_MACHINE",
+    "MACHINES_SCHEMA_VERSION",
+    "ResolvedMachine",
+    "builtin_dir",
+    "catalog_paths",
+    "default_machine",
+    "default_machines_dir",
+    "describe_knobs",
+    "get_machine",
+    "list_machines",
+    "load_preset_file",
+    "resolve",
+]

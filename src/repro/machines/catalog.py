@@ -1,0 +1,105 @@
+"""The machine catalog: shipped presets plus a user preset directory.
+
+Built-in presets live as JSON files next to this module in
+``presets/``; users drop additional ``*.json`` files into the
+directory named by ``REPRO_MACHINES_DIR`` (a user preset with the same
+name as a built-in shadows it, so a site can re-pin ``knl-7210`` to
+locally measured numbers without patching the package).
+
+Lookups are by preset name (the ``"name"`` field inside the document,
+which must match the file stem — a mismatch is a configuration error,
+not a silent alias).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.machines.spec import ResolvedMachine, resolve
+
+#: The preset every entry point uses when none is named: the paper's
+#: hardwired Xeon Phi 7210 (an empty-knobs preset, golden-pinned to be
+#: byte-identical to direct ``MachineConfig()`` construction).
+DEFAULT_MACHINE = "knl-7210"
+
+
+def builtin_dir() -> Path:
+    """Directory of the presets shipped with the package."""
+    return Path(__file__).resolve().parent / "presets"
+
+
+def default_machines_dir() -> Optional[Path]:
+    """User preset directory from ``REPRO_MACHINES_DIR`` (or None)."""
+    value = os.environ.get("REPRO_MACHINES_DIR")
+    return Path(value) if value else None
+
+
+def catalog_paths(extra_dir: Optional[Path] = None) -> Dict[str, Path]:
+    """``{name: path}`` of every discoverable preset, sorted by name.
+
+    ``extra_dir`` defaults to :func:`default_machines_dir`; its entries
+    shadow same-named built-ins.
+    """
+    if extra_dir is None:
+        extra_dir = default_machines_dir()
+    paths: Dict[str, Path] = {}
+    for directory in (builtin_dir(), extra_dir):
+        if directory is None or not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("*.json")):
+            paths[path.stem] = path
+    return dict(sorted(paths.items()))
+
+
+def load_preset_file(path: Path) -> ResolvedMachine:
+    """Load and validate one preset file.
+
+    The document's ``name`` must equal the file stem: the catalog is
+    addressed by name, and a file quietly answering to a different
+    name than it is stored under would make ``machine=`` selection
+    ambiguous.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"machine preset {path}: unreadable ({exc})"
+        ) from exc
+    rm = resolve(document, origin=str(path))
+    if rm.name != path.stem:
+        raise ConfigurationError(
+            f"machine preset {path}: document name {rm.name!r} "
+            f"does not match file stem {path.stem!r}"
+        )
+    return rm
+
+
+def list_machines(extra_dir: Optional[Path] = None) -> List[ResolvedMachine]:
+    """Every discoverable preset, resolved, sorted by name."""
+    return [
+        load_preset_file(path)
+        for path in catalog_paths(extra_dir).values()
+    ]
+
+
+def get_machine(
+    name: str, extra_dir: Optional[Path] = None
+) -> ResolvedMachine:
+    """One preset by name; unknown names list the catalog."""
+    paths = catalog_paths(extra_dir)
+    path = paths.get(name)
+    if path is None:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; catalog has {sorted(paths)}"
+        )
+    return load_preset_file(path)
+
+
+def default_machine(extra_dir: Optional[Path] = None) -> ResolvedMachine:
+    """The default preset (:data:`DEFAULT_MACHINE`)."""
+    return get_machine(DEFAULT_MACHINE, extra_dir)

@@ -1,0 +1,305 @@
+"""Resolve a validated preset document into a buildable machine.
+
+:class:`ResolvedMachine` is the canonical form of one preset: name,
+description, and the sorted tuple of ``(dotted path, value)`` knob
+pairs.  From it flow
+
+* :meth:`ResolvedMachine.to_machine_config` — the engine-facing
+  :class:`~repro.machine.config.MachineConfig` (config-mapped knobs);
+* :meth:`ResolvedMachine.build` — a ready
+  :class:`~repro.machine.machine.KNLMachine`, with calibration /
+  noise / cache overrides applied when the preset carries any;
+* :meth:`ResolvedMachine.dump` — the canonical JSON document
+  (load → resolve → dump → load is a fixed point);
+* :attr:`ResolvedMachine.cache_key` — the content address under which
+  the runtime cache and the serve-layer artifact registry file this
+  machine's models.
+
+A preset with **no** knobs resolves to today's hardwired KNL 7210:
+``to_machine_config()`` equals ``MachineConfig()`` field-for-field and
+``build()`` passes no overrides, so every RNG stream, calibration
+number, and cache key matches direct construction byte-for-byte (a
+golden test pins this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.cache import CacheGeometry, CacheHierarchy
+from repro.machine.calibration import Calibration, StreamCaps
+from repro.machine.coherence import MESIF
+from repro.machine.config import ClusterMode, MachineConfig, MemoryKind, MemoryMode
+from repro.machine.machine import KNLMachine
+from repro.machine.noise import NoiseParams
+from repro.machines.schema import (
+    MACHINES_SCHEMA_VERSION,
+    OVERRIDE_GROUPS,
+    check_document,
+    flatten_knobs,
+    knob_value,
+    nest_knobs,
+)
+from repro.rng import SeedLike
+from repro.runtime.cache import cache_key
+from repro.units import KIB
+
+#: Letter → MESIF state for latency.tile_ns / latency.remote_ns maps.
+_STATE_OF = {
+    "M": MESIF.MODIFIED,
+    "E": MESIF.EXCLUSIVE,
+    "S": MESIF.SHARED,
+    "F": MESIF.FORWARD,
+}
+
+
+@dataclass(frozen=True)
+class ResolvedMachine:
+    """One validated, canonicalized machine preset."""
+
+    name: str
+    description: str
+    #: Sorted ``(dotted path, canonical value)`` pairs.  Tuples, never
+    #: dicts, so the object is hashable and fingerprint-stable.
+    knobs: Tuple[Tuple[str, Any], ...]
+    #: Where the preset was loaded from ("<builtin>" for shipped ones).
+    #: Informational only — never part of the cache key.
+    source: str = "<builtin>"
+
+    # -- canonical forms ----------------------------------------------
+
+    def knob(self, path: str, default: Any = None) -> Any:
+        """One canonical knob value by dotted path (or ``default``)."""
+        return knob_value(self.knobs, path, default)
+
+    def dump(self) -> Dict[str, Any]:
+        """The canonical preset document (JSON-serializable)."""
+        return {
+            "schema_version": MACHINES_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "knobs": nest_knobs(self.knobs),
+        }
+
+    @property
+    def cache_key(self) -> str:
+        """Content address of this machine for model catalogs.
+
+        Hashes the preset name together with every canonical knob and
+        the schema version, so two distinct machines — even ones whose
+        ``MachineConfig`` coincides but whose calibration differs —
+        never share an artifact slot.
+        """
+        return cache_key(
+            scope="machines.resolved",
+            schema=MACHINES_SCHEMA_VERSION,
+            name=self.name,
+            knobs=self.knobs,
+        )
+
+    @property
+    def has_overrides(self) -> bool:
+        """True when any knob overrides calibration/noise/cache tables
+        (as opposed to mapping onto a ``MachineConfig`` field)."""
+        return any(
+            path.split(".", 1)[0] in OVERRIDE_GROUPS
+            for path, _ in self.knobs
+        )
+
+    # -- engine-facing objects ----------------------------------------
+
+    def to_machine_config(self) -> MachineConfig:
+        """The :class:`MachineConfig` described by the config-mapped
+        knobs; omitted knobs keep the hardwired 7210 defaults."""
+        kwargs: Dict[str, Any] = {}
+        scheme = self.knob("cluster.scheme")
+        if scheme is not None:
+            kwargs["cluster_mode"] = ClusterMode(scheme)
+        mode = self.knob("memory.mode")
+        if mode is not None:
+            kwargs["memory_mode"] = MemoryMode(mode)
+        direct = {
+            "topology.active_tiles": "n_active_tiles",
+            "topology.physical_tiles": "n_physical_tiles",
+            "topology.cores_per_tile": "cores_per_tile",
+            "topology.threads_per_core": "threads_per_core",
+            "clock.core_ghz": "core_ghz",
+            "memory.hybrid_cache_fraction": "hybrid_cache_fraction",
+            "memory.near_bytes": "mcdram_bytes",
+            "memory.far_bytes": "ddr_bytes",
+            "memory.far_mts": "ddr_mts",
+        }
+        for path, field in direct.items():
+            value = self.knob(path)
+            if value is not None:
+                kwargs[field] = value
+        return MachineConfig(**kwargs)
+
+    def caches_for(self) -> Optional[CacheHierarchy]:
+        """Cache-geometry override, or ``None`` when untouched."""
+        touched = [p for p, _ in self.knobs if p.startswith("caches.")]
+        if not touched:
+            return None
+        default = CacheHierarchy()
+        try:
+            l1 = CacheGeometry(
+                self.knob("caches.l1_kib", default.l1.size_bytes // KIB) * KIB,
+                self.knob("caches.l1_assoc", default.l1.associativity),
+            )
+            l2 = CacheGeometry(
+                self.knob("caches.l2_kib", default.l2.size_bytes // KIB) * KIB,
+                self.knob("caches.l2_assoc", default.l2.associativity),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"knob caches.* on {self.name!r}: {exc}"
+            ) from exc
+        return CacheHierarchy(l1=l1, l2=l2)
+
+    def calibration_for(self, config: MachineConfig) -> Optional[Calibration]:
+        """Calibration override for ``config``'s cluster mode, or
+        ``None`` when the preset leaves the KNL tables untouched."""
+        touched = [
+            p for p, _ in self.knobs
+            if p.startswith(("latency.", "bandwidth."))
+        ]
+        if not touched:
+            return None
+        cal = Calibration.for_mode(config.cluster_mode)
+        repl: Dict[str, Any] = {}
+
+        value = self.knob("latency.l1_ns")
+        if value is not None:
+            repl["l1_ns"] = value
+        pairs = self.knob("latency.tile_ns")
+        if pairs is not None:
+            table = dict(cal.tile_ns)
+            for letter, ns in pairs:
+                table[_STATE_OF[letter]] = ns
+            repl["tile_ns"] = table
+        pairs = self.knob("latency.remote_ns")
+        if pairs is not None:
+            table = dict(cal.remote_ns)
+            for letter, rng in pairs:
+                table[_STATE_OF[letter]] = rng
+            repl["remote_ns"] = table
+        near = self.knob("latency.near_ns")
+        far = self.knob("latency.far_ns")
+        if near is not None or far is not None:
+            table = dict(cal.memory_ns)
+            if near is not None:
+                table[MemoryKind.MCDRAM] = near
+            if far is not None:
+                table[MemoryKind.DDR] = far
+            repl["memory_ns"] = table
+        value = self.knob("latency.contention_alpha_ns")
+        if value is not None:
+            repl["contention_alpha"] = value
+        value = self.knob("latency.contention_beta_ns")
+        if value is not None:
+            repl["contention_beta"] = value
+
+        near = self.knob("bandwidth.near")
+        far = self.knob("bandwidth.far")
+        if near is not None or far is not None:
+            table = dict(cal.stream_flat)
+            if near is not None:
+                table[MemoryKind.MCDRAM] = _stream_caps(
+                    table[MemoryKind.MCDRAM], near
+                )
+            if far is not None:
+                table[MemoryKind.DDR] = _stream_caps(
+                    table[MemoryKind.DDR], far
+                )
+            repl["stream_flat"] = table
+        value = self.knob("bandwidth.copy_tile")
+        if value is not None:
+            repl["copy_bw_tile"] = {
+                state: value for state in cal.copy_bw_tile
+            }
+        value = self.knob("bandwidth.copy_remote")
+        if value is not None:
+            repl["copy_bw_remote"] = value
+        value = self.knob("bandwidth.read_remote")
+        if value is not None:
+            repl["remote_read_bw"] = value
+
+        return dataclasses.replace(cal, **repl)
+
+    def noise_for(self, config: MachineConfig) -> Optional[NoiseParams]:
+        """Noise override, or ``None`` when untouched."""
+        sigma = self.knob("noise.sigma")
+        outlier_p = self.knob("noise.outlier_p")
+        if sigma is None and outlier_p is None:
+            return None
+        base = NoiseParams.for_mode(config.cluster_mode)
+        repl: Dict[str, Any] = {}
+        if sigma is not None:
+            repl["sigma"] = sigma
+        if outlier_p is not None:
+            repl["outlier_p"] = outlier_p
+        return dataclasses.replace(base, **repl)
+
+    def build(self, seed: SeedLike = None, noise: bool = True) -> KNLMachine:
+        """A bootable machine for this preset.
+
+        ``machine_id`` is set only when the preset carries table
+        overrides: a pure-config preset builds a machine
+        indistinguishable from direct construction (so existing
+        characterization-cache entries keep matching), while an
+        overriding preset is branded so its cache entries can never
+        collide with a same-config stock machine.
+        """
+        config = self.to_machine_config()
+        return KNLMachine(
+            config,
+            seed=seed,
+            noise=noise,
+            calibration=self.calibration_for(config),
+            noise_params=self.noise_for(config),
+            caches=self.caches_for(),
+            machine_id=self.name if self.has_overrides else None,
+        )
+
+
+def _stream_caps(
+    base: StreamCaps, pairs: Tuple[Tuple[str, float], ...]
+) -> StreamCaps:
+    """``base`` with the given fields overridden.
+
+    When a median (copy/triad) is overridden without its ``*_peak``,
+    the peak snaps to the new median — a preset describing different
+    silicon should not inherit KNL's tuned-STREAM figures, and peaks
+    below medians would be nonsense.
+    """
+    fields = dict(pairs)
+    if "copy" in fields and "copy_peak" not in fields:
+        fields["copy_peak"] = fields["copy"]
+    if "triad" in fields and "triad_peak" not in fields:
+        fields["triad_peak"] = fields["triad"]
+    return dataclasses.replace(base, **fields)
+
+
+def resolve(document: Any, origin: str = "<preset>") -> ResolvedMachine:
+    """Validate a raw preset document into a :class:`ResolvedMachine`.
+
+    Every rejection — outer shape, schema version, unknown group or
+    knob, mistyped value — is a :class:`ConfigurationError` carrying
+    the offending path and value.  The resolved machine's config is
+    constructed eagerly so cross-knob violations (``topology.
+    active_tiles`` above ``physical_tiles``, hybrid fraction off the
+    menu) surface at load time, not at first build.
+    """
+    doc = check_document(document, origin)
+    knobs = flatten_knobs(doc.get("knobs"), doc["name"])
+    rm = ResolvedMachine(
+        name=doc["name"],
+        description=doc.get("description", ""),
+        knobs=knobs,
+        source=origin,
+    )
+    rm.to_machine_config()  # cross-knob validation
+    return rm

@@ -296,6 +296,7 @@ class CharacterizationCache:
             char_seed=seed,
             thread_counts=tuple(thread_counts),
             include_sweeps=include_sweeps,
+            machine_id=getattr(machine, "machine_id", None),
         )
         return CharacterizationCache.key_for_need(need)
 

@@ -56,6 +56,12 @@ class CharacterizationNeed:
     char_seed: Optional[int] = None
     thread_counts: Tuple[int, ...] = (16, 64, 128, 256)
     include_sweeps: bool = False
+    #: Preset name when the machine was built from a :mod:`repro.machines`
+    #: preset that overrides calibration/noise/cache tables — two machines
+    #: with equal configs but different silicon must never share a bundle.
+    #: ``None`` (the default) for stock KNL machines keeps keys identical
+    #: to every pre-catalog cache entry.
+    machine_id: Optional[str] = None
 
 
 @dataclass

@@ -62,7 +62,7 @@ DEFAULT_DEADLINES = {
 }
 
 _POST_ROUTES = ("/v1/predict", "/v1/advise", "/v1/tune")
-_GET_ROUTES = ("/healthz", "/metrics")
+_GET_ROUTES = ("/healthz", "/metrics", "/v1/machines")
 
 
 @dataclass
@@ -150,6 +150,9 @@ class ServeApp:
         #: idle keep-alive peer would hold shutdown open forever).
         self._conn_writers: set = set()
         self._active_requests = 0
+        #: Resolved catalog presets by name — one file read + validation
+        #: per preset per process, not per request.
+        self._machine_specs: Dict[str, Any] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -202,9 +205,74 @@ class ServeApp:
         finally:
             gauge("serve.draining").set(0)
 
-    async def warm(self, config_json: Optional[Mapping] = None) -> Artifact:
-        """Pre-fit the default (or given) configuration before binding."""
+    async def warm(
+        self,
+        config_json: Optional[Mapping] = None,
+        machine: Optional[str] = None,
+    ) -> Artifact:
+        """Pre-fit the default (or given) configuration before binding.
+
+        ``machine`` names a catalog preset instead of a raw config —
+        the two are mutually exclusive, as on the wire.
+        """
+        if machine is not None:
+            if config_json is not None:
+                raise ReproError(
+                    "'machine' and 'config' are mutually exclusive"
+                )
+            return await self.registry.get_machine(
+                self._resolve_machine(machine)
+            )
         return await self.registry.get(config_from_json(config_json))
+
+    def _resolve_machine(self, name: Any):
+        """Catalog preset by name (memoized per process)."""
+        if not isinstance(name, str):
+            raise ProtocolError(
+                f"'machine' must be a preset name string, got {name!r}"
+            )
+        rm = self._machine_specs.get(name)
+        if rm is None:
+            from repro.machines import get_machine
+
+            rm = get_machine(name)
+            self._machine_specs[name] = rm
+        return rm
+
+    def _machines_response(self) -> Response:
+        """``GET /v1/machines``: the catalog, with warm/cold status."""
+        from repro.machines import (
+            DEFAULT_MACHINE,
+            MACHINES_SCHEMA_VERSION,
+            list_machines,
+        )
+
+        try:
+            machines = list_machines()
+        except ReproError as e:
+            # A broken preset in the user directory: surface it, don't
+            # pretend the catalog is empty.
+            return Response.error(500, f"machine catalog is broken: {e}")
+        entries = []
+        for rm in machines:
+            entries.append(
+                {
+                    "name": rm.name,
+                    "description": rm.description,
+                    "config_label": rm.to_machine_config().label(),
+                    "default": rm.name == DEFAULT_MACHINE,
+                    "warm": self.registry.is_warm(
+                        self.registry.key_for_machine(rm)
+                    ),
+                    "cache_key": rm.cache_key,
+                }
+            )
+        return Response.json(
+            {
+                "schema_version": MACHINES_SCHEMA_VERSION,
+                "machines": entries,
+            }
+        )
 
     # -- connection loop ----------------------------------------------------
 
@@ -276,6 +344,8 @@ class ServeApp:
                 return Response.error(405, f"{route} only supports GET")
             if route == "/healthz":
                 return self._healthz()
+            if route == "/v1/machines":
+                return self._machines_response()
             return Response.json({"metrics": metrics_snapshot()})
         if route in _POST_ROUTES:
             if request.method != "POST":
@@ -373,9 +443,24 @@ class ServeApp:
                     )
                     continue
                 bodies[key] = body
+                if (
+                    body.get("machine") is not None
+                    and body.get("config") is not None
+                ):
+                    errors[key] = _error_outcome(
+                        400, "'machine' and 'config' are mutually "
+                             "exclusive; name a catalog preset or "
+                             "describe a raw config, not both"
+                    )
+                    continue
                 try:
-                    config = config_from_json(body.get("config"))
-                    artifacts[key] = await self.registry.get(config)
+                    machine_name = body.get("machine")
+                    if machine_name is not None:
+                        rm = self._resolve_machine(machine_name)
+                        artifacts[key] = await self.registry.get_machine(rm)
+                    else:
+                        config = config_from_json(body.get("config"))
+                        artifacts[key] = await self.registry.get(config)
                 except ProtocolError as e:
                     errors[key] = _error_outcome(e.status, str(e))
                 except ReproError as e:
@@ -412,6 +497,8 @@ class ServeApp:
                     body,
                     lambda: self.registry.machine_for(artifact),
                 )
+            if artifact.machine is not None:
+                payload["machine"] = artifact.machine
             return _Outcome(status=200, payload=payload)
         except ProtocolError as e:
             return _error_outcome(e.status, str(e))

@@ -74,6 +74,9 @@ class Artifact:
     #: "fit" (benchmarked now), "disk" (loaded), or "preload" (injected).
     source: str
     fit_seconds: float = 0.0
+    #: Catalog preset name when fitted for a :mod:`repro.machines`
+    #: preset; ``None`` for raw-config requests.
+    machine: Optional[str] = None
 
 
 class ArtifactRegistry:
@@ -97,6 +100,10 @@ class ArtifactRegistry:
         self._warm: Dict[str, Artifact] = {}
         self._machines: Dict[str, Any] = {}
         self._fitting: Dict[str, asyncio.Future] = {}
+        #: key → ResolvedMachine for preset-fitted artifacts, so
+        #: :meth:`machine_for` can rebuild the preset machine (with its
+        #: calibration overrides) instead of a stock KNL one.
+        self._specs: Dict[str, Any] = {}
 
     # -- keys ---------------------------------------------------------------
 
@@ -115,6 +122,24 @@ class ArtifactRegistry:
             seed=self.seed,
         )
 
+    def key_for_machine(self, rm) -> str:
+        """Content address for a catalog preset's artifact.
+
+        Distinct from :meth:`key_for` even when the preset's
+        ``MachineConfig`` coincides with a raw-config request: the
+        preset name and its full knob set are part of the key, so two
+        machines never share an artifact slot.
+        """
+        return cache_key(
+            scope="serve.artifact",
+            schema=ARTIFACT_SCHEMA_VERSION,
+            machine=rm.name,
+            knobs=rm.knobs,
+            config=rm.to_machine_config(),
+            iterations=self.iterations,
+            seed=self.seed,
+        )
+
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
@@ -122,6 +147,10 @@ class ArtifactRegistry:
 
     def __len__(self) -> int:
         return len(self._warm)
+
+    def is_warm(self, key: str) -> bool:
+        """True when the artifact is already fitted in this process."""
+        return key in self._warm
 
     def labels(self) -> Dict[str, str]:
         """``{key: config_label}`` of everything warm."""
@@ -150,10 +179,47 @@ class ArtifactRegistry:
             self._persist(key, artifact)
         return artifact
 
+    def preload_machine(
+        self,
+        rm,
+        capability: CapabilityModel,
+        persist: bool = False,
+    ) -> Artifact:
+        """Inject an already-fitted model under a preset's key."""
+        key = self.key_for_machine(rm)
+        self._specs[key] = rm
+        artifact = Artifact(
+            key=key,
+            config=rm.to_machine_config(),
+            capability=capability,
+            source="preload",
+            machine=rm.name,
+        )
+        self._warm[key] = artifact
+        if persist:
+            self._persist(key, artifact)
+        return artifact
+
     async def get(self, config: MachineConfig) -> Artifact:
         """The fitted artifact for ``config`` — warm hit, disk load, or
         a single-flighted fit, in that order."""
         key = self.key_for(config)
+        return await self._singleflight(
+            key, lambda: self._load_or_fit(key, config)
+        )
+
+    async def get_machine(self, rm) -> Artifact:
+        """The fitted artifact for a catalog preset
+        (:class:`~repro.machines.spec.ResolvedMachine`), with the same
+        warm/disk/single-flight discipline as :meth:`get` — cold fits
+        run the full suite on the preset's own machine."""
+        key = self.key_for_machine(rm)
+        self._specs[key] = rm
+        return await self._singleflight(
+            key, lambda: self._load_or_fit_machine(key, rm)
+        )
+
+    async def _singleflight(self, key: str, loader) -> Artifact:
         hit = self._warm.get(key)
         if hit is not None:
             counter("serve.artifacts.hits").inc()
@@ -168,7 +234,7 @@ class ArtifactRegistry:
         fut: asyncio.Future = loop.create_future()
         self._fitting[key] = fut
         try:
-            artifact = await asyncio.to_thread(self._load_or_fit, key, config)
+            artifact = await asyncio.to_thread(loader)
             self._warm[key] = artifact
             fut.set_result(artifact)
             return artifact
@@ -185,13 +251,18 @@ class ArtifactRegistry:
 
         Built on demand and cached per key — construction is cheap
         next to a fit but not free, and measured ``/v1/tune`` calls
-        reuse the machine's deterministic seed.
+        reuse the machine's deterministic seed.  Preset artifacts
+        rebuild through their spec so calibration overrides apply.
         """
         machine = self._machines.get(artifact.key)
         if machine is None:
-            from repro.machine.machine import KNLMachine
+            spec = self._specs.get(artifact.key)
+            if spec is not None:
+                machine = spec.build(seed=self.seed)
+            else:
+                from repro.machine.machine import KNLMachine
 
-            machine = KNLMachine(artifact.config, seed=self.seed)
+                machine = KNLMachine(artifact.config, seed=self.seed)
             self._machines[artifact.key] = machine
         return machine
 
@@ -204,7 +275,20 @@ class ArtifactRegistry:
             return artifact
         return self._fit(key, config)
 
-    def _load(self, key: str, config: MachineConfig) -> Optional[Artifact]:
+    def _load_or_fit_machine(self, key: str, rm) -> Artifact:
+        config = rm.to_machine_config()
+        artifact = self._load(key, config, machine=rm.name)
+        if artifact is not None:
+            counter("serve.artifacts.loads").inc()
+            return artifact
+        return self._fit_machine(key, rm)
+
+    def _load(
+        self,
+        key: str,
+        config: MachineConfig,
+        machine: Optional[str] = None,
+    ) -> Optional[Artifact]:
         path = self._path(key)
         if not os.path.exists(path):
             return None
@@ -217,8 +301,38 @@ class ArtifactRegistry:
         except (OSError, ValueError, KeyError, ReproError):
             return None  # corrupt entry: refit rather than fail the query
         return Artifact(
-            key=key, config=config, capability=capability, source="disk"
+            key=key, config=config, capability=capability, source="disk",
+            machine=machine,
         )
+
+    def _fit_machine(self, key: str, rm) -> Artifact:
+        from repro.bench import characterize
+        from repro.model import derive_capability_model
+
+        counter("serve.artifacts.fits").inc()
+        t0 = time.perf_counter()
+        with span(
+            "serve.artifact.fit", category="serve",
+            key=key[:12], machine=rm.name,
+        ):
+            machine = rm.build(seed=self.seed)
+            char = characterize(
+                machine, iterations=self.iterations, seed=self.seed
+            )
+            capability = derive_capability_model(char)
+        elapsed = time.perf_counter() - t0
+        self._machines[key] = machine
+        artifact = Artifact(
+            key=key,
+            config=rm.to_machine_config(),
+            capability=capability,
+            source="fit",
+            fit_seconds=elapsed,
+            machine=rm.name,
+        )
+        if self.persist:
+            self._persist(key, artifact)
+        return artifact
 
     def _fit(self, key: str, config: MachineConfig) -> Artifact:
         from repro.bench import characterize
@@ -253,6 +367,7 @@ class ArtifactRegistry:
                 {
                     "schema_version": ARTIFACT_SCHEMA_VERSION,
                     "key": key,
+                    "machine": artifact.machine,
                     "config_label": artifact.capability.config_label,
                     "iterations": self.iterations,
                     "seed": self.seed,

@@ -509,6 +509,10 @@ class Fleet:
             if request.method != "GET":
                 return Response.error(405, "/metrics only supports GET")
             return await self._metrics()
+        if route == "/v1/machines":
+            if request.method != "GET":
+                return Response.error(405, "/v1/machines only supports GET")
+            return self._machines()
         if route in _POST_ROUTES:
             if request.method != "POST":
                 return Response.error(405, f"{route} only supports POST")
@@ -533,6 +537,42 @@ class Fleet:
                 "fleet": {"workers": states, "up": up},
             },
             status=http,
+        )
+
+    def _machines(self) -> Response:
+        """``GET /v1/machines`` answered at the front end.
+
+        The catalog is a property of the installation, not of any one
+        worker, so no relay.  ``warm`` is ``null``: with content-keyed
+        routing each preset's artifact warms on whichever worker owns
+        its queries, and the front end doesn't track that.
+        """
+        from repro.errors import ReproError
+        from repro.machines import (
+            DEFAULT_MACHINE,
+            MACHINES_SCHEMA_VERSION,
+            list_machines,
+        )
+
+        try:
+            machines = list_machines()
+        except ReproError as e:
+            return Response.error(500, f"machine catalog is broken: {e}")
+        return Response.json(
+            {
+                "schema_version": MACHINES_SCHEMA_VERSION,
+                "machines": [
+                    {
+                        "name": rm.name,
+                        "description": rm.description,
+                        "config_label": rm.to_machine_config().label(),
+                        "default": rm.name == DEFAULT_MACHINE,
+                        "warm": None,
+                        "cache_key": rm.cache_key,
+                    }
+                    for rm in machines
+                ],
+            }
         )
 
     async def _metrics(self) -> Response:

@@ -443,6 +443,17 @@ def build_loadgen_parser():
         help="JSON file with the request body (default: a built-in "
              "per-endpoint query)",
     )
+    load.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="target one catalog preset: every request carries "
+             "'\"machine\": NAME' (see `repro machines list`)",
+    )
+    load.add_argument(
+        "--machines", default=None, metavar="A,B,...",
+        help="mixed multi-machine workload: request i cycles through "
+             "the named presets (catalog traffic, not just the default "
+             "KNL; mutually exclusive with --machine)",
+    )
     p.add_argument(
         "--bench", action="store_true",
         help="run the full batching-on/off A/B matrix at 1/8/64-way "
@@ -489,6 +500,29 @@ def main_loadgen(argv=None) -> int:
         with open(args.body) as fh:
             body = json.load(fh)
 
+    if args.machine and args.machines:
+        parser.error("--machine and --machines are mutually exclusive")
+    if (args.machine or args.machines) and (args.bench or args.bench_fleet):
+        parser.error(
+            "--machine/--machines drive a live or self-hosted server, "
+            "not the --bench matrices"
+        )
+    bodies = None
+    machine_names: List[str] = []
+    if args.machine:
+        machine_names = [args.machine]
+        base = body if body is not None else default_body(args.endpoint)
+        body = {**base, "machine": args.machine}
+    elif args.machines:
+        machine_names = [
+            n.strip() for n in args.machines.split(",") if n.strip()
+        ]
+        if not machine_names:
+            parser.error("--machines needs at least one preset name")
+        base = body if body is not None else default_body(args.endpoint)
+        bodies = [{**base, "machine": n} for n in machine_names]
+        body = None
+
     async def run() -> Dict[str, Any]:
         if args.bench_fleet:
             return await bench_fleet_matrix(
@@ -511,7 +545,13 @@ def main_loadgen(argv=None) -> int:
             app = ServeApp(
                 ServeConfig(iterations=args.iterations, seed=args.seed)
             )
-            await app.warm()
+            if machine_names:
+                # Pre-fit the targeted presets so the measured burst
+                # exercises serving, not cold-fit latency.
+                for name in machine_names:
+                    await app.warm(machine=name)
+            else:
+                await app.warm()
             await app.start()
             try:
                 result = await run_loadgen(
@@ -519,6 +559,7 @@ def main_loadgen(argv=None) -> int:
                     app.port,
                     endpoint=args.endpoint,
                     body=body,
+                    bodies=bodies,
                     concurrency=args.concurrency,
                     requests=args.requests,
                 )
@@ -530,6 +571,7 @@ def main_loadgen(argv=None) -> int:
                 args.port,
                 endpoint=args.endpoint,
                 body=body,
+                bodies=bodies,
                 concurrency=args.concurrency,
                 requests=args.requests,
             )

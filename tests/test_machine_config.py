@@ -123,3 +123,87 @@ class TestAllConfigurations:
     def test_labels_unique(self):
         labels = [c.label() for c in all_configurations()]
         assert len(set(labels)) == 15
+
+
+class TestValidationAudit:
+    """Satellite audit: every invalid knob raises ConfigurationError
+    carrying the knob's dotted path and the rejected value — never a
+    bare ValueError/TypeError/AssertionError out of a comparison."""
+
+    MISTYPED = [
+        ("cluster_mode", "quadrant"),  # string, not the enum
+        ("memory_mode", "flat"),
+        ("n_active_tiles", "32"),
+        ("n_active_tiles", 32.0),
+        ("n_active_tiles", True),
+        ("cores_per_tile", None),
+        ("threads_per_core", "many"),
+        ("mcdram_bytes", 16.5),
+        ("ddr_bytes", [96]),
+        ("core_ghz", "fast"),
+        ("core_ghz", True),
+        ("ddr_mts", 2133.0),
+        ("n_physical_tiles", object()),
+        ("hybrid_cache_fraction", "half"),
+    ]
+
+    @pytest.mark.parametrize(
+        "knob,value", MISTYPED, ids=[f"{k}={v!r}"[:40] for k, v in MISTYPED]
+    )
+    def test_mistyped_value_names_the_knob(self, knob, value):
+        with pytest.raises(ConfigurationError) as err:
+            MachineConfig(**{knob: value})
+        assert f"config.{knob}" in str(err.value)
+
+    OUT_OF_RANGE = [
+        ("n_active_tiles", 0),
+        ("n_active_tiles", 39),
+        ("cores_per_tile", 4),
+        ("threads_per_core", 3),
+        ("mcdram_bytes", 0),
+        ("ddr_bytes", -1),
+        ("core_ghz", 0.0),
+        ("ddr_mts", -2133),
+        ("n_physical_tiles", 0),
+    ]
+
+    @pytest.mark.parametrize(
+        "knob,value", OUT_OF_RANGE, ids=[f"{k}={v}" for k, v in OUT_OF_RANGE]
+    )
+    def test_out_of_range_names_the_knob(self, knob, value):
+        with pytest.raises(ConfigurationError) as err:
+            MachineConfig(**{knob: value})
+        message = str(err.value)
+        assert f"config.{knob}" in message
+        assert repr(value) in message
+
+    def test_hybrid_fraction_only_policed_in_hybrid_mode(self):
+        # Flat mode ignores the fraction (it scales nothing)...
+        MachineConfig(memory_mode=MemoryMode.FLAT, hybrid_cache_fraction=0.3)
+        # ...hybrid mode rejects off-menu fractions, naming the knob.
+        with pytest.raises(ConfigurationError) as err:
+            MachineConfig(
+                memory_mode=MemoryMode.HYBRID, hybrid_cache_fraction=0.3
+            )
+        assert "config.hybrid_cache_fraction" in str(err.value)
+
+    def test_snc_needs_one_tile_per_domain(self):
+        with pytest.raises(ConfigurationError) as err:
+            MachineConfig(cluster_mode=ClusterMode.SNC4, n_active_tiles=3)
+        assert "config.n_active_tiles" in str(err.value)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"core_ghz": "fast"},
+            {"n_active_tiles": "32"},
+            {"cluster_mode": "snc4"},
+            {"mcdram_bytes": None},
+        ],
+    )
+    def test_no_bare_builtin_exceptions_escape(self, kwargs):
+        try:
+            MachineConfig(**kwargs)
+        except ConfigurationError:
+            pass  # the contract
+        # Any other exception type propagates and fails the test.

@@ -1,0 +1,223 @@
+"""Catalog discovery, round-trip stability, and the machines CLI."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machines import (
+    DEFAULT_MACHINE,
+    MACHINES_SCHEMA_VERSION,
+    catalog_paths,
+    get_machine,
+    list_machines,
+    load_preset_file,
+    resolve,
+)
+from repro.machines.cli import main_machines
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+class TestCatalog:
+    def test_ships_at_least_four_presets(self):
+        names = [rm.name for rm in list_machines()]
+        assert len(names) >= 4
+        assert {"knl-7210", "knl-7250", "numa-2s", "hybrid-hbm"} <= set(
+            names
+        )
+
+    def test_default_is_knl_7210(self):
+        assert DEFAULT_MACHINE == "knl-7210"
+        assert DEFAULT_MACHINE in catalog_paths()
+
+    def test_listing_is_sorted(self):
+        names = [rm.name for rm in list_machines()]
+        assert names == sorted(names)
+
+    def test_every_preset_builds_a_working_machine(self):
+        for rm in list_machines():
+            machine = rm.build(seed=1)
+            assert machine.n_cores >= 2
+            # Engine accepts it: latency and contention queries answer.
+            assert machine.memory_latency_true_ns(0) > 0
+            assert machine.contention_ns(4, noisy=False) > 0
+            # Flat near pool present → bandwidth model answers for both.
+            assert machine.config.mcdram_flat_bytes > 0
+
+    def test_every_preset_fits_a_capability_model(self):
+        from repro.bench.suite import characterize
+        from repro.model.derive import derive_capability_model
+
+        for rm in list_machines():
+            cap = derive_capability_model(
+                characterize(rm.build(seed=5), iterations=2)
+            )
+            assert cap.config_label
+
+    def test_cache_keys_all_distinct(self):
+        machines = list_machines()
+        keys = {rm.cache_key for rm in machines}
+        assert len(keys) == len(machines)
+
+    def test_same_knobs_different_name_different_key(self):
+        a = resolve({"schema_version": MACHINES_SCHEMA_VERSION,
+                     "name": "a", "knobs": {}})
+        b = resolve({"schema_version": MACHINES_SCHEMA_VERSION,
+                     "name": "b", "knobs": {}})
+        assert a.cache_key != b.cache_key
+
+    def test_unknown_name_lists_catalog(self):
+        with pytest.raises(ConfigurationError, match="knl-7210"):
+            get_machine("xeon-9999")
+
+    def test_user_dir_shadows_builtin(self, tmp_path):
+        override = {
+            "schema_version": MACHINES_SCHEMA_VERSION,
+            "name": "knl-7210",
+            "description": "site-pinned",
+            "knobs": {"clock": {"core_ghz": 1.2}},
+        }
+        (tmp_path / "knl-7210.json").write_text(json.dumps(override))
+        rm = get_machine("knl-7210", extra_dir=tmp_path)
+        assert rm.to_machine_config().core_ghz == 1.2
+
+    def test_name_must_match_file_stem(self, tmp_path):
+        path = tmp_path / "alias.json"
+        path.write_text(json.dumps({
+            "schema_version": MACHINES_SCHEMA_VERSION,
+            "name": "other", "knobs": {},
+        }))
+        with pytest.raises(ConfigurationError, match="stem"):
+            load_preset_file(path)
+
+    def test_unreadable_file_is_configuration_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            load_preset_file(path)
+
+
+# Strategy: documents drawn from the real knob space (values valid by
+# construction, so round-trip is the property under test, not validity).
+_KNOB_DOCS = st.fixed_dictionaries(
+    {},
+    optional={
+        "cluster": st.fixed_dictionaries(
+            {}, optional={"scheme": st.sampled_from(
+                ["a2a", "hemisphere", "quadrant", "snc2", "snc4"]
+            )}
+        ),
+        "topology": st.fixed_dictionaries(
+            {}, optional={
+                "active_tiles": st.integers(8, 38),
+                "threads_per_core": st.sampled_from([1, 2, 4]),
+            }
+        ),
+        "clock": st.fixed_dictionaries(
+            {}, optional={"core_ghz": st.floats(0.5, 4.0, width=32)}
+        ),
+        "latency": st.fixed_dictionaries(
+            {}, optional={
+                "l1_ns": st.floats(0.5, 10.0, width=32),
+                "near_ns": st.tuples(
+                    st.floats(10.0, 100.0, width=32),
+                    st.floats(100.0, 400.0, width=32),
+                ).map(list),
+            }
+        ),
+        "noise": st.fixed_dictionaries(
+            {}, optional={"sigma": st.floats(0.0, 1.0, width=32)}
+        ),
+    },
+)
+
+
+class TestRoundTripProperties:
+    @given(knobs=_KNOB_DOCS)
+    @settings(max_examples=40, deadline=None)
+    def test_load_resolve_dump_load_is_identity(self, knobs):
+        doc = {
+            "schema_version": MACHINES_SCHEMA_VERSION,
+            "name": "prop",
+            "description": "property",
+            "knobs": knobs,
+        }
+        first = resolve(doc)
+        dumped = first.dump()
+        second = resolve(json.loads(json.dumps(dumped)))
+        assert second.knobs == first.knobs
+        assert second.dump() == dumped  # fixed point after one pass
+        assert second.cache_key == first.cache_key
+
+    @given(
+        group=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12
+        ),
+        leaf=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=16
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_paths_always_rejected(self, group, leaf):
+        from repro.machines.schema import KNOBS
+
+        path = f"{group}.{leaf}"
+        if path in KNOBS:
+            return  # the one-in-a-zillion collision with a real knob
+        with pytest.raises(ConfigurationError):
+            resolve({
+                "schema_version": MACHINES_SCHEMA_VERSION,
+                "name": "prop",
+                "knobs": {group: {leaf: 1}},
+            })
+
+    @given(value=st.one_of(
+        st.text(max_size=6), st.booleans(), st.none(),
+        st.lists(st.integers(), max_size=3),
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_mistyped_core_ghz_always_rejected(self, value):
+        with pytest.raises(ConfigurationError, match=r"clock\.core_ghz"):
+            resolve({
+                "schema_version": MACHINES_SCHEMA_VERSION,
+                "name": "prop",
+                "knobs": {"clock": {"core_ghz": value}},
+            })
+
+
+class TestMachinesCLI:
+    def test_list(self, capsys):
+        assert main_machines(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "knl-7210" in out and "numa-2s" in out
+        assert out.count("\n") >= 4
+
+    def test_show(self, capsys):
+        assert main_machines(["show", "numa-2s"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema_version"' in out and "cache key:" in out
+
+    def test_show_knob_reference(self, capsys):
+        assert main_machines(["show", "knl-7210", "--knobs"]) == 0
+        assert "cluster.scheme" in capsys.readouterr().out
+
+    def test_validate_all(self, capsys):
+        assert main_machines(["validate", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok ") >= 4 and "FAIL" not in out
+
+    def test_validate_rejects_broken_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "schema_version": MACHINES_SCHEMA_VERSION,
+            "name": "bad",
+            "knobs": {"clock": {"core_ghz": "fast"}},
+        }))
+        assert main_machines(["validate", str(path)]) == 1
+        assert "clock.core_ghz" in capsys.readouterr().out
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main_machines(["show", "nope"]) == 2
+        assert "error:" in capsys.readouterr().out
