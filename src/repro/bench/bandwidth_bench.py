@@ -86,12 +86,38 @@ def bandwidth_curve(
     sizes: Tuple[int, ...] = DEFAULT_SIZES,
     op: str = "copy",
     vectorized: bool = True,
+    reader_core: int = 0,
 ) -> List[BenchResult]:
-    """Fig. 5: bandwidth vs message size for one state/location."""
-    return [
-        transfer_bandwidth(runner, s, state, location, op, vectorized)
+    """Fig. 5: bandwidth vs message size for one state/location.
+
+    The whole curve is sampled as one ``(sizes, iterations)`` array
+    kernel (:func:`repro.sim.kernels.bandwidth_grid`) instead of a
+    Python loop of per-size benchmarks."""
+    from repro.sim.kernels import bandwidth_grid
+
+    m = runner.machine
+    owner = pick_partner(m, reader_core, location)
+    names = [
+        f"bw/{op}/{location}/{state.value}/{s}" for s in sizes
+    ]
+    params_list = [
+        {
+            "nbytes": s,
+            "state": state.value,
+            "location": location,
+            "op": op,
+            "vectorized": vectorized,
+        }
         for s in sizes
     ]
+    return runner.collect_grid(
+        names,
+        lambda n, rng: bandwidth_grid(
+            m, reader_core, sizes, state, owner, op, vectorized, n
+        ),
+        params_list,
+        unit="GB/s",
+    )
 
 
 def peak_bandwidth(

@@ -22,15 +22,13 @@ from repro.machine.machine import KNLMachine
 
 def contention_sample_batch(machine: KNLMachine, n_accessors: int, n: int) -> np.ndarray:
     """``n`` iterations of the N-accessor pull; each sample is the
-    completion time of the slowest accessor."""
-    cal = machine.calibration
-    ranks = np.arange(1, n_accessors + 1)
-    true = cal.contention_alpha + cal.contention_beta * ranks
-    # All accessors sampled; per iteration keep the max.
-    draws = np.vstack(
-        [machine.noise.sample_many(v, n) for v in true]
-    )  # (N, n)
-    return draws.max(axis=0)
+    completion time of the slowest accessor.
+
+    One ``(N, n)`` array draw (``sim.kernels.contention_makespans``)
+    instead of N per-rank sample vectors stacked in Python."""
+    from repro.sim.kernels import contention_makespans
+
+    return contention_makespans(machine, n_accessors, n)
 
 
 def contention_latency(

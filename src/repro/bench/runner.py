@@ -108,6 +108,43 @@ class Runner:
         self._account(samples)
         return BenchResult(name=name, params=dict(params or {}), samples=samples, unit=unit)
 
+    def collect_grid(
+        self,
+        names: "list[str]",
+        grid_fn: Callable[[int, np.random.Generator], np.ndarray],
+        params_list: "list[Dict[str, object]]",
+        unit: str = "ns",
+        iterations: Optional[int] = None,
+    ) -> "list[BenchResult]":
+        """A whole benchmark *curve* from one array kernel.
+
+        ``grid_fn(n, rng)`` returns a ``(len(names), n)`` sample grid —
+        one row per curve point — produced by a single vectorized draw
+        (see :mod:`repro.sim.kernels`).  Each row is bundled into its
+        own :class:`BenchResult`, exactly as if :meth:`collect_vectorized`
+        had been called per point, but with one span and one RNG pass
+        for the whole curve."""
+        if len(names) != len(params_list):
+            raise BenchmarkError(
+                f"{len(names)} names but {len(params_list)} param sets"
+            )
+        n = iterations or self.iterations
+        with span("bench.collect", category="bench", bench=names[0],
+                  n=n, grid=len(names)):
+            grid = np.asarray(grid_fn(n, self.rng), dtype=float)
+        if grid.shape != (len(names), n):
+            raise BenchmarkError(
+                f"grid_fn returned shape {grid.shape}, expected "
+                f"({len(names)}, {n})"
+            )
+        out = []
+        for name, params, row in zip(names, params_list, grid):
+            self._account(row)
+            out.append(BenchResult(
+                name=name, params=dict(params), samples=row, unit=unit
+            ))
+        return out
+
     @staticmethod
     def _account(samples: np.ndarray) -> None:
         """Sample-count / discard accounting (see docs/OBSERVABILITY.md)."""

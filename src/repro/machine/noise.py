@@ -114,6 +114,66 @@ class NoiseModel:
             totals = np.maximum(np.round(totals / p.quantum_ns), 1.0) * p.quantum_ns
         return totals / batch
 
+    def sample_values(
+        self, values_ns: np.ndarray, scale: float = 1.0
+    ) -> np.ndarray:
+        """One noisy sample per element of ``values_ns`` — the array
+        twin of :meth:`sample` (one lognormal draw, one spike draw and
+        one quantization for the whole vector instead of per element).
+        """
+        values_ns = np.asarray(values_ns, dtype=float)
+        if values_ns.size and float(values_ns.min()) < 0:
+            raise ValueError(
+                f"true values must be non-negative: {values_ns.min()}"
+            )
+        p = self.params
+        out = values_ns * self._rng.lognormal(
+            0.0, p.sigma * scale, values_ns.shape
+        )
+        spikes = self._rng.random(values_ns.shape) < p.outlier_p * scale
+        if spikes.any():
+            out[spikes] *= self._rng.uniform(
+                p.outlier_lo, p.outlier_hi, int(spikes.sum())
+            )
+        if p.quantum_ns > 0:
+            out = np.maximum(np.round(out / p.quantum_ns), 1.0) * p.quantum_ns
+        return out
+
+    def sample_grid(
+        self, values_ns: np.ndarray, n: int, scale: float = 1.0
+    ) -> np.ndarray:
+        """``(len(values_ns), n)`` noisy samples: row *i* holds ``n``
+        draws around ``values_ns[i]``.  One 2-D lognormal draw replaces
+        a per-row Python loop of :meth:`sample_many` calls — the array
+        kernel behind the contention and bandwidth-curve benchmarks."""
+        values_ns = np.asarray(values_ns, dtype=float)
+        if values_ns.size and float(values_ns.min()) < 0:
+            raise ValueError(
+                f"true values must be non-negative: {values_ns.min()}"
+            )
+        p = self.params
+        shape = (values_ns.size, n)
+        out = values_ns[:, None] * self._rng.lognormal(
+            0.0, p.sigma * scale, shape
+        )
+        spikes = self._rng.random(shape) < p.outlier_p * scale
+        if spikes.any():
+            out[spikes] *= self._rng.uniform(
+                p.outlier_lo, p.outlier_hi, int(spikes.sum())
+            )
+        if p.quantum_ns > 0:
+            out = np.maximum(np.round(out / p.quantum_ns), 1.0) * p.quantum_ns
+        return out
+
+    def jitter_values(
+        self, values: np.ndarray, scale: float = 1.0
+    ) -> np.ndarray:
+        """Array twin of :meth:`jitter_only`: lognormal jitter without
+        outliers or quantization, one draw for the whole vector."""
+        values = np.asarray(values, dtype=float)
+        sigma = self.params.sigma * scale
+        return values * self._rng.lognormal(0.0, sigma, values.shape)
+
     def jitter_only(self, value: float, scale: float = 1.0) -> float:
         """Lognormal jitter without outliers or quantization (for
         quantities that are aggregates of many events, e.g. a whole

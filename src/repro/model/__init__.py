@@ -38,6 +38,16 @@ from repro.model.roofline import (
     roofline_speedup_prediction,
     KNL_PEAK_DP_GFLOPS,
 )
+from repro.model.vector import (
+    PredictPlan,
+    compile_queries,
+    contention_curve,
+    evaluate_plan_values,
+    evaluate_plans,
+    latency_table,
+    multiline_curve,
+    predict_one,
+)
 
 __all__ = [
     "CapabilityModel",
@@ -66,4 +76,12 @@ __all__ = [
     "roofline_from_capability",
     "roofline_speedup_prediction",
     "KNL_PEAK_DP_GFLOPS",
+    "PredictPlan",
+    "compile_queries",
+    "contention_curve",
+    "evaluate_plan_values",
+    "evaluate_plans",
+    "latency_table",
+    "multiline_curve",
+    "predict_one",
 ]

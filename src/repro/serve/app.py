@@ -28,18 +28,37 @@ deadline → 504; per-query model errors → 400; anything unexpected →
 ``serve.request`` span and the batch phases in
 ``serve.batch.assemble`` / ``serve.batch.evaluate`` spans, so a traced
 server run shows exactly how queries coalesced.
+
+``/v1/predict`` bodies additionally compile to
+:class:`~repro.model.vector.PredictPlan` objects — cached by the same
+content key the batcher dedups on — and a coalesced batch of distinct
+predict requests against one artifact evaluates as **one** fused NumPy
+sweep (:func:`~repro.model.vector.evaluate_plans`) inside a
+``serve.vector.evaluate`` span, instead of a Python loop per query.
+The vector path is byte-identical to the scalar loop (golden-tested);
+``--no-vector`` keeps the scalar evaluator as the A/B baseline.
+docs/PERFORMANCE.md derives the win and when it saturates.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ReproError
+import numpy as np
+
+from repro.errors import ModelError, ReproError
 from repro.model.advisor import BufferSpec, recommend_placement
 from repro.model.parameters import CapabilityModel
+from repro.model.vector import (
+    PredictPlan,
+    compile_queries,
+    evaluate_plan_values,
+)
 from repro.obs import counter, gauge, histogram, metrics_snapshot, span
 from repro.serve.artifacts import Artifact, ArtifactRegistry, config_from_json
 from repro.serve.batcher import AdmissionError, BatcherClosed, MicroBatcher
@@ -64,6 +83,11 @@ DEFAULT_DEADLINES = {
 _POST_ROUTES = ("/v1/predict", "/v1/advise", "/v1/tune")
 _GET_ROUTES = ("/healthz", "/metrics", "/v1/machines")
 
+#: Compiled predict plans kept warm, LRU by request content key.  A plan
+#: is a few hundred bytes of index arrays; 512 covers any realistic
+#: distinct-query working set while bounding a key-churning client.
+_PLAN_CACHE_SIZE = 512
+
 
 @dataclass
 class ServeConfig:
@@ -79,6 +103,11 @@ class ServeConfig:
     #: the unbatched A/B twin so the baseline is a true per-request
     #: server, not batching-with-benefits.
     dedup: bool = True
+    #: Evaluate ``/v1/predict`` through compiled vector plans (one NumPy
+    #: sweep per coalesced batch).  Off = the scalar per-query loop, the
+    #: ``--bench-vector`` A/B baseline.  Output is byte-identical either
+    #: way; only the cost changes.
+    vectorize: bool = True
     deadlines: Dict[str, float] = field(
         default_factory=lambda: dict(DEFAULT_DEADLINES)
     )
@@ -95,6 +124,70 @@ class ServeConfig:
         kw.setdefault("max_batch", 1)
         kw.setdefault("dedup", False)
         return cls(**kw)
+
+
+class _PlanEntry:
+    """One plan-cache slot: the compiled plan plus everything else the
+    request's bytes determine.
+
+    ``machine``/``config`` are the body's routing fields, captured at
+    compile time so a cache hit skips ``json.loads`` of the (possibly
+    large) body entirely.  ``segments`` is the response's static JSON
+    skeleton — every byte of ``json.dumps(payload, sort_keys=True)``
+    except the numeric values — pre-rendered once per distinct body, so
+    a hit also skips building and sorting thousands of result dicts.
+    """
+
+    __slots__ = ("plan", "machine", "config", "segments", "rendered")
+
+    def __init__(self, plan: PredictPlan, machine: Any, config: Any) -> None:
+        import json as _json
+
+        self.plan = plan
+        self.machine = machine
+        self.config = config
+        # Memoized (artifact_key, response_bytes): a capability model is
+        # a pure function of its artifact, so the same body against the
+        # same artifact always renders the same bytes.  One slot — a
+        # body names its own machine/config, so it maps to one artifact
+        # unless the registry refits (key change invalidates the slot).
+        # Stored as a single tuple so assignment is atomic across the
+        # evaluator threads.
+        self.rendered: Optional[Tuple[str, bytes]] = None
+        segments = []
+        for i, (m, u) in enumerate(zip(plan.metrics, plan.units)):
+            segments.append(
+                ('}, {"metric": ' if i else '{"metric": ')
+                + f'{_json.dumps(m)}, "unit": {_json.dumps(u)}, "value": '
+            )
+        self.segments = segments
+
+    def render(
+        self,
+        config_label: str,
+        machine_name: Optional[str],
+        values: "np.ndarray",
+    ) -> Optional[bytes]:
+        """Response body bytes, byte-identical to the scalar path's
+        ``json.dumps(payload, sort_keys=True)`` — key order, separators
+        and float repr all match.  Returns ``None`` for non-finite
+        values (whose JSON spelling differs from ``repr``); the caller
+        then falls back to the dict-assembly encoder.
+        """
+        import json as _json
+
+        if not np.isfinite(values).all():
+            return None
+        parts = ['{"config_label": ', _json.dumps(config_label)]
+        if machine_name is not None:
+            parts.append(', "machine": ')
+            parts.append(_json.dumps(machine_name))
+        parts.append(', "results": [')
+        for segment, value in zip(self.segments, values.tolist()):
+            parts.append(segment)
+            parts.append(repr(value))
+        parts.append("}]}")
+        return "".join(parts).encode()
 
 
 @dataclass
@@ -153,6 +246,13 @@ class ServeApp:
         #: Resolved catalog presets by name — one file read + validation
         #: per preset per process, not per request.
         self._machine_specs: Dict[str, Any] = {}
+        #: Compiled predict plans by content key (LRU).  Shared between
+        #: the event loop (assemble-phase hits) and evaluator worker
+        #: threads (compile-time inserts), hence the lock; a repeat
+        #: query — even with dedup off — skips parse, compile, and
+        #: response-skeleton rendering entirely.
+        self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
+        self._plan_lock = threading.Lock()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -376,7 +476,10 @@ class ServeApp:
         key = hashlib.sha256(
             route.encode() + b"\0" + request.body
         ).hexdigest()
-        item = {"endpoint": route, "raw": request.body}
+        # ``ck`` rides along because the batcher rewrites its own key
+        # under dedup=False; the plan cache must always see the true
+        # content key.
+        item = {"endpoint": route, "raw": request.body, "ck": key}
         deadline = self.config.deadlines.get(
             route, DEFAULT_DEADLINES.get(route, 30.0)
         )
@@ -428,8 +531,31 @@ class ServeApp:
         artifacts: Dict[str, Artifact] = {}
         bodies: Dict[str, Dict[str, Any]] = {}
         errors: Dict[str, _Outcome] = {}
+        plans: Dict[str, _PlanEntry] = {}
+        vectorize = self.config.vectorize
         with span("serve.batch.assemble", category="serve", size=len(batch)):
             for key, item in batch.items():
+                if vectorize and item["endpoint"] == "/v1/predict":
+                    # Plan-cache hit: the request's bytes were seen
+                    # before, so the compiled plan already carries the
+                    # routing fields — no json.loads of the body at all.
+                    entry = self._plan_hit(item.get("ck", key))
+                    if entry is not None:
+                        try:
+                            artifacts[key] = await self._artifact_for(
+                                entry.machine, entry.config
+                            )
+                            plans[key] = entry
+                        except ProtocolError as e:
+                            errors[key] = _error_outcome(e.status, str(e))
+                        except ReproError as e:
+                            errors[key] = _error_outcome(400, str(e))
+                        except Exception as e:  # noqa: BLE001 — fit blew up
+                            counter("serve.errors").inc()
+                            errors[key] = _error_outcome(
+                                500, f"artifact fit failed: {e}"
+                            )
+                        continue
                 try:
                     body = _json.loads(item["raw"]) if item["raw"] else None
                 except ValueError as e:
@@ -454,13 +580,9 @@ class ServeApp:
                     )
                     continue
                 try:
-                    machine_name = body.get("machine")
-                    if machine_name is not None:
-                        rm = self._resolve_machine(machine_name)
-                        artifacts[key] = await self.registry.get_machine(rm)
-                    else:
-                        config = config_from_json(body.get("config"))
-                        artifacts[key] = await self.registry.get(config)
+                    artifacts[key] = await self._artifact_for(
+                        body.get("machine"), body.get("config")
+                    )
                 except ProtocolError as e:
                     errors[key] = _error_outcome(e.status, str(e))
                 except ReproError as e:
@@ -473,15 +595,156 @@ class ServeApp:
 
         def evaluate() -> Dict[str, _Outcome]:
             out: Dict[str, _Outcome] = dict(errors)
+            vector: List[Tuple[str, _PlanEntry, Artifact]] = []
             for key, item in batch.items():
                 if key in out:
+                    continue
+                entry = plans.get(key)
+                if (
+                    entry is None
+                    and vectorize
+                    and item["endpoint"] == "/v1/predict"
+                ):
+                    entry = self._plan_compile(
+                        item.get("ck", key), bodies[key]
+                    )
+                    if entry is None:
+                        # Compile refused (invalid queries): the scalar
+                        # path below produces the exact scalar error.
+                        counter("serve.vector.fallbacks").inc()
+                if entry is not None:
+                    vector.append((key, entry, artifacts[key]))
                     continue
                 out[key] = self._evaluate_one(
                     item["endpoint"], bodies[key], artifacts[key]
                 )
+            if vector:
+                self._evaluate_vector(vector, out)
             return out
 
         return await asyncio.to_thread(evaluate)
+
+    async def _artifact_for(self, machine_name: Any, config: Any) -> Artifact:
+        """Warm (or single-flight fit) the artifact a body routes to."""
+        if machine_name is not None:
+            rm = self._resolve_machine(machine_name)
+            return await self.registry.get_machine(rm)
+        return await self.registry.get(config_from_json(config))
+
+    # -- vectorized predict path --------------------------------------------
+
+    def _plan_hit(self, content_key: str) -> Optional[_PlanEntry]:
+        with self._plan_lock:
+            entry = self._plan_cache.get(content_key)
+            if entry is not None:
+                self._plan_cache.move_to_end(content_key)
+                counter("serve.vector.plan_cache.hits").inc()
+        return entry
+
+    def _plan_compile(
+        self, content_key: str, body: Mapping
+    ) -> Optional[_PlanEntry]:
+        """Compile a predict body into a cached :class:`_PlanEntry`.
+
+        Returns ``None`` when the queries don't compile (any validation
+        error): the caller falls back to the scalar evaluator, which
+        raises exactly the error the scalar path always raised — the
+        vector path never invents its own error surface.
+        """
+        with self._plan_lock:
+            entry = self._plan_cache.get(content_key)
+            if entry is not None:
+                self._plan_cache.move_to_end(content_key)
+                counter("serve.vector.plan_cache.hits").inc()
+                return entry
+        counter("serve.vector.plan_cache.misses").inc()
+        try:
+            plan = compile_queries(body.get("queries"))
+        except ModelError:
+            return None
+        entry = _PlanEntry(plan, body.get("machine"), body.get("config"))
+        with self._plan_lock:
+            self._plan_cache[content_key] = entry
+            self._plan_cache.move_to_end(content_key)
+            while len(self._plan_cache) > _PLAN_CACHE_SIZE:
+                self._plan_cache.popitem(last=False)
+        return entry
+
+    def _evaluate_vector(
+        self,
+        items: List[Tuple[str, _PlanEntry, Artifact]],
+        out: Dict[str, _Outcome],
+    ) -> None:
+        """Fused evaluation of every compiled predict query in a batch.
+
+        Plans are grouped by artifact (a mixed-machine window carries
+        one group per preset) and each group dispatches as **one**
+        :func:`~repro.model.vector.evaluate_plan_values` sweep, whose
+        value vectors render straight into response bytes through the
+        plans' pre-built JSON skeletons.  A plan the artifact's model
+        cannot answer (unfitted state/kind/location) answers with the
+        scalar path's exact first error, reproduced by
+        :meth:`~repro.model.vector.PredictPlan.check`.
+        """
+        groups: "OrderedDict[str, List[Tuple[str, _PlanEntry, Artifact]]]"
+        groups = OrderedDict()
+        for key, entry, artifact in items:
+            groups.setdefault(artifact.key, []).append((key, entry, artifact))
+        for group in groups.values():
+            artifact = group[0][2]
+            cap = artifact.capability
+            ready: List[Tuple[str, _PlanEntry]] = []
+            for key, entry, _art in group:
+                cached = entry.rendered
+                if cached is not None and cached[0] == artifact.key:
+                    counter("serve.vector.render_cache.hits").inc()
+                    out[key] = _Outcome(
+                        status=200, payload=None, _body=cached[1]
+                    )
+                    continue
+                try:
+                    entry.plan.check(cap)
+                except ModelError as e:
+                    # check() raises exactly the scalar path's first
+                    # error (message and ordering), so this 400 is
+                    # byte-identical to the scalar response.
+                    counter("serve.vector.fallbacks").inc()
+                    out[key] = _error_outcome(400, str(e))
+                    continue
+                ready.append((key, entry))
+            if not ready:
+                continue
+            n_queries = sum(e.plan.n_queries for _k, e in ready)
+            with span(
+                "serve.vector.evaluate",
+                category="serve",
+                plans=len(ready),
+                queries=n_queries,
+            ):
+                values = evaluate_plan_values(
+                    cap, [e.plan for _k, e in ready]
+                )
+            counter("serve.vector.batches").inc()
+            counter("serve.vector.plans").inc(len(ready))
+            counter("serve.vector.queries").inc(n_queries)
+            histogram("serve.vector.fused_queries").observe(n_queries)
+            for (key, entry), vals in zip(ready, values):
+                body = entry.render(cap.config_label, artifact.machine, vals)
+                if body is not None:
+                    entry.rendered = (artifact.key, body)
+                    out[key] = _Outcome(
+                        status=200, payload=None, _body=body
+                    )
+                    continue
+                # Non-finite values: repr() and JSON disagree on the
+                # spelling, so take the dict-assembly encoder.
+                payload = {
+                    "config_label": cap.config_label,
+                    "results": entry.plan.results(vals),
+                }
+                if artifact.machine is not None:
+                    payload["machine"] = artifact.machine
+                out[key] = _Outcome(status=200, payload=payload)
 
     def _evaluate_one(
         self, endpoint: str, body: Mapping, artifact: Artifact
@@ -747,6 +1010,12 @@ def build_serve_parser():
         "--no-batching", action="store_true",
         help="disable coalescing (window 0, batch size 1)",
     )
+    batching.add_argument(
+        "--no-vector", action="store_true",
+        help="evaluate /v1/predict with the scalar per-query loop "
+             "instead of compiled vector plans (the --bench-vector A/B "
+             "baseline; responses are byte-identical either way)",
+    )
     admission = p.add_argument_group("admission control")
     admission.add_argument(
         "--queue-limit", type=int, default=256, metavar="N",
@@ -801,6 +1070,7 @@ def _config_from_args(args) -> ServeConfig:
             host=args.host,
             port=args.port,
             queue_limit=args.queue_limit,
+            vectorize=not args.no_vector,
             deadlines=deadlines,
             iterations=args.iterations,
             seed=args.seed,
@@ -813,6 +1083,7 @@ def _config_from_args(args) -> ServeConfig:
         window_s=args.window_ms / 1e3,
         max_batch=args.batch_cap,
         queue_limit=args.queue_limit,
+        vectorize=not args.no_vector,
         deadlines=deadlines,
         iterations=args.iterations,
         seed=args.seed,

@@ -89,6 +89,12 @@ class LoadgenResult:
     duration_s: float
     latencies_ms: List[float] = field(default_factory=list)
     status_counts: Dict[int, int] = field(default_factory=dict)
+    #: Per-label latency samples when the workload is labeled (e.g. a
+    #: ``--machines A,B`` mix labels each request with its preset), so a
+    #: per-preset regression is visible instead of drowning in the
+    #: aggregate.
+    label_latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
+    label_ok: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> int:
@@ -131,6 +137,18 @@ class LoadgenResult:
                 mean_ms=round(sum(ordered) / len(ordered), 3),
                 max_ms=round(ordered[-1], 3),
             )
+        if self.label_latencies_ms:
+            per_label: Dict[str, Any] = {}
+            for label, samples in sorted(self.label_latencies_ms.items()):
+                ordered = sorted(samples)
+                per_label[label] = {
+                    "requests": len(samples),
+                    "ok": self.label_ok.get(label, 0),
+                    "p50_ms": round(_percentile(ordered, 0.50), 3),
+                    "p95_ms": round(_percentile(ordered, 0.95), 3),
+                    "mean_ms": round(sum(ordered) / len(ordered), 3),
+                }
+            stats["per_label"] = per_label
         return stats
 
 
@@ -154,6 +172,7 @@ async def run_loadgen(
     requests: int = 256,
     timeout: float = 60.0,
     bodies: Optional[Sequence[Any]] = None,
+    body_labels: Optional[Sequence[str]] = None,
 ) -> LoadgenResult:
     """Drive ``requests`` total requests with ``concurrency`` workers.
 
@@ -161,11 +180,20 @@ async def run_loadgen(
     through ``bodies[i % len(bodies)]`` — a distinct-query workload, so
     benchmarks can separate "dedup pays" from "batching pays".  Bodies
     are pre-encoded once; the hot loop sends raw bytes.
+
+    ``body_labels`` (same length as ``bodies``) tags each request with
+    its body's label — a ``--machines A,B`` mix labels by preset — and
+    the summary then breaks out per-label p50/p95 next to the
+    aggregate.
     """
     if concurrency < 1 or requests < 1:
         raise ReproError("loadgen needs concurrency >= 1 and requests >= 1")
     if bodies is not None and body is not None:
         raise ReproError("pass body or bodies, not both")
+    if body_labels is not None and (
+        bodies is None or len(body_labels) != len(bodies)
+    ):
+        raise ReproError("body_labels must pair 1:1 with bodies")
     if bodies is not None:
         encoded = [json.dumps(b).encode() for b in bodies]
     else:
@@ -201,6 +229,15 @@ async def run_loadgen(
                     result.status_counts[status] = (
                         result.status_counts.get(status, 0) + 1
                     )
+                    if body_labels is not None:
+                        label = body_labels[index % len(body_labels)]
+                        result.label_latencies_ms.setdefault(
+                            label, []
+                        ).append(elapsed_ms)
+                        if status == 200:
+                            result.label_ok[label] = (
+                                result.label_ok.get(label, 0) + 1
+                            )
         finally:
             await conn.close()
 
@@ -402,6 +439,81 @@ async def bench_fleet_matrix(
     return doc
 
 
+# -- the vectorization A/B benchmark behind BENCH_vector.json ----------------
+
+
+async def bench_vector_matrix(
+    concurrencies: Sequence[int] = (8, 64),
+    requests_per_level: int = 192,
+    distinct: int = 32,
+    iterations: int = 10,
+    seed: int = 1234,
+) -> Dict[str, Any]:
+    """Vectorized vs scalar evaluation under identical serving plumbing.
+
+    Two batched servers share one pre-fitted artifact registry and the
+    same batching/dedup settings; only the evaluator differs —
+    ``vector`` compiles each predict body once and dispatches a
+    coalesced batch as one fused NumPy sweep
+    (:func:`repro.model.vector.evaluate_plan_values`), ``scalar`` runs the
+    per-query Python loop.  Two workloads per concurrency level, both on
+    the dense ~1300-point :data:`DENSE_PREDICT_BODY` grid: ``identical``
+    (dedup absorbs everything — vectorization can't add much by design)
+    and ``distinct`` (``distinct`` byte-distinct bodies — the
+    dedup-immune case ROADMAP names as the weakest axis, where the
+    evaluator itself is the bottleneck).  The acceptance gate reads the
+    64-way distinct row.  docs/PERFORMANCE.md derives why the win
+    concentrates exactly there.
+    """
+    from repro.serve.app import ServeApp, ServeConfig
+    from repro.serve.artifacts import ArtifactRegistry
+
+    registry = ArtifactRegistry(
+        iterations=iterations, seed=seed, persist=False
+    )
+    doc: Dict[str, Any] = {
+        "benchmark": "repro.serve vectorized-evaluation A/B",
+        "endpoint": "/v1/predict",
+        "requests_per_level": requests_per_level,
+        "distinct_bodies": distinct,
+        "artifact_fit_iterations": iterations,
+        "levels": [],
+    }
+    apps = {
+        "vector": ServeApp(ServeConfig(vectorize=True), registry=registry),
+        "scalar": ServeApp(ServeConfig(vectorize=False), registry=registry),
+    }
+    workloads = {
+        "identical": {"body": DENSE_PREDICT_BODY, "bodies": None},
+        "distinct": {"body": None, "bodies": _distinct_bodies(distinct)},
+    }
+    try:
+        for app in apps.values():
+            await app.warm()
+            await app.start()
+        for concurrency in concurrencies:
+            for workload, kw in workloads.items():
+                level: Dict[str, Any] = {
+                    "concurrency": concurrency,
+                    "workload": workload,
+                }
+                for mode, app in apps.items():
+                    run = await run_loadgen(
+                        app.config.host,
+                        app.port,
+                        endpoint="/v1/predict",
+                        concurrency=concurrency,
+                        requests=requests_per_level,
+                        **kw,
+                    )
+                    level[mode] = run.summarize()
+                doc["levels"].append(level)
+    finally:
+        for app in apps.values():
+            await app.stop()
+    return doc
+
+
 def write_bench(path: str, doc: Dict[str, Any]) -> None:
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -466,6 +578,12 @@ def build_loadgen_parser():
              "--self-host) — the BENCH_fleet.json generator",
     )
     p.add_argument(
+        "--bench-vector", action="store_true",
+        help="run the vectorized-vs-scalar evaluation A/B on the dense "
+             "predict grid, identical + 32-distinct workloads (implies "
+             "--self-host) — the BENCH_vector.json generator",
+    )
+    p.add_argument(
         "--workers", type=int, default=2, metavar="N",
         help="fleet size for --bench-fleet (default 2)",
     )
@@ -490,6 +608,7 @@ def main_loadgen(argv=None) -> int:
     if (
         not args.bench
         and not args.bench_fleet
+        and not args.bench_vector
         and not args.self_host
         and args.port is None
     ):
@@ -502,12 +621,14 @@ def main_loadgen(argv=None) -> int:
 
     if args.machine and args.machines:
         parser.error("--machine and --machines are mutually exclusive")
-    if (args.machine or args.machines) and (args.bench or args.bench_fleet):
+    benching = args.bench or args.bench_fleet or args.bench_vector
+    if (args.machine or args.machines) and benching:
         parser.error(
             "--machine/--machines drive a live or self-hosted server, "
             "not the --bench matrices"
         )
     bodies = None
+    body_labels: Optional[List[str]] = None
     machine_names: List[str] = []
     if args.machine:
         machine_names = [args.machine]
@@ -521,9 +642,16 @@ def main_loadgen(argv=None) -> int:
             parser.error("--machines needs at least one preset name")
         base = body if body is not None else default_body(args.endpoint)
         bodies = [{**base, "machine": n} for n in machine_names]
+        body_labels = list(machine_names)
         body = None
 
     async def run() -> Dict[str, Any]:
+        if args.bench_vector:
+            return await bench_vector_matrix(
+                requests_per_level=args.requests,
+                iterations=args.iterations,
+                seed=args.seed,
+            )
         if args.bench_fleet:
             return await bench_fleet_matrix(
                 workers=args.workers,
@@ -560,6 +688,7 @@ def main_loadgen(argv=None) -> int:
                     endpoint=args.endpoint,
                     body=body,
                     bodies=bodies,
+                    body_labels=body_labels,
                     concurrency=args.concurrency,
                     requests=args.requests,
                 )
@@ -572,6 +701,7 @@ def main_loadgen(argv=None) -> int:
                 endpoint=args.endpoint,
                 body=body,
                 bodies=bodies,
+                body_labels=body_labels,
                 concurrency=args.concurrency,
                 requests=args.requests,
             )
@@ -584,7 +714,13 @@ def main_loadgen(argv=None) -> int:
     if args.out:
         write_bench(args.out, doc)
 
-    if args.bench_fleet:
+    if args.bench_vector:
+        failed = any(
+            level[mode]["server_errors"]
+            for level in doc["levels"]
+            for mode in ("vector", "scalar")
+        )
+    elif args.bench_fleet:
         failed = any(
             level[mode]["server_errors"]
             for level in doc["levels"]

@@ -19,6 +19,11 @@ from repro.sim.program import (
     Program,
 )
 from repro.sim.engine import Engine, RunResult
+from repro.sim.kernels import (
+    bandwidth_grid,
+    contention_makespans,
+    flag_wake_finishes,
+)
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.dataflow import (
     DataflowResult,
@@ -41,6 +46,9 @@ __all__ = [
     "Program",
     "Engine",
     "RunResult",
+    "bandwidth_grid",
+    "contention_makespans",
+    "flag_wake_finishes",
     "Trace",
     "TraceEvent",
     "DataflowResult",

@@ -146,12 +146,26 @@ class Engine:
                     op.n_pollers, op.cold, noisy=self.noisy
                 )
                 st.writer_core = self._core(t)
-                # Wake waiters in their arrival (clock) order.
-                for w in sorted(st.waiters, key=lambda x: clock[x]):
+                # Wake waiters in their arrival (clock) order.  A wide
+                # wake (broadcast fan-out) batches all waiters' noise
+                # draws through one array kernel; a single waiter takes
+                # the scalar path.
+                waking = sorted(st.waiters, key=lambda x: clock[x])
+                if len(waking) > 1:
+                    finishes = self._serve_poll_batch(
+                        st, [(w, progs[w].ops[pc[w]], clock[w])
+                             for w in waking]
+                    )
+                else:
+                    finishes = [
+                        self._serve_poll(st, progs[w].ops[pc[w]], w, clock[w])
+                        for w in waking
+                    ]
+                for w, finish in zip(waking, finishes):
                     wop = progs[w].ops[pc[w]]
                     assert isinstance(wop, PollFlag) and wop.flag == op.flag
                     warrival = clock[w]
-                    clock[w] = self._serve_poll(st, wop, w, warrival)
+                    clock[w] = finish
                     if self.record_trace:
                         events.append(TraceEvent(
                             w, pc[w], wop, max(warrival, st.set_time), clock[w]
@@ -236,6 +250,39 @@ class Engine:
         st.queue_tail = finish
         st.served += 1
         return finish
+
+    def _serve_poll_batch(
+        self, st: _FlagState, wakes: List[tuple]
+    ) -> List[float]:
+        """Array-kernel twin of :meth:`_serve_poll` for a whole wake:
+        per-waiter solo costs are drawn in one vectorized noise call,
+        the contention-queue recurrence folds over the results
+        (:func:`repro.sim.kernels.flag_wake_finishes`)."""
+        from repro.sim.kernels import flag_wake_finishes
+
+        m = self.machine
+        starts: List[float] = []
+        base_true: List[float] = []
+        extra: List[float] = []
+        for thread, op, arrival in wakes:
+            assert isinstance(op, PollFlag)
+            reader = self._core(thread)
+            starts.append(max(arrival, st.set_time))
+            base_true.append(
+                m.line_transfer_true_ns(reader, MESIF.MODIFIED, st.writer_core)
+            )
+            if op.payload_bytes > CACHE_LINE_BYTES:
+                extra_lines = lines_in(op.payload_bytes) - 1
+                bw = m._multiline_plateau_bw(  # noqa: SLF001 - friend
+                    reader, op.payload_state, st.writer_core, "copy", True
+                )
+                extra.append(extra_lines * CACHE_LINE_BYTES / bw)
+            else:
+                extra.append(0.0)
+        finishes, st.queue_tail, st.served = flag_wake_finishes(
+            m, starts, base_true, extra, st.queue_tail, st.served, self.noisy
+        )
+        return finishes
 
     def _op_cost(self, op: Op, thread: int) -> float:
         m = self.machine

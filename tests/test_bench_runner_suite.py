@@ -33,6 +33,34 @@ class TestRunner:
         res = r.collect("x", lambda rng: 1.0, iterations=9)
         assert res.samples.size == 9
 
+    def test_collect_grid_bundles_one_result_per_row(self, machine):
+        r = Runner(machine, iterations=7, seed=1)
+        results = r.collect_grid(
+            ["a", "b", "c"],
+            lambda n, rng: np.arange(3)[:, None] * np.ones((3, n)),
+            [{"n": 1}, {"n": 2}, {"n": 3}],
+            unit="GB/s",
+        )
+        assert [res.name for res in results] == ["a", "b", "c"]
+        assert all(res.samples.shape == (7,) for res in results)
+        assert results[2].samples.tolist() == [2.0] * 7
+        assert results[1].params == {"n": 2}
+        assert results[0].unit == "GB/s"
+
+    def test_collect_grid_shape_checked(self, machine):
+        r = Runner(machine, iterations=5, seed=1)
+        with pytest.raises(BenchmarkError, match="expected"):
+            r.collect_grid(
+                ["a", "b"],
+                lambda n, rng: np.zeros((3, n)),
+                [{}, {}],
+            )
+
+    def test_collect_grid_names_params_mismatch(self, machine):
+        r = Runner(machine, iterations=5, seed=1)
+        with pytest.raises(BenchmarkError, match="param sets"):
+            r.collect_grid(["a"], lambda n, rng: np.zeros((1, n)), [{}, {}])
+
 
 class TestCharacterization:
     def test_has_all_blocks(self, characterization):

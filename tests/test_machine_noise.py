@@ -56,6 +56,50 @@ class TestBatchMean:
             noise.sample_mean_of(10.0, 5, 0)
 
 
+class TestArrayKernels:
+    """The vectorized twins: one draw for a whole value vector/grid."""
+
+    def test_sample_values_shape_and_median(self, noise):
+        true = np.full(4000, 140.0)
+        vals = noise.sample_values(true)
+        assert vals.shape == true.shape
+        assert np.median(vals) == pytest.approx(140.0, rel=0.05)
+        assert np.allclose(vals % 10.0, 0.0)  # quantized like sample()
+
+    def test_sample_values_rejects_negative(self, noise):
+        with pytest.raises(ValueError):
+            noise.sample_values(np.array([1.0, -2.0]))
+
+    def test_sample_grid_rows_track_their_true_values(self, noise):
+        true = np.array([100.0, 1000.0, 10000.0])
+        grid = noise.sample_grid(true, 2001)
+        assert grid.shape == (3, 2001)
+        for row, t in zip(grid, true):
+            assert np.median(row) == pytest.approx(t, rel=0.05)
+
+    def test_sample_grid_deterministic_per_seed(self):
+        a = NoiseModel(NoiseParams(), seed=5).sample_grid(
+            np.array([50.0, 70.0]), 40
+        )
+        b = NoiseModel(NoiseParams(), seed=5).sample_grid(
+            np.array([50.0, 70.0]), 40
+        )
+        assert np.array_equal(a, b)
+
+    def test_sample_grid_rejects_negative(self, noise):
+        with pytest.raises(ValueError):
+            noise.sample_grid(np.array([-1.0]), 5)
+
+    def test_jitter_values_no_quantization_no_outliers(self):
+        noise = NoiseModel(NoiseParams(outlier_p=0.0), seed=3)
+        true = np.full(500, 137.0)
+        vals = noise.jitter_values(true)
+        assert vals.shape == true.shape
+        assert any(v % 10.0 != 0.0 for v in vals)
+        # lognormal sigma=0.025: all draws stay within a few sigma
+        assert (vals > 100.0).all() and (vals < 180.0).all()
+
+
 class TestModeParams:
     def test_snc2_noisier(self):
         assert NoiseParams.for_mode(ClusterMode.SNC2).sigma > NoiseParams.for_mode(

@@ -75,6 +75,48 @@ class TestSummarize:
         with pytest.raises(ReproError):
             run(go())
 
+    def test_per_label_breakout(self):
+        result = LoadgenResult(
+            endpoint="/v1/predict",
+            concurrency=2,
+            requests=5,
+            duration_s=1.0,
+            latencies_ms=[1.0, 2.0, 3.0, 4.0, 5.0],
+            status_counts={200: 4, 400: 1},
+            label_latencies_ms={
+                "knl-7210": [1.0, 3.0, 5.0],
+                "numa-2s": [2.0, 4.0],
+            },
+            label_ok={"knl-7210": 3, "numa-2s": 1},
+        )
+        stats = result.summarize()
+        per = stats["per_label"]
+        assert sorted(per) == ["knl-7210", "numa-2s"]
+        assert per["knl-7210"]["requests"] == 3
+        assert per["knl-7210"]["ok"] == 3
+        assert per["knl-7210"]["p50_ms"] == pytest.approx(3.0)
+        assert per["numa-2s"]["ok"] == 1
+        assert per["numa-2s"]["mean_ms"] == pytest.approx(3.0)
+        json.dumps(stats)
+
+    def test_no_labels_no_per_label_key(self):
+        result = LoadgenResult(
+            endpoint="/v1/predict", concurrency=1, requests=1,
+            duration_s=1.0, latencies_ms=[1.0], status_counts={200: 1},
+        )
+        assert "per_label" not in result.summarize()
+
+    def test_label_body_mismatch_rejected(self):
+        async def go():
+            await run_loadgen(
+                "h", 0,
+                bodies=[{"a": 1}, {"a": 2}],
+                body_labels=["only-one"],
+            )
+
+        with pytest.raises(ReproError, match="1:1"):
+            run(go())
+
 
 class TestAgainstLiveServer:
     def test_closed_loop_run_counts_every_request(
@@ -102,6 +144,47 @@ class TestAgainstLiveServer:
         stats = result.summarize()
         assert stats["p50_ms"] <= stats["p95_ms"] <= stats["max_ms"]
         assert stats["throughput_rps"] > 0
+
+    def test_machines_mix_breaks_out_per_preset(
+        self, snc4_flat_config, capability
+    ):
+        """The --machines A,B workload: request i cycles through the
+        presets and the summary carries per-preset p50/p95."""
+        from repro.machines import get_machine
+
+        names = ["knl-7210", "knl-7250"]
+        registry = ArtifactRegistry(persist=False)
+        registry.preload(snc4_flat_config, capability)
+        for name in names:
+            registry.preload_machine(get_machine(name), capability)
+        app = ServeApp(ServeConfig(), registry=registry)
+        bodies = [
+            {**DEFAULT_PREDICT_BODY, "machine": name} for name in names
+        ]
+
+        async def go():
+            host, port = await app.start()
+            try:
+                return await run_loadgen(
+                    host, port,
+                    endpoint="/v1/predict",
+                    bodies=bodies,
+                    body_labels=names,
+                    concurrency=4,
+                    requests=16,
+                )
+            finally:
+                await app.stop()
+
+        result = run(go())
+        assert result.ok == 16 and result.server_errors == 0
+        stats = result.summarize()
+        per = stats["per_label"]
+        assert sorted(per) == sorted(names)
+        for name in names:
+            assert per[name]["requests"] == 8
+            assert per[name]["ok"] == 8
+            assert per[name]["p50_ms"] <= per[name]["p95_ms"]
 
     def test_advise_endpoint_under_load(self, snc4_flat_config, capability):
         registry = ArtifactRegistry(persist=False)

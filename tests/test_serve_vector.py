@@ -1,0 +1,372 @@
+"""The vectorized batch-evaluation path of the query service.
+
+Every test drives a real ``ServeApp`` over loopback twice — vectorize
+on vs off — and asserts the responses are byte-identical; the vector
+path is pure mechanism, never semantics.  Edge cases from the issue
+checklist: a single-element batch, an all-duplicates batch, mixed
+machine presets coalesced into one window, and a deadline-cancelled
+waiter sharing a vector evaluation.
+"""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.machines import get_machine
+from repro.model.vector import compile_queries
+from repro.obs import reset_metrics
+from repro.serve.app import (
+    ServeApp,
+    ServeConfig,
+    _PlanEntry,
+    build_serve_parser,
+    _config_from_args,
+)
+from repro.serve.artifacts import ArtifactRegistry
+from repro.serve.protocol import ClientConnection, http_request
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_registry(snc4_flat_config, capability, machines=()):
+    registry = ArtifactRegistry(persist=False)
+    registry.preload(snc4_flat_config, capability)
+    for name in machines:
+        registry.preload_machine(get_machine(name), capability)
+    return registry
+
+
+def make_app(snc4_flat_config, capability, machines=(), **config_kw):
+    return ServeApp(
+        ServeConfig(**config_kw),
+        registry=make_registry(snc4_flat_config, capability, machines),
+    )
+
+
+def serve(app, client_coro_factory):
+    async def go():
+        host, port = await app.start()
+        try:
+            return await client_coro_factory(host, port)
+        finally:
+            await app.stop()
+
+    return run(go())
+
+
+def ab_responses(snc4_flat_config, capability, client_factory, machines=()):
+    """Run the same client against a vectorized and a scalar app."""
+    out = {}
+    for vectorize in (True, False):
+        app = make_app(
+            snc4_flat_config, capability, machines=machines,
+            vectorize=vectorize,
+        )
+        out[vectorize] = serve(app, client_factory)
+    return out[True], out[False]
+
+
+async def raw_post(host, port, body):
+    conn = ClientConnection(host, port)
+    try:
+        return await conn.request_bytes(
+            "POST", "/v1/predict", json.dumps(body).encode()
+        )
+    finally:
+        await conn.close()
+
+
+class TestByteIdentityOverHttp:
+    def test_single_element_batch(self, snc4_flat_config, capability):
+        """A lone request — batch of one, plan-cache cold then warm —
+        answers with the scalar path's exact bytes."""
+        body = {"queries": [
+            {"metric": "latency", "location": "tile", "state": "M"},
+            {"metric": "contention", "n": 5},
+            {"metric": "multiline", "location": "remote", "bytes": 8192},
+        ]}
+
+        async def client(host, port):
+            cold = await raw_post(host, port, body)
+            warm = await raw_post(host, port, body)
+            return cold, warm
+
+        vec, scal = ab_responses(snc4_flat_config, capability, client)
+        for (vs, _h, vb), (ss, _h2, sb) in zip(vec, scal):
+            assert vs == ss == 200
+            assert vb == sb
+        assert vec[0][2] == vec[1][2]  # warm render equals cold render
+
+    def test_error_bodies_match_scalar(self, snc4_flat_config, capability):
+        bodies = [
+            {"queries": [{"metric": "latency", "location": "mars"}]},
+            {"queries": [{"metric": "contention", "n": 0}]},
+            {"queries": [
+                {"metric": "latency", "location": "tile", "state": "Z"}
+            ]},
+            {"queries": []},
+        ]
+
+        async def client(host, port):
+            return [await raw_post(host, port, b) for b in bodies]
+
+        vec, scal = ab_responses(snc4_flat_config, capability, client)
+        for (vs, _h, vb), (ss, _h2, sb) in zip(vec, scal):
+            assert vs == ss == 400
+            assert vb == sb
+
+
+class TestBatchShapes:
+    def test_all_duplicates_batch_evaluates_once(
+        self, snc4_flat_config, capability
+    ):
+        """64 byte-identical concurrent requests: dedup collapses the
+        batch to one plan, one fused evaluation."""
+        reset_metrics()
+        app = make_app(snc4_flat_config, capability)
+        body = {"queries": [{"metric": "contention", "n": 9}]}
+
+        async def client(host, port):
+            async def one():
+                conn = ClientConnection(host, port)
+                try:
+                    return await conn.request("POST", "/v1/predict", body)
+                finally:
+                    await conn.close()
+
+            responses = await asyncio.gather(*(one() for _ in range(64)))
+            _, _, m = await http_request(host, port, "GET", "/metrics")
+            return responses, m["metrics"]
+
+        responses, metrics = serve(app, client)
+        assert all(status == 200 for status, _, _ in responses)
+        first = responses[0][2]
+        assert all(body == first for _, _, body in responses)
+        plans = metrics["serve.vector.plans"]["value"]
+        evaluations = metrics["serve.batch.evaluations"]["value"]
+        assert plans <= evaluations <= 8
+        fallbacks = metrics.get("serve.vector.fallbacks", {})
+        assert fallbacks.get("value", 0) == 0
+
+    def test_mixed_machine_presets_in_one_window(
+        self, snc4_flat_config, capability
+    ):
+        """Requests naming different presets coalesce into one batch
+        but group per artifact; each answer carries its own machine
+        name and matches the scalar bytes."""
+        machines = ("knl-7210", "knl-7250")
+        bodies = [
+            {"machine": name, "queries": [
+                {"metric": "latency", "location": "local"},
+                {"metric": "contention", "n": n},
+            ]}
+            for name in machines
+            for n in (2, 3, 4)
+        ]
+
+        async def client(host, port):
+            return await asyncio.gather(
+                *(raw_post(host, port, b) for b in bodies)
+            )
+
+        reset_metrics()
+        vec, scal = ab_responses(
+            snc4_flat_config, capability, client, machines=machines
+        )
+        for body, (vs, _h, vb), (ss, _h2, sb) in zip(bodies, vec, scal):
+            assert vs == ss == 200
+            assert vb == sb
+            assert json.loads(vb)["machine"] == body["machine"]
+
+    def test_unfitted_plan_falls_back_without_poisoning_the_batch(
+        self, snc4_flat_config, capability
+    ):
+        """One unanswerable plan in a batch 400s with the scalar
+        message; its batchmates still answer 200."""
+        good = {"queries": [{"metric": "latency", "location": "local"}]}
+        bad = {"queries": [
+            {"metric": "latency", "location": "tile", "state": "Z"}
+        ]}
+
+        async def client(host, port):
+            return await asyncio.gather(
+                raw_post(host, port, good), raw_post(host, port, bad)
+            )
+
+        vec, scal = ab_responses(snc4_flat_config, capability, client)
+        assert [s for s, _, _ in vec] == [200, 400]
+        for (vs, _h, vb), (ss, _h2, sb) in zip(vec, scal):
+            assert vs == ss and vb == sb
+
+
+class TestCancelledWaiter:
+    def test_deadline_cancelled_waiter_during_shared_evaluation(
+        self, snc4_flat_config, capability
+    ):
+        """Two deduped waiters share one vector evaluation; one is
+        cancelled (the deadline path) mid-flight.  The survivor still
+        gets the full 200 — cancellation never kills shared work."""
+        app = make_app(
+            snc4_flat_config, capability, window_s=0.02, vectorize=True
+        )
+        body = {"queries": [{"metric": "contention", "n": 11}]}
+        item = {
+            "endpoint": "/v1/predict",
+            "raw": json.dumps(body).encode(),
+            "ck": "shared-ck",
+        }
+
+        async def go():
+            await app.start()
+            try:
+                doomed = asyncio.create_task(
+                    app.batcher.submit("shared", dict(item))
+                )
+                survivor = asyncio.create_task(
+                    app.batcher.submit("shared", dict(item))
+                )
+                await asyncio.sleep(0.005)  # inside the window
+                doomed.cancel()
+                outcome = await survivor
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+                return outcome
+            finally:
+                await app.stop()
+
+        outcome = run(go())
+        assert outcome.status == 200
+        results = json.loads(outcome.response().body)["results"]
+        assert results[0]["metric"] == "contention"
+
+
+class TestPlanCache:
+    def test_lru_stays_bounded(self, snc4_flat_config, capability):
+        from repro.serve.app import _PLAN_CACHE_SIZE
+
+        app = make_app(snc4_flat_config, capability)
+        for i in range(_PLAN_CACHE_SIZE + 40):
+            entry = app._plan_compile(
+                f"ck-{i}",
+                {"queries": [{"metric": "contention", "n": i + 1}]},
+            )
+            assert entry is not None
+        assert len(app._plan_cache) == _PLAN_CACHE_SIZE
+        # Most recent keys survive, oldest evicted.
+        assert app._plan_hit(f"ck-{_PLAN_CACHE_SIZE + 39}") is not None
+        assert app._plan_hit("ck-0") is None
+
+    def test_invalid_queries_are_not_cached(
+        self, snc4_flat_config, capability
+    ):
+        app = make_app(snc4_flat_config, capability)
+        assert app._plan_compile("bad", {"queries": "nope"}) is None
+        assert app._plan_hit("bad") is None
+
+    def test_render_cache_reused_across_batches(
+        self, snc4_flat_config, capability
+    ):
+        reset_metrics()
+        app = make_app(snc4_flat_config, capability)
+        body = {"queries": [{"metric": "latency", "location": "local"}]}
+
+        async def client(host, port):
+            for _ in range(3):
+                await raw_post(host, port, body)
+            _, _, m = await http_request(host, port, "GET", "/metrics")
+            return m["metrics"]
+
+        metrics = serve(app, client)
+        assert metrics["serve.vector.render_cache.hits"]["value"] >= 1
+        assert metrics["serve.vector.plan_cache.hits"]["value"] >= 1
+        assert metrics["serve.vector.plan_cache.misses"]["value"] == 1
+
+
+class TestRenderTemplate:
+    def test_render_matches_sorted_json_dumps(self, capability):
+        """The pre-rendered skeleton reproduces
+        ``json.dumps(payload, sort_keys=True)`` byte for byte."""
+        queries = [
+            {"metric": "latency", "location": "local"},
+            {"metric": "bandwidth", "op": "copy", "kind": "mcdram"},
+            {"metric": "contention", "n": 33},
+        ]
+        plan = compile_queries(queries)
+        entry = _PlanEntry(plan, "knl-7210", None)
+        from repro.model.vector import evaluate_plan_values
+
+        (values,) = evaluate_plan_values(capability, [plan])
+        rendered = entry.render(
+            capability.config_label, "knl-7210", values
+        )
+        payload = {
+            "config_label": capability.config_label,
+            "machine": "knl-7210",
+            "results": plan.results(values),
+        }
+        assert rendered == json.dumps(payload, sort_keys=True).encode()
+
+    def test_render_without_machine_field(self, capability):
+        plan = compile_queries([{"metric": "contention", "n": 2}])
+        entry = _PlanEntry(plan, None, {"memory_mode": "flat"})
+        from repro.model.vector import evaluate_plan_values
+
+        (values,) = evaluate_plan_values(capability, [plan])
+        rendered = entry.render(capability.config_label, None, values)
+        payload = {
+            "config_label": capability.config_label,
+            "results": plan.results(values),
+        }
+        assert rendered == json.dumps(payload, sort_keys=True).encode()
+
+    def test_non_finite_values_refuse_the_template(self, capability):
+        plan = compile_queries([{"metric": "contention", "n": 2}])
+        entry = _PlanEntry(plan, None, None)
+        bad = np.array([float("nan")])
+        assert entry.render(capability.config_label, None, bad) is None
+
+
+class TestCliFlag:
+    def test_vectorize_defaults_on(self):
+        config = _config_from_args(build_serve_parser().parse_args([]))
+        assert config.vectorize is True
+
+    def test_no_vector_turns_it_off(self):
+        config = _config_from_args(
+            build_serve_parser().parse_args(["--no-vector"])
+        )
+        assert config.vectorize is False
+
+
+class TestCommittedVectorBench:
+    def test_committed_bench_meets_the_acceptance_criterion(self):
+        """BENCH_vector.json (regenerable with ``repro loadgen
+        --bench-vector``) must show the vectorized evaluator at >= 2x
+        the scalar path's throughput on the 32-distinct-query 64-way
+        workload, with zero server errors anywhere."""
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_vector.json"
+        )
+        if not os.path.exists(path):
+            pytest.skip("BENCH_vector.json not generated yet")
+        with open(path) as fh:
+            doc = json.load(fh)
+        for level in doc["levels"]:
+            for mode in ("vector", "scalar"):
+                assert level[mode]["server_errors"] == 0, (level, mode)
+        headline = [
+            level
+            for level in doc["levels"]
+            if level["concurrency"] == 64 and level["workload"] == "distinct"
+        ]
+        assert headline, "no 64-way distinct-query level in the bench"
+        vector = headline[0]["vector"]
+        scalar = headline[0]["scalar"]
+        assert vector["throughput_rps"] >= 2 * scalar["throughput_rps"], (
+            vector, scalar
+        )

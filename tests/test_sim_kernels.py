@@ -1,0 +1,126 @@
+"""Array kernels behind the microbenchmark inner loops.
+
+These pin the :mod:`repro.sim.kernels` sweeps: shapes, determinism for
+a fixed seed, the noise-free queue recurrence of the flag wake path,
+and the validation errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.machine import KNLMachine
+from repro.machine.coherence import MESIF
+from repro.sim.kernels import (
+    bandwidth_grid,
+    contention_makespans,
+    flag_wake_finishes,
+)
+
+
+def fresh_machine(seed=7, noise=True):
+    from repro.machine import MachineConfig
+
+    return KNLMachine(MachineConfig(), seed=seed, noise=noise)
+
+
+class TestContentionMakespans:
+    def test_shape_and_positivity(self, machine):
+        out = contention_makespans(machine, n_accessors=8, iterations=25)
+        assert out.shape == (25,)
+        assert (out > 0).all()
+
+    def test_deterministic_per_seed(self):
+        a = contention_makespans(fresh_machine(seed=42), 8, 25)
+        b = contention_makespans(fresh_machine(seed=42), 8, 25)
+        assert np.array_equal(a, b)
+
+    def test_makespan_grows_with_contention(self):
+        """Max-over-accessors of an increasing line: more accessors,
+        larger makespan (medians, to be robust to outlier draws)."""
+        few = contention_makespans(fresh_machine(seed=3), 2, 101)
+        many = contention_makespans(fresh_machine(seed=3), 64, 101)
+        assert np.median(many) > np.median(few)
+
+    def test_rejects_zero_accessors(self, machine):
+        with pytest.raises(BenchmarkError, match="at least one accessor"):
+            contention_makespans(machine, 0, 5)
+
+
+class TestBandwidthGrid:
+    def test_shape_rows_are_sizes(self, machine):
+        sizes = [64, 4096, 65536]
+        grid = bandwidth_grid(
+            machine, reader_core=0, sizes=sizes, state=MESIF.MODIFIED,
+            owner_core=None, op="read", vectorized=False, iterations=9,
+        )
+        assert grid.shape == (3, 9)
+        assert (grid > 0).all()
+
+    def test_larger_transfers_amortize_latency(self):
+        """Bandwidth rises with message size (alpha amortized away)."""
+        m = fresh_machine(seed=11)
+        grid = bandwidth_grid(
+            m, 0, [64, 32768], MESIF.MODIFIED, None, "read", False, 51
+        )
+        assert np.median(grid[1]) > np.median(grid[0])
+
+    def test_rejects_empty_sizes(self, machine):
+        with pytest.raises(BenchmarkError, match="at least one size"):
+            bandwidth_grid(
+                machine, 0, [], MESIF.MODIFIED, None, "read", False, 5
+            )
+
+
+class TestFlagWakeFinishes:
+    def test_empty_batch_is_a_noop(self, machine):
+        finishes, tail, served = flag_wake_finishes(
+            machine, [], [], [], queue_tail=17.0, served=3, noisy=True
+        )
+        assert finishes == [] and tail == 17.0 and served == 3
+
+    def test_noise_free_queue_recurrence(self):
+        """With noise off the kernel is exactly the serial recurrence
+        finish_i = max(start_i + base_i + extra_i, tail + beta)."""
+        m = fresh_machine(noise=False)
+        beta = m.calibration.contention_beta
+        starts = [0.0, 1.0, 2.0]
+        base = [100.0, 100.0, 100.0]
+        extra = [0.0, 10.0, 0.0]
+        finishes, tail, served = flag_wake_finishes(
+            m, starts, base, extra, queue_tail=0.0, served=0, noisy=False
+        )
+        expect = []
+        t, s = 0.0, 0
+        for st, b, e in zip(starts, base, extra):
+            solo = st + b + e
+            f = solo if (s == 0 or t <= st) else max(solo, t + beta)
+            expect.append(f)
+            t, s = f, s + 1
+        assert finishes == expect
+        assert tail == expect[-1]
+        assert served == 3
+
+    def test_contended_waiters_serialize_behind_the_tail(self):
+        """A deep queue: each finish is no earlier than its
+        predecessor (the contention queue never reorders)."""
+        m = fresh_machine(seed=5)
+        k = 16
+        finishes, tail, served = flag_wake_finishes(
+            m, [0.0] * k, [50.0] * k, [0.0] * k,
+            queue_tail=1000.0, served=4, noisy=True,
+        )
+        assert served == 4 + k
+        assert finishes == sorted(finishes)
+        assert tail == finishes[-1]
+
+    def test_deterministic_per_seed(self):
+        a = flag_wake_finishes(
+            fresh_machine(seed=9), [0.0, 5.0], [80.0, 80.0], [0.0, 0.0],
+            queue_tail=0.0, served=0, noisy=True,
+        )
+        b = flag_wake_finishes(
+            fresh_machine(seed=9), [0.0, 5.0], [80.0, 80.0], [0.0, 0.0],
+            queue_tail=0.0, served=0, noisy=True,
+        )
+        assert a == b
