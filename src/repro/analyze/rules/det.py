@@ -7,12 +7,15 @@ simulator runs on *virtual* time, every RNG is seeded through
 rules flag the classic ways that promise silently breaks.
 
 Scope: ``sim/``, ``model/``, ``experiments/``, ``runtime/``,
-``machines/``.  The ``bench/`` and ``obs/`` packages are exempt by
-construction — one *simulates* the measurement pipeline (its "clock"
-is the simulated TSC), the other's entire job is wall-clock telemetry.
-``machines/`` is in scope because preset resolution feeds cache keys:
-a wall clock or an unsorted iteration there would silently fork the
-model catalog.
+``machines/``, ``store/``.  The ``bench/`` and ``obs/`` packages are
+exempt by construction — one *simulates* the measurement pipeline (its
+"clock" is the simulated TSC), the other's entire job is wall-clock
+telemetry.  ``machines/`` is in scope because preset resolution feeds
+cache keys: a wall clock or an unsorted iteration there would silently
+fork the model catalog.  ``store/`` is in scope because version ids
+are content addresses and the manifest is shared fleet-wide: publish
+timestamps must enter as parameters from the CLI/serve edge, never be
+read inside the store.
 """
 
 from __future__ import annotations
@@ -25,7 +28,9 @@ from repro.analyze.findings import Finding, Severity
 from repro.analyze.rules.base import Rule, register_rule
 
 #: Subsystems whose results must be reproducible.
-DET_SCOPE = frozenset({"sim", "model", "experiments", "runtime", "machines"})
+DET_SCOPE = frozenset(
+    {"sim", "model", "experiments", "runtime", "machines", "store"}
+)
 
 #: Wall-clock reads.  Matched on the dotted call name, so a planted
 #: ``time.time()`` is caught even without import tracking.

@@ -58,9 +58,9 @@ class SchemaVersionLiteralRule(Rule):
     rationale = (
         "manifest/artifact schema versions must reference the module "
         "constant (MANIFEST_SCHEMA_VERSION, ARTIFACT_SCHEMA_VERSION, "
-        "...) — a literal in one writer silently forks the schema the "
-        "day the constant is bumped, and old readers accept files they "
-        "can no longer parse."
+        "STORE_SCHEMA_VERSION, ...) — a literal in one writer silently "
+        "forks the schema the day the constant is bumped, and old "
+        "readers accept files they can no longer parse."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -87,6 +87,27 @@ class SchemaVersionLiteralRule(Rule):
                             "reference the module's *_SCHEMA_VERSION "
                             "constant",
                         )
+            elif isinstance(node, ast.Assign):
+                # doc["schema_version"] = 3 — the store-manifest shape
+                # of the same mistake (a writer patching a loaded
+                # document in place instead of using the constant).
+                if _is_number(node.value) and any(
+                    _is_schema_subscript(t) for t in node.targets
+                ):
+                    yield self.finding(
+                        ctx, node.value,
+                        "subscript assignment writes schema_version as "
+                        "a bare number — reference the module's "
+                        "*_SCHEMA_VERSION constant",
+                    )
+
+
+def _is_schema_subscript(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == "schema_version"
+    )
 
 
 def _is_number(node: ast.AST) -> bool:

@@ -14,6 +14,7 @@ Examples::
     python -m repro loadgen --self-host         # drive it closed-loop
     python -m repro lint --baseline             # static analysis (docs/LINTING.md)
     python -m repro machines list               # hardware catalog (docs/MACHINES.md)
+    python -m repro store list                  # artifact store (docs/STORE.md)
     python -m repro version                     # or --version
 
 Experiments execute on the :mod:`repro.runtime` engine: ``--jobs N``
@@ -41,7 +42,7 @@ from repro.experiments import all_ids, get
 
 #: Subcommands with their own flag namespace, dispatched before the main
 #: parser sees the argv (``--port`` etc. would be unknown flags to it).
-_SUBCOMMANDS = ("serve", "loadgen", "lint", "machines")
+_SUBCOMMANDS = ("serve", "loadgen", "lint", "machines", "store")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,8 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
              "--save-dir results as markdown), 'trace <file>' "
              "(summarize a --trace output), 'serve'/'loadgen' (the "
              "query service), 'lint' (static analysis), 'machines' "
-             "(the hardware catalog) — each with its own --help — or "
-             "'version'",
+             "(the hardware catalog), 'store' (the versioned artifact "
+             "store) — each with its own --help — or 'version'",
     )
     p.add_argument(
         "--version", action="version", version=f"repro-knl {__version__}"
@@ -192,6 +193,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.machines.cli import main_machines
 
             return main_machines(argv[1:])
+        if argv[0] == "store":
+            from repro.store.cli import main_store
+
+            return main_store(argv[1:])
         from repro.serve.loadgen import main_loadgen
 
         return main_loadgen(argv[1:])

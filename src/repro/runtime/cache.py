@@ -92,7 +92,12 @@ def cache_key(**parts: Any) -> str:
     return content_key(payload)
 
 
-def _atomic_write(path: str, data: bytes) -> None:
+def atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` through a same-directory temp file +
+    ``os.replace``, so readers never observe a half-written file.
+
+    Shared by every disk tier that hashes through :func:`cache_key`
+    (result cache, characterization cache, :mod:`repro.store`)."""
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
@@ -102,6 +107,10 @@ def _atomic_write(path: str, data: bytes) -> None:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+
+
+#: Backward-compatible alias (pre-store internal name).
+_atomic_write = atomic_write
 
 
 class ResultCache:

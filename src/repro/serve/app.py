@@ -82,6 +82,9 @@ DEFAULT_DEADLINES = {
 
 _POST_ROUTES = ("/v1/predict", "/v1/advise", "/v1/tune")
 _GET_ROUTES = ("/healthz", "/metrics", "/v1/machines")
+#: Admin routes bypass the batcher entirely: a reload must not queue
+#: behind (or be deduped with) model traffic.
+_ADMIN_ROUTES = ("/v1/admin/reload",)
 
 #: Compiled predict plans kept warm, LRU by request content key.  A plan
 #: is a few hundred bytes of index arrays; 512 covers any realistic
@@ -146,13 +149,13 @@ class _PlanEntry:
         self.plan = plan
         self.machine = machine
         self.config = config
-        # Memoized (artifact_key, response_bytes): a capability model is
-        # a pure function of its artifact, so the same body against the
-        # same artifact always renders the same bytes.  One slot — a
-        # body names its own machine/config, so it maps to one artifact
-        # unless the registry refits (key change invalidates the slot).
-        # Stored as a single tuple so assignment is atomic across the
-        # evaluator threads.
+        # Memoized (artifact_identity, response_bytes): a capability
+        # model is a pure function of its artifact *version*, so the
+        # same body against the same version always renders the same
+        # bytes.  Keying on identity (slot@version) means a hot swap or
+        # canary split invalidates exactly this slot's stale bytes —
+        # never the whole cache.  Stored as a single tuple so
+        # assignment is atomic across the evaluator threads.
         self.rendered: Optional[Tuple[str, bytes]] = None
         segments = []
         for i, (m, u) in enumerate(zip(plan.metrics, plan.units)):
@@ -355,15 +358,15 @@ class ServeApp:
             return Response.error(500, f"machine catalog is broken: {e}")
         entries = []
         for rm in machines:
+            key = self.registry.key_for_machine(rm)
             entries.append(
                 {
                     "name": rm.name,
                     "description": rm.description,
                     "config_label": rm.to_machine_config().label(),
                     "default": rm.name == DEFAULT_MACHINE,
-                    "warm": self.registry.is_warm(
-                        self.registry.key_for_machine(rm)
-                    ),
+                    "warm": self.registry.is_warm(key),
+                    "version": self.registry.active_version(key),
                     "cache_key": rm.cache_key,
                 }
             )
@@ -451,7 +454,26 @@ class ServeApp:
             if request.method != "POST":
                 return Response.error(405, f"{route} only supports POST")
             return await self._query(route, request)
+        if route in _ADMIN_ROUTES:
+            if request.method != "POST":
+                return Response.error(405, f"{route} only supports POST")
+            return await self._admin_reload()
         return Response.error(404, f"no route {route!r}")
+
+    async def _admin_reload(self) -> Response:
+        """``POST /v1/admin/reload``: hot-swap to the store's manifest.
+
+        Re-reads the version manifest and atomically swaps each slot's
+        active artifact.  Runs in a worker thread (manifest + version
+        reads are disk I/O) while in-flight batches keep evaluating on
+        the artifacts they already hold — the swap drops no work.
+        """
+        try:
+            summary = await asyncio.to_thread(self.registry.reload)
+        except ReproError as e:
+            counter("serve.errors").inc()
+            return Response.error(500, f"reload failed: {e}")
+        return Response.json({"status": "ok", "slots": summary})
 
     def _healthz(self) -> Response:
         return Response.json(
@@ -543,7 +565,9 @@ class ServeApp:
                     if entry is not None:
                         try:
                             artifacts[key] = await self._artifact_for(
-                                entry.machine, entry.config
+                                entry.machine,
+                                entry.config,
+                                item.get("ck", key),
                             )
                             plans[key] = entry
                         except ProtocolError as e:
@@ -581,7 +605,9 @@ class ServeApp:
                     continue
                 try:
                     artifacts[key] = await self._artifact_for(
-                        body.get("machine"), body.get("config")
+                        body.get("machine"),
+                        body.get("config"),
+                        item.get("ck", key),
                     )
                 except ProtocolError as e:
                     errors[key] = _error_outcome(e.status, str(e))
@@ -624,12 +650,24 @@ class ServeApp:
 
         return await asyncio.to_thread(evaluate)
 
-    async def _artifact_for(self, machine_name: Any, config: Any) -> Artifact:
-        """Warm (or single-flight fit) the artifact a body routes to."""
+    async def _artifact_for(
+        self,
+        machine_name: Any,
+        config: Any,
+        content_key: Optional[str] = None,
+    ) -> Artifact:
+        """Warm (or single-flight fit) the artifact a body routes to.
+
+        The query's content key rides along so the registry can route
+        it over the canary :class:`~repro.serve.router.VersionRing`
+        when the slot has a live canary version.
+        """
         if machine_name is not None:
             rm = self._resolve_machine(machine_name)
-            return await self.registry.get_machine(rm)
-        return await self.registry.get(config_from_json(config))
+            return await self.registry.get_machine(rm, content_key)
+        return await self.registry.get(
+            config_from_json(config), content_key
+        )
 
     # -- vectorized predict path --------------------------------------------
 
@@ -689,14 +727,20 @@ class ServeApp:
         groups: "OrderedDict[str, List[Tuple[str, _PlanEntry, Artifact]]]"
         groups = OrderedDict()
         for key, entry, artifact in items:
-            groups.setdefault(artifact.key, []).append((key, entry, artifact))
+            # Group (and cache rendered bytes) by *identity*, not slot:
+            # during a canary split or right after a hot swap one slot
+            # legitimately serves two versions in the same window, and
+            # their responses must never share a fused sweep or bytes.
+            groups.setdefault(artifact.identity, []).append(
+                (key, entry, artifact)
+            )
         for group in groups.values():
             artifact = group[0][2]
             cap = artifact.capability
             ready: List[Tuple[str, _PlanEntry]] = []
             for key, entry, _art in group:
                 cached = entry.rendered
-                if cached is not None and cached[0] == artifact.key:
+                if cached is not None and cached[0] == artifact.identity:
                     counter("serve.vector.render_cache.hits").inc()
                     out[key] = _Outcome(
                         status=200, payload=None, _body=cached[1]
@@ -731,7 +775,7 @@ class ServeApp:
             for (key, entry), vals in zip(ready, values):
                 body = entry.render(cap.config_label, artifact.machine, vals)
                 if body is not None:
-                    entry.rendered = (artifact.key, body)
+                    entry.rendered = (artifact.identity, body)
                     out[key] = _Outcome(
                         status=200, payload=None, _body=body
                     )

@@ -512,7 +512,13 @@ class Fleet:
         if route == "/v1/machines":
             if request.method != "GET":
                 return Response.error(405, "/v1/machines only supports GET")
-            return self._machines()
+            return await self._machines()
+        if route == "/v1/admin/reload":
+            if request.method != "POST":
+                return Response.error(
+                    405, "/v1/admin/reload only supports POST"
+                )
+            return await self._admin_reload()
         if route in _POST_ROUTES:
             if request.method != "POST":
                 return Response.error(405, f"{route} only supports POST")
@@ -539,13 +545,79 @@ class Fleet:
             status=http,
         )
 
-    def _machines(self) -> Response:
-        """``GET /v1/machines`` answered at the front end.
+    async def _admin_reload(self) -> Response:
+        """``POST /v1/admin/reload`` broadcast: hot-swap fleet-wide.
 
-        The catalog is a property of the installation, not of any one
-        worker, so no relay.  ``warm`` is ``null``: with content-keyed
+        Every up worker re-reads the shared store manifest and swaps
+        its active artifacts; in-flight proxied requests finish on the
+        old version (each worker's reload never drops admitted work).
+        ``"ok"`` only when *every* up worker reloaded; a worker that
+        errored (or was down) makes the verdict ``"partial"`` so the
+        operator knows the fleet is serving mixed versions.
+        """
+        counter("serve.fleet.reloads").inc()
+        workers_doc: Dict[str, Any] = {}
+        ok = True
+        up = self.up_workers()
+        if not up:
+            return Response.error(
+                503, "no worker available to reload; retry shortly",
+                headers={"Retry-After": "1"},
+            )
+
+        async def reload_one(worker: _Worker) -> Tuple[str, Dict[str, Any]]:
+            assert worker.client is not None
+            try:
+                status, _, raw = await worker.client.request_bytes(
+                    "POST", "/v1/admin/reload", b"", timeout=30.0
+                )
+            except (
+                OSError,
+                ConnectionError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+            ) as e:
+                return worker.name, {
+                    "status": "error",
+                    "error": f"{type(e).__name__}: {e}",
+                }
+            if status != 200:
+                return worker.name, {
+                    "status": "error",
+                    "error": f"worker answered {status}",
+                }
+            try:
+                doc = json.loads(raw)
+            except ValueError:
+                doc = {}
+            return worker.name, {
+                "status": "ok",
+                "slots": doc.get("slots", {}),
+            }
+
+        for name, doc in await asyncio.gather(
+            *(reload_one(w) for w in up)
+        ):
+            workers_doc[name] = doc
+            if doc["status"] != "ok":
+                ok = False
+        for name, worker in sorted(self._workers.items()):
+            if name not in workers_doc:
+                workers_doc[name] = {"status": worker.state}
+                ok = False
+        return Response.json(
+            {"status": "ok" if ok else "partial", "workers": workers_doc}
+        )
+
+    async def _machines(self) -> Response:
+        """``GET /v1/machines`` aggregated across the fleet.
+
+        The catalog itself is a property of the installation, but
+        warm/version state lives in the workers: with content-keyed
         routing each preset's artifact warms on whichever worker owns
-        its queries, and the front end doesn't track that.
+        its queries.  The front end asks every up worker and reports
+        both the aggregate (``warm`` = warm anywhere) and the
+        per-worker breakdown — this used to answer ``warm: null``.
         """
         from repro.errors import ReproError
         from repro.machines import (
@@ -558,20 +630,60 @@ class Fleet:
             machines = list_machines()
         except ReproError as e:
             return Response.error(500, f"machine catalog is broken: {e}")
+
+        async def ask(worker: _Worker) -> Tuple[str, Dict[str, Any]]:
+            assert worker.client is not None
+            try:
+                status, _, raw = await worker.client.request_bytes(
+                    "GET", "/v1/machines",
+                    timeout=self.config.health_timeout_s,
+                )
+                if status == 200:
+                    doc = json.loads(raw)
+                    return worker.name, {
+                        m["name"]: m for m in doc.get("machines", [])
+                    }
+            except (
+                OSError,
+                ConnectionError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ValueError,
+                KeyError,
+                TypeError,
+            ):
+                pass
+            return worker.name, {}
+
+        reports = dict(
+            await asyncio.gather(*(ask(w) for w in self.up_workers()))
+        )
+        entries = []
+        for rm in machines:
+            workers_doc = {}
+            for wname in sorted(reports):
+                entry = reports[wname].get(rm.name)
+                if entry is None:
+                    continue
+                workers_doc[wname] = {
+                    "warm": bool(entry.get("warm")),
+                    "version": entry.get("version"),
+                }
+            entries.append(
+                {
+                    "name": rm.name,
+                    "description": rm.description,
+                    "config_label": rm.to_machine_config().label(),
+                    "default": rm.name == DEFAULT_MACHINE,
+                    "warm": any(w["warm"] for w in workers_doc.values()),
+                    "workers": workers_doc,
+                    "cache_key": rm.cache_key,
+                }
+            )
         return Response.json(
             {
                 "schema_version": MACHINES_SCHEMA_VERSION,
-                "machines": [
-                    {
-                        "name": rm.name,
-                        "description": rm.description,
-                        "config_label": rm.to_machine_config().label(),
-                        "default": rm.name == DEFAULT_MACHINE,
-                        "warm": None,
-                        "cache_key": rm.cache_key,
-                    }
-                    for rm in machines
-                ],
+                "machines": entries,
             }
         )
 

@@ -100,6 +100,63 @@ class HashRing:
         return self._owners[at % len(self._points)]
 
 
+class VersionRing:
+    """Canary split on the consistent-hash ring: content key → version
+    role (``"canary"`` or ``"stable"``).
+
+    The same construction as :class:`HashRing`, but the two "nodes" are
+    artifact versions: ``points`` virtual points are placed at the
+    SHA-256 positions of ``"version#i"`` and the lowest
+    ``round(points * percent / 100)`` indices belong to the canary.
+    Because the point *positions* are fixed and only the labeling moves,
+    raising the percent strictly grows the canary's keyspace — a key
+    that was on canary at 10% is still on canary at 25% — so ramping a
+    canary never flaps traffic back and forth.  Every process builds
+    the identical ring from the percent alone, which is how fleet
+    workers agree on the split without coordination.
+    """
+
+    #: Virtual points: enough that the realized keyspace share tracks
+    #: the requested percent within a few points either way.
+    DEFAULT_POINTS = 128
+
+    def __init__(self, percent: float, points: int = DEFAULT_POINTS) -> None:
+        if not (0 <= percent <= 100):
+            raise ConfigurationError(
+                f"canary percent must be within [0, 100], got {percent!r}"
+            )
+        if points < 1:
+            raise ConfigurationError("version ring needs >= 1 point")
+        self.percent = float(percent)
+        self.points = points
+        canary_count = round(points * self.percent / 100.0)
+        placed = sorted(
+            (HashRing._point(f"version#{i}"), i < canary_count)
+            for i in range(points)
+        )
+        self._points: List[int] = [p for p, _ in placed]
+        self._canary: List[bool] = [c for _, c in placed]
+
+    def version_for(self, key: str) -> str:
+        """``"canary"`` or ``"stable"`` for a query content key — the
+        same bisect semantics as :meth:`HashRing.node_for`."""
+        at = bisect.bisect_right(self._points, HashRing._point(key))
+        return "canary" if self._canary[at % len(self._points)] else "stable"
+
+    def canary_share(self) -> float:
+        """The *exact* keyspace fraction the canary owns — what the
+        observed ``serve.store.requests`` split converges to under a
+        uniform key workload (the smoke test's reference value)."""
+        span = 1 << 64
+        total = 0
+        for i, point in enumerate(self._points):
+            if not self._canary[i]:
+                continue
+            prev = self._points[i - 1] if i else self._points[-1] - span
+            total += point - prev
+        return total / span
+
+
 class WorkerClient:
     """Pooled keep-alive connections from the front end to one worker.
 

@@ -1,0 +1,38 @@
+"""``repro.store`` — the versioned artifact store.
+
+A persistent, content-addressed home for fitted capability-model
+artifacts: immutable :class:`~repro.store.records.VersionRecord` files
+on disk (under the same :func:`repro.runtime.cache.cache_key` scheme as
+every other cache), an in-process memory tier, and an explicit per-slot
+manifest (``latest``, ``canary``, pinned tags) with atomic publish.
+
+The serving layer's :class:`~repro.serve.artifacts.ArtifactRegistry`
+is a thin view over this store; ``repro store`` is the operator CLI;
+docs/STORE.md walks the version lifecycle and the canary workflow.
+"""
+
+from repro.store.records import (
+    LEGACY_ARTIFACT_SCHEMA_VERSION,
+    STORE_SCHEMA_VERSION,
+    StoreError,
+    VersionRecord,
+    record_from_dict,
+    version_id_for,
+)
+from repro.store.store import (
+    MANIFEST_SCHEMA_VERSION,
+    ArtifactStore,
+    SlotState,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "LEGACY_ARTIFACT_SCHEMA_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "SlotState",
+    "StoreError",
+    "VersionRecord",
+    "record_from_dict",
+    "version_id_for",
+]

@@ -1,0 +1,203 @@
+"""Immutable version records — the store's on-disk unit.
+
+A record is one published artifact version: the model payload
+(``CapabilityModel.to_dict()`` — treated as opaque JSON here, so the
+store can also hold offline-fitted or experimental payloads), the slot
+it belongs to, machine/preset identity, fit provenance, its parent
+version, and a caller-supplied timestamp.  **No wall-clock reads**
+happen in this module or in :mod:`repro.store.store` (DET rules apply:
+``store/`` is in the lint's determinism scope); timestamps enter as
+parameters at the CLI/serve edge.
+
+Version ids are content addresses: SHA-256 over ``(slot, payload)``
+through :func:`repro.runtime.cache.cache_key`.  Two consequences the
+serving layer leans on:
+
+* republishing a byte-identical payload dedups to the *same* version id
+  (concurrent publishes single-flight for free, and a republished
+  identical artifact serves byte-identical responses);
+* the id excludes parent/timestamp, so provenance edits can never fork
+  the content address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.runtime.cache import cache_key
+
+#: Bump when the on-disk version-record layout changes.  Schema 1 is the
+#: pre-store flat artifact file (``<slot>.json``), still readable via
+#: :func:`record_from_dict` migration.
+STORE_SCHEMA_VERSION = 2
+
+#: The legacy (PR 3) flat artifact-file schema, kept as a named constant
+#: so the migration path never hardcodes a bare literal (REG002).
+LEGACY_ARTIFACT_SCHEMA_VERSION = 1
+
+
+class StoreError(ReproError):
+    """Artifact-store failure: unknown version, schema mismatch,
+    manifest conflict."""
+
+
+def version_id_for(slot: str, payload: Mapping[str, Any]) -> str:
+    """Content address of one published payload in one slot.
+
+    Same scheme as every other cache key in the workbench (SHA-256 over
+    fingerprinted parts + ``repro.__version__``); parent links and
+    timestamps are deliberately excluded — identity is *what* is served,
+    not when or after what.
+    """
+    return cache_key(
+        scope="store.version",
+        schema=STORE_SCHEMA_VERSION,
+        slot=slot,
+        capability=dict(payload),
+    )
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One immutable published artifact version."""
+
+    version_id: str
+    #: The serving slot (the registry's content-addressed artifact key).
+    slot: str
+    #: Opaque model payload (``CapabilityModel.to_dict()`` in practice).
+    capability: Dict[str, Any] = field(repr=False)
+    #: Catalog preset name, or ``None`` for raw-config artifacts.
+    machine: Optional[str] = None
+    config_label: str = ""
+    #: Version id this one was published on top of (``None`` = root).
+    parent: Optional[str] = None
+    #: Caller-supplied publish time (unix seconds); never read here.
+    created_at: float = 0.0
+    iterations: Optional[int] = None
+    seed: Optional[int] = None
+    fit_seconds: float = 0.0
+    notes: Optional[str] = None
+
+    @property
+    def short_id(self) -> str:
+        return self.version_id[:12]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical disk form; :func:`record_from_dict` round-trips
+        it exactly."""
+        return {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "version_id": self.version_id,
+            "slot": self.slot,
+            "machine": self.machine,
+            "config_label": self.config_label,
+            "parent": self.parent,
+            "created_at": self.created_at,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "fit_seconds": self.fit_seconds,
+            "notes": self.notes,
+            "capability": dict(self.capability),
+        }
+
+
+def record_from_dict(
+    payload: Any, slot: Optional[str] = None
+) -> VersionRecord:
+    """Parse a version record, migrating legacy payloads.
+
+    Accepts the native schema (:data:`STORE_SCHEMA_VERSION`) and the
+    pre-store flat artifact file (schema
+    :data:`LEGACY_ARTIFACT_SCHEMA_VERSION`, whose ``key`` becomes the
+    slot and whose version id is derived from the content).  A *future*
+    schema is rejected loudly — by name — rather than half-parsed:
+    accepting a file written by a newer writer is how fleets serve
+    garbage.
+    """
+    if not isinstance(payload, Mapping):
+        raise StoreError(
+            f"version record must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    schema = payload.get("schema_version")
+    if schema == STORE_SCHEMA_VERSION:
+        return _from_native(payload)
+    if schema == LEGACY_ARTIFACT_SCHEMA_VERSION:
+        return _from_legacy(payload, slot)
+    if isinstance(schema, int) and schema > STORE_SCHEMA_VERSION:
+        raise StoreError(
+            f"version record has schema_version {schema}, newer than "
+            f"this build's supported {STORE_SCHEMA_VERSION} — upgrade "
+            f"repro before reading this store"
+        )
+    raise StoreError(
+        f"version record has unrecognized schema_version {schema!r} "
+        f"(supported: {LEGACY_ARTIFACT_SCHEMA_VERSION} legacy, "
+        f"{STORE_SCHEMA_VERSION} native)"
+    )
+
+
+def _require(payload: Mapping, *keys: str) -> Tuple[Any, ...]:
+    missing = [k for k in keys if k not in payload]
+    if missing:
+        raise StoreError(
+            f"version record is missing required field(s): {missing}"
+        )
+    return tuple(payload[k] for k in keys)
+
+
+def _from_native(payload: Mapping[str, Any]) -> VersionRecord:
+    version_id, slot, capability = _require(
+        payload, "version_id", "slot", "capability"
+    )
+    if not isinstance(capability, Mapping):
+        raise StoreError("record 'capability' must be a JSON object")
+    return VersionRecord(
+        version_id=str(version_id),
+        slot=str(slot),
+        capability=dict(capability),
+        machine=payload.get("machine"),
+        config_label=str(payload.get("config_label") or ""),
+        parent=payload.get("parent"),
+        created_at=float(payload.get("created_at") or 0.0),
+        iterations=payload.get("iterations"),
+        seed=payload.get("seed"),
+        fit_seconds=float(payload.get("fit_seconds") or 0.0),
+        notes=payload.get("notes"),
+    )
+
+
+def _from_legacy(
+    payload: Mapping[str, Any], slot: Optional[str]
+) -> VersionRecord:
+    """Migrate a pre-store flat artifact file.
+
+    The legacy layout has no version identity and no lineage; the slot
+    is its ``key`` field (or the caller's, for files renamed on disk),
+    the version id is derived from the content, and ``created_at`` is 0
+    — "before the store existed".
+    """
+    (capability,) = _require(payload, "capability")
+    if not isinstance(capability, Mapping):
+        raise StoreError("legacy artifact 'capability' must be an object")
+    resolved_slot = payload.get("key") or slot
+    if not resolved_slot:
+        raise StoreError(
+            "legacy artifact has no 'key' and no slot was supplied"
+        )
+    capability = dict(capability)
+    return VersionRecord(
+        version_id=version_id_for(str(resolved_slot), capability),
+        slot=str(resolved_slot),
+        capability=capability,
+        machine=payload.get("machine"),
+        config_label=str(payload.get("config_label") or ""),
+        parent=None,
+        created_at=0.0,
+        iterations=payload.get("iterations"),
+        seed=payload.get("seed"),
+        fit_seconds=float(payload.get("fit_seconds") or 0.0),
+        notes="migrated from legacy artifact file",
+    )

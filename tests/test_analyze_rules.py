@@ -498,6 +498,21 @@ class TestREG002SchemaVersionLiteral:
         )
         assert ids(found) == ["REG002"]
 
+    def test_flags_subscript_assignment(self):
+        """The store-manifest shape of the mistake: a writer patching a
+        loaded document in place."""
+        found = lint(
+            """
+            def migrate(doc):
+                doc["schema_version"] = 3
+                return doc
+            """,
+            path="src/repro/store/store.py",
+            rules=["REG002"],
+        )
+        assert ids(found) == ["REG002"]
+        assert "subscript" in found[0].message
+
     def test_constant_reference_is_clean(self):
         found = lint(
             """
@@ -505,7 +520,10 @@ class TestREG002SchemaVersionLiteral:
 
             def manifest(write):
                 write(schema_version=MANIFEST_SCHEMA_VERSION)
-                return {"schema_version": MANIFEST_SCHEMA_VERSION}
+                doc = {"schema_version": MANIFEST_SCHEMA_VERSION}
+                doc["schema_version"] = MANIFEST_SCHEMA_VERSION
+                doc["other_key"] = 3
+                return doc
             """,
             path="src/repro/runtime/progress.py",
             rules=["REG002"],

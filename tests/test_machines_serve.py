@@ -221,7 +221,7 @@ class TestRegistryMachineIdentity:
             return await reader.get_machine(rm)
 
         artifact = run(go())
-        assert artifact.source == "disk"
+        assert artifact.source == "store"
         assert artifact.machine == "knl-7250"
 
 
@@ -249,5 +249,12 @@ class TestFleetMachines:
         assert status == 200
         names = [m["name"] for m in body["machines"]]
         assert len(names) >= 4 and "numa-2s" in names
-        # The front end doesn't track worker warmth.
-        assert all(m["warm"] is None for m in body["machines"])
+        # Warmth aggregates across workers (a bool plus the per-worker
+        # breakdown — the old front end answered null here).
+        for m in body["machines"]:
+            assert isinstance(m["warm"], bool)
+            assert set(m["workers"]) == {"w0"}
+            # Only the raw default config was preloaded; every preset
+            # is cold on the lone worker.
+            assert m["warm"] is False
+            assert m["workers"]["w0"]["version"] is None

@@ -128,28 +128,56 @@ class TestRegistry:
 
 
 class TestDiskPersistence:
-    def test_fit_persists_and_a_new_registry_loads_it(
+    def test_fit_publishes_and_a_new_registry_loads_it(
         self, tmp_path, snc4_flat_config
     ):
+        from repro.store import STORE_SCHEMA_VERSION
+
         reg = ArtifactRegistry(
             iterations=2, directory=str(tmp_path), persist=True
         )
         fitted = run(reg.get(snc4_flat_config))
         assert fitted.source == "fit" and fitted.fit_seconds > 0
+        assert fitted.version is not None
 
-        path = tmp_path / f"{fitted.key}.json"
+        # The fit published an immutable version record into the store.
+        path = tmp_path / "versions" / f"{fitted.version}.json"
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert payload["schema_version"] == STORE_SCHEMA_VERSION
+        assert payload["slot"] == fitted.key
 
         fresh = ArtifactRegistry(
             iterations=2, directory=str(tmp_path), persist=True
         )
         loaded = run(fresh.get(snc4_flat_config))
-        assert loaded.source == "disk"
+        assert loaded.source == "store"
+        assert loaded.version == fitted.version
         assert loaded.capability.RL == pytest.approx(fitted.capability.RL)
         assert loaded.capability.r_memory == pytest.approx(
             fitted.capability.r_memory
         )
+
+    def test_legacy_flat_artifact_file_is_adopted(
+        self, tmp_path, snc4_flat_config, capability
+    ):
+        """A pre-store `<key>.json` still serves (migrated, not refit)."""
+        reg = ArtifactRegistry(
+            iterations=2, directory=str(tmp_path), persist=True
+        )
+        key = reg.key_for(snc4_flat_config)
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps(
+                {
+                    "schema_version": ARTIFACT_SCHEMA_VERSION,
+                    "key": key,
+                    "capability": capability.to_dict(),
+                }
+            )
+        )
+        loaded = run(reg.get(snc4_flat_config))
+        assert loaded.source == "disk"
+        assert loaded.version is not None
+        assert loaded.capability.RL == pytest.approx(capability.RL)
 
     def test_corrupt_artifact_refits_instead_of_failing(
         self, tmp_path, snc4_flat_config

@@ -432,6 +432,88 @@ class TestFleetDrain:
         run(go())
 
 
+class TestFleetReload:
+    def test_reload_broadcast_swaps_every_worker(
+        self, capability, snc4_flat_config, tmp_path
+    ):
+        """Publish v2 into the shared store directory, broadcast one
+        ``POST /v1/admin/reload`` through the front end, and every
+        worker serves the new model — no restarts anywhere."""
+        from repro.serve.artifacts import ArtifactRegistry
+
+        store_dir = str(tmp_path / "artifacts")
+        parent = ArtifactRegistry(directory=store_dir, persist=True)
+        parent.preload(snc4_flat_config, capability, persist=True)
+        slot = parent.key_for(snc4_flat_config)
+        v2_payload = capability.to_dict()
+        v2_payload["r_local"] = v2_payload["r_local"] + 1.0
+
+        async def go():
+            fleet = make_fleet(
+                capability,
+                worker=ServeConfig(
+                    persist_artifacts=True, artifact_dir=store_dir
+                ),
+            )
+            host, port = await fleet.start()
+            try:
+                _, _, out = await http_request(
+                    host, port, "POST", "/v1/predict", PREDICT_BODY
+                )
+                assert out["results"][0]["value"] == pytest.approx(
+                    capability.RL
+                )
+                parent.store.publish(slot, v2_payload, timestamp=1.0)
+                status, _, doc = await http_request(
+                    host, port, "POST", "/v1/admin/reload"
+                )
+                assert status == 200 and doc["status"] == "ok"
+                assert set(doc["workers"]) == {"w0", "w1"}
+                for worker_doc in doc["workers"].values():
+                    assert worker_doc["status"] == "ok"
+                    assert worker_doc["slots"][slot]["swapped"] is True
+                # Distinct bodies land on *both* workers; each must
+                # serve v2 now.
+                for n in range(1, 9):
+                    _, _, out = await http_request(
+                        host, port, "POST", "/v1/predict",
+                        {"queries": [
+                            {"metric": "latency", "location": "local"},
+                            {"metric": "contention", "n": n},
+                        ]},
+                    )
+                    assert out["results"][0]["value"] == pytest.approx(
+                        capability.RL + 1.0
+                    )
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+    def test_machines_endpoint_aggregates_worker_warmth(self, capability):
+        """Regression for the front-end bug that answered ``warm=null``
+        for every preset: the fleet now asks its workers and reports
+        per-worker warmth plus the aggregate."""
+
+        async def go():
+            fleet = make_fleet(capability)
+            host, port = await fleet.start()
+            try:
+                status, _, doc = await http_request(
+                    host, port, "GET", "/v1/machines"
+                )
+                assert status == 200 and doc["machines"]
+                for m in doc["machines"]:
+                    assert isinstance(m["warm"], bool)
+                    assert set(m["workers"]) == {"w0", "w1"}
+                    for worker_doc in m["workers"].values():
+                        assert isinstance(worker_doc["warm"], bool)
+            finally:
+                await fleet.stop()
+
+        run(go())
+
+
 class TestCliSignalDrain:
     def test_sigterm_drains_single_process_serve(self, tmp_path):
         """Regression for the satellite bugfix: SIGTERM used to kill
