@@ -2,7 +2,11 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-only experiments examples outputs clean
+.PHONY: install test lint lint-fast bench bench-only experiments examples outputs clean
+
+# Semantic-lint cache shared by lint / lint-fast (content-addressed:
+# stale entries are overwritten, never trusted).
+LINT_CACHE ?= .lint-cache
 
 install:
 	pip install -e '.[test]' || pip install -e . --no-build-isolation
@@ -11,7 +15,12 @@ test:
 	$(PY) -m pytest tests/
 
 lint:
-	$(PY) -m repro lint --baseline
+	$(PY) -m repro lint --baseline --cache-dir $(LINT_CACHE)
+
+# Pre-commit loop: only files changed vs HEAD plus their transitive
+# importers (per the import map the full pass caches), warm-served.
+lint-fast:
+	$(PY) -m repro lint --changed --cache-dir $(LINT_CACHE)
 
 bench:
 	$(PY) -m pytest benchmarks/

@@ -9,7 +9,7 @@ characterization needs to the scheduler.  This package checks those
 contracts statically, with stdlib :mod:`ast` only:
 
 * a pluggable rule framework (:class:`Rule`, :class:`Finding`,
-  :class:`Severity`, ``# repro: noqa[RULE]`` line / ``noqa-file``
+  :class:`Severity`, ``repro: noqa[RULE]`` line / ``noqa-file``
   module suppression);
 * an engine walking a source tree with parent/scope tracking
   (:func:`analyze_paths`, :func:`analyze_source`);

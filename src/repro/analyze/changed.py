@@ -1,0 +1,142 @@
+"""``repro lint --changed``: scan what an edit can actually affect.
+
+The fast pre-commit loop: ask git which files differ from a ref
+(default ``HEAD``), then widen the set along the *import graph* — a
+file whose dependency changed can pick up new FLOW/RACE findings
+without being edited itself, so linting the diff alone would under-
+report exactly the rules this subsystem exists for.
+
+The import graph comes from the ``importmap.json`` sidecar the engine
+writes into the semantic cache directory after every cached pass
+(:data:`repro.analyze.engine.IMPORTMAP_FILENAME`).  The sidecar
+describes the tree as of the last full pass; that is sound here
+because an unchanged file's imports cannot have changed, so every
+reverse edge *into* the changed set is current — only edges between
+two changed files could be stale, and those files are already
+selected.  With no sidecar yet (first run), the changed files alone
+are scanned and the caller is told so.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import AnalysisError
+from repro.analyze.engine import IMPORTMAP_FILENAME
+from repro.analyze.semantic import module_name_for_path
+
+
+@dataclass
+class ChangedSet:
+    """Outcome of change discovery: what to lint and why."""
+
+    #: Repo-relative posix paths of files git reports as changed.
+    changed: List[str] = field(default_factory=list)
+    #: Additional files pulled in as transitive importers.
+    dependents: List[str] = field(default_factory=list)
+    #: True when no import map was available to widen the set.
+    importmap_missing: bool = False
+
+    @property
+    def paths(self) -> List[str]:
+        return sorted(set(self.changed) | set(self.dependents))
+
+
+def git_changed_files(root: str, ref: str = "HEAD") -> List[str]:
+    """Repo-relative ``.py`` files that differ from ``ref``: committed
+    diffs, staged and unstaged edits, plus untracked files."""
+
+    def run(*argv: str) -> List[str]:
+        try:
+            proc = subprocess.run(
+                ["git", *argv],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except FileNotFoundError as e:
+            raise AnalysisError("--changed needs git on PATH") from e
+        except subprocess.CalledProcessError as e:
+            raise AnalysisError(
+                f"git {' '.join(argv)} failed: {e.stderr.strip()}"
+            ) from e
+        return [ln.strip() for ln in proc.stdout.splitlines() if ln.strip()]
+
+    files = run("diff", "--name-only", ref, "--") + run(
+        "ls-files", "--others", "--exclude-standard"
+    )
+    out: List[str] = []
+    seen: Set[str] = set()
+    for rel in files:
+        if rel.endswith(".py") and rel not in seen:
+            seen.add(rel)
+            out.append(rel)
+    return out
+
+
+def load_importmap(cache_dir: str) -> Optional[Dict[str, object]]:
+    path = os.path.join(cache_dir, IMPORTMAP_FILENAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (ValueError, OSError):
+        return None
+    if not isinstance(doc, dict) or "modules" not in doc:
+        return None
+    return doc
+
+
+def changed_set(
+    root: str, ref: str = "HEAD", cache_dir: Optional[str] = None
+) -> ChangedSet:
+    """Changed files vs ``ref`` plus their transitive importers."""
+    changed = [
+        rel
+        for rel in git_changed_files(root, ref)
+        if os.path.exists(os.path.join(root, rel))  # deletions drop out
+    ]
+    result = ChangedSet(changed=changed)
+    importmap = load_importmap(cache_dir) if cache_dir else None
+    if importmap is None:
+        result.importmap_missing = True
+        return result
+    imports: Dict[str, List[str]] = importmap["modules"]
+    path_of: Dict[str, str] = {
+        mod: path for path, mod in importmap.get("paths", {}).items()
+    }
+    reverse: Dict[str, Set[str]] = {}
+    for mod, deps in imports.items():
+        for dep in deps:
+            target = _nearest(dep, imports)
+            if target is not None and target != mod:
+                reverse.setdefault(target, set()).add(mod)
+    frontier = [module_name_for_path(rel) for rel in changed]
+    closure: Set[str] = set()
+    while frontier:
+        mod = frontier.pop()
+        if mod in closure:
+            continue
+        closure.add(mod)
+        frontier.extend(reverse.get(mod, ()))
+    changed_mods = {module_name_for_path(rel) for rel in changed}
+    for mod in sorted(closure - changed_mods):
+        path = path_of.get(mod)
+        if path and os.path.exists(os.path.join(root, path)):
+            result.dependents.append(path)
+    return result
+
+
+def _nearest(dotted: str, known: Dict[str, List[str]]) -> Optional[str]:
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in known:
+            return candidate
+    return None

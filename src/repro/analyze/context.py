@@ -1,7 +1,7 @@
 """Per-file analysis context shared by every rule.
 
 One :class:`FileContext` per source file: the parsed AST with parent
-links, the raw source lines, the ``# repro: noqa[...]`` suppression
+links, the raw source lines, the ``repro: noqa[...]`` suppression
 map, and the path classification helpers rules scope themselves with
 (``subsystem()`` — which top-level ``repro`` subpackage the file lives
 in).  Building this once and handing it to every rule keeps each rule a
@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import ast
 import re
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-#: ``# repro: noqa`` / ``# repro: noqa[DET001, ASY]`` (line-scoped) and
-#: ``# repro: noqa-file[...]`` (whole-file).  A bare ``noqa`` suppresses
+#: ``repro: noqa`` / ``repro: noqa[DET001, ASY]`` comments (line-scoped)
+#: and ``repro: noqa-file[...]`` (whole-file).  A bare ``noqa`` suppresses
 #: every rule; ``DET`` (a family prefix) suppresses ``DET001``-``DET999``.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
@@ -23,6 +24,143 @@ _NOQA_RE = re.compile(
 
 #: Matches every rule (bare ``noqa``).
 ALL_RULES = "*"
+
+
+def _iter_comments(lines: List[str]):
+    """Yield ``(line_no, col0, text)`` for every ``#`` comment.
+
+    Tokenizes so marker-lookalike text inside *string literals* — this
+    repo's own lint-test fixtures are full of them — is never treated
+    as a live suppression.  Falls back to a whole-line scan if the
+    tokenizer chokes (it should not: the caller already parsed the
+    file), which can only over-report markers, never lose one.
+    """
+    import tokenize
+
+    feed = iter(lines)
+
+    def readline() -> str:
+        try:
+            return next(feed) + "\n"
+        except StopIteration:
+            return ""
+
+    try:
+        tokens = list(tokenize.generate_tokens(readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for i, line in enumerate(lines, start=1):
+            pos = line.find("#")
+            if pos != -1:
+                yield i, pos, line[pos:]
+        return
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            yield tok.start[0], tok.start[1], tok.string
+
+
+@dataclass
+class NoqaMarker:
+    """One ``repro: noqa`` comment, with per-token usage tracking.
+
+    ``used`` records which of the marker's id tokens actually
+    suppressed a finding this pass — the raw material for SUP001
+    (stale-suppression detection) and ``--show-suppressed``.
+    """
+
+    line: int
+    col: int
+    ids: Tuple[str, ...]
+    file_level: bool = False
+    used: Set[str] = field(default_factory=set)
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "ids": list(self.ids),
+            "file_level": self.file_level,
+            "used": sorted(self.used),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "NoqaMarker":
+        return cls(
+            line=doc["line"],
+            col=doc["col"],
+            ids=tuple(doc["ids"]),
+            file_level=doc["file_level"],
+            used=set(doc.get("used", ())),
+        )
+
+
+class NoqaMap:
+    """The suppression markers of one file, queryable without its AST.
+
+    Lives apart from :class:`FileContext` so the engine can filter
+    *project-rule* findings for files whose per-file pass came from the
+    semantic cache (no re-parse, no context object).
+    """
+
+    def __init__(self, markers: List[NoqaMarker]) -> None:
+        self.markers = list(markers)
+
+    @classmethod
+    def parse(cls, lines: List[str]) -> "NoqaMap":
+        markers: List[NoqaMarker] = []
+        for i, col0, comment in _iter_comments(lines):
+            m = _NOQA_RE.search(comment)
+            if m is None:
+                continue
+            rules = m.group("rules")
+            ids = (
+                (ALL_RULES,)
+                if rules is None
+                else tuple(
+                    sorted({r.strip() for r in rules.split(",") if r.strip()})
+                )
+            )
+            markers.append(
+                NoqaMarker(
+                    line=i,
+                    col=col0 + m.start() + 1,
+                    ids=ids,
+                    file_level=bool(m.group("file")),
+                )
+            )
+        return cls(markers)
+
+    def suppress(self, rule_id: str, line: int) -> List[NoqaMarker]:
+        """The markers suppressing ``rule_id`` at ``line`` (empty =
+        not suppressed).  Marks the matching token used on every
+        covering marker — SUP001 bookkeeping."""
+        matched: List[NoqaMarker] = []
+        for marker in self.markers:
+            if not marker.file_level and marker.line != line:
+                continue
+            token = _matching_token(marker.ids, rule_id)
+            if token is not None:
+                marker.used.add(token)
+                matched.append(marker)
+        return matched
+
+    def to_dicts(self) -> List[dict]:
+        return [m.to_dict() for m in self.markers]
+
+    @classmethod
+    def from_dicts(cls, docs: List[dict]) -> "NoqaMap":
+        return cls([NoqaMarker.from_dict(d) for d in docs])
+
+
+def _matching_token(tokens: Tuple[str, ...], rule_id: str) -> Optional[str]:
+    """The token of ``tokens`` that covers ``rule_id``, if any."""
+    if rule_id in tokens:
+        return rule_id
+    family = rule_id.rstrip("0123456789")
+    if family in tokens:
+        return family
+    if ALL_RULES in tokens:
+        return ALL_RULES
+    return None
 
 
 class FileContext:
@@ -38,7 +176,7 @@ class FileContext:
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 self._parents[child] = parent
-        self._line_noqa, self._file_noqa = _parse_noqa(self.lines)
+        self.noqa = NoqaMap.parse(self.lines)
 
     # -- path classification ------------------------------------------------
 
@@ -103,10 +241,9 @@ class FileContext:
     # -- suppression --------------------------------------------------------
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        """Is ``rule_id`` noqa'd at ``line`` (1-based) or file-wide?"""
-        if _matches(self._file_noqa, rule_id):
-            return True
-        return _matches(self._line_noqa.get(line, set()), rule_id)
+        """Is ``rule_id`` noqa'd at ``line`` (1-based) or file-wide?
+        Marks the matching marker token(s) used (SUP001 bookkeeping)."""
+        return bool(self.noqa.suppress(rule_id, line))
 
     def snippet(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -129,38 +266,6 @@ class FileContext:
 
     def call_name(self, call: ast.Call) -> str:
         return self.dotted_name(call.func)
-
-
-def _parse_noqa(
-    lines: List[str],
-) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    per_line: Dict[int, Set[str]] = {}
-    per_file: Set[str] = set()
-    for i, line in enumerate(lines, start=1):
-        m = _NOQA_RE.search(line)
-        if m is None:
-            continue
-        rules = m.group("rules")
-        ids = (
-            {ALL_RULES}
-            if rules is None
-            else {r.strip() for r in rules.split(",") if r.strip()}
-        )
-        if m.group("file"):
-            per_file |= ids
-        else:
-            per_line.setdefault(i, set()).update(ids)
-    return per_line, per_file
-
-
-def _matches(suppressions: Set[str], rule_id: str) -> bool:
-    if not suppressions:
-        return False
-    if ALL_RULES in suppressions or rule_id in suppressions:
-        return True
-    # Family prefix: noqa[DET] covers DET001, DET002, ...
-    family = rule_id.rstrip("0123456789")
-    return family in suppressions
 
 
 def _names_in(node: ast.AST) -> Iterator[str]:

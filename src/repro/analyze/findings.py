@@ -41,6 +41,11 @@ class Finding:
     severity: Severity = Severity.WARNING
     #: The offending source line, stripped (for the text report).
     snippet: str = ""
+    #: End of the offending span (1-indexed line, 1-indexed *exclusive*
+    #: column, SARIF convention); 0 means unknown and is omitted from
+    #: serialized regions.
+    end_line: int = 0
+    end_col: int = 0
 
     def identity(self) -> str:
         """Stable content address for baseline bookkeeping.
@@ -71,7 +76,23 @@ class Finding:
             "severity": self.severity.value,
             "message": self.message,
             "snippet": self.snippet,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
         }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule_id=doc["rule"],
+            path=doc["path"],
+            line=doc["line"],
+            col=doc["col"],
+            message=doc["message"],
+            severity=Severity(doc["severity"]),
+            snippet=doc.get("snippet", ""),
+            end_line=doc.get("end_line", 0),
+            end_col=doc.get("end_col", 0),
+        )
 
     def to_text(self) -> str:
         return (

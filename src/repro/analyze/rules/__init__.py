@@ -4,8 +4,11 @@ Importing this package registers every rule: DET (determinism hazards
 in the simulation/model/runtime core), ASY (event-loop and shared-state
 discipline in serve/ and runtime/), UNIT (unit-convention violations
 against :mod:`repro.units`), REG (experiment-registry and schema
-contracts).  ``docs/LINTING.md`` is the human-facing catalog; a
-coverage test keeps the two in sync.
+contracts), and the whole-program packs riding the semantic layer —
+FLOW (cross-file blocking reachability and taint flow), RACE
+(loop-vs-worker shared-state races), OBS (metrics-glossary sync), SUP
+(stale suppressions).  ``docs/LINTING.md`` is the human-facing
+catalog; a coverage test keeps the two in sync.
 """
 
 from __future__ import annotations
@@ -18,8 +21,11 @@ from repro.analyze.rules.base import (
     register_rule,
 )
 
-# Importing the packs registers their rules.
+# Importing the packs registers their rules.  flow/race/obsdoc/sup
+# import the semantic layer, which imports vocabularies from asy/det —
+# keep those first.
 from repro.analyze.rules import asy, det, reg, unit  # noqa: F401  (import-for-effect)
+from repro.analyze.rules import flow, obsdoc, race, sup  # noqa: F401  (import-for-effect)
 
 __all__ = [
     "Rule",

@@ -5,7 +5,7 @@ A rule is a class with an ``id`` (``DET001``), a one-line ``name``, a
 SARIF rule table), a default :class:`~repro.analyze.findings.Severity`,
 and a ``check(ctx)`` generator yielding raw findings.  The engine owns
 suppression: rules yield every violation they see and the engine drops
-the ``# repro: noqa``'d ones (so ``--no-noqa`` style tooling stays
+the ``repro: noqa``'d ones (so ``--no-noqa`` style tooling stays
 possible and suppression behaves identically across rules).
 """
 
@@ -29,6 +29,11 @@ class Rule:
     rationale: str = ""
     severity: Severity = Severity.WARNING
 
+    @property
+    def help_uri(self) -> str:
+        """Anchor into the rule catalog (rendered into SARIF)."""
+        return f"docs/LINTING.md#{self.id.lower()}"
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
 
@@ -41,9 +46,50 @@ class Rule:
             path=ctx.path,
             line=line,
             col=getattr(node, "col_offset", 0) + 1,
+            end_line=getattr(node, "end_lineno", None) or 0,
+            end_col=(getattr(node, "end_col_offset", None) or -1) + 1,
             message=message,
             severity=self.severity,
             snippet=ctx.snippet(line),
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one file.
+
+    The engine runs ``check_project`` once per pass, after every file's
+    local pass, handing it the
+    :class:`~repro.analyze.semantic.ProjectModel` built from all
+    scanned files.  ``check`` is a no-op — per-file scoping happens
+    inside ``check_project`` via the model's module paths.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        col: int = 1,
+        snippet: str = "",
+        end_line: int = 0,
+        end_col: int = 0,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=path,
+            line=line,
+            col=col,
+            end_line=end_line,
+            end_col=end_col,
+            message=message,
+            severity=self.severity,
+            snippet=snippet,
         )
 
 

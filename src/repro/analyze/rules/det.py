@@ -27,9 +27,12 @@ from repro.analyze.context import FileContext
 from repro.analyze.findings import Finding, Severity
 from repro.analyze.rules.base import Rule, register_rule
 
-#: Subsystems whose results must be reproducible.
+#: Subsystems whose results must be reproducible.  ``tests`` is in
+#: scope too: a test that reads the wall clock or an unseeded RNG is
+#: flaky by construction, and flaky tests erode exactly the
+#: reproducibility story the suite exists to defend.
 DET_SCOPE = frozenset(
-    {"sim", "model", "experiments", "runtime", "machines", "store"}
+    {"sim", "model", "experiments", "runtime", "machines", "store", "tests"}
 )
 
 #: Wall-clock reads.  Matched on the dotted call name, so a planted

@@ -1,0 +1,125 @@
+"""FLOW pack: whole-program flow rules over the semantic layer.
+
+Where ASY001 sees a blocking call *lexically inside* an ``async def``
+and DET004 sees wall-clock feeding a cache key *in the same
+expression*, the FLOW rules follow the same contracts across function
+and file boundaries: FLOW001 walks the resolved call graph from every
+event-loop entry point down to a blocking leaf; FLOW002 follows
+time/RNG taint through local assignments and callee summaries into
+content-address and publish sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules.base import ProjectRule, register_rule
+
+#: Subsystems whose ``async def`` functions run on the event loop.
+FLOW_ASYNC_SCOPE = frozenset({"serve", "runtime"})
+
+
+def _short(qualname: str) -> str:
+    """Drop the package prefix for readable chain messages
+    (``repro.serve.app.Handler.get`` → ``app.Handler.get``)."""
+    parts = qualname.split(".")
+    return ".".join(parts[-3:]) if len(parts) > 3 else qualname
+
+
+@register_rule
+class BlockingReachableFromAsync(ProjectRule):
+    id = "FLOW001"
+    name = "blocking call transitively reachable from async def"
+    rationale = (
+        "ASY001 catches time.sleep() written inside an async def; it "
+        "cannot see the same sleep hidden two calls down in a sync "
+        "helper.  This rule walks the project call graph from every "
+        "async function in serve/ and runtime/ to any function that "
+        "performs blocking I/O, sleep, or subprocess work, and reports "
+        "the call chain.  One such chain stalls every request on the "
+        "event loop — the latency collapse only shows under load.  "
+        "Hand the chain's first sync call to asyncio.to_thread() or an "
+        "executor, or make the intermediate functions async."
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for root in project.async_roots(FLOW_ASYNC_SCOPE):
+            root_fn = project.functions[root]
+            path = project.path_of.get(root_fn.module)
+            if path is None:
+                continue
+            for chain, (blocking_call, _bline) in project.blocking_chains(
+                root
+            ):
+                hops = " -> ".join(_short(callee) for callee, _ in chain)
+                yield self.project_finding(
+                    path=path,
+                    line=chain[0][1],
+                    message=(
+                        f"async '{_short(root)}' reaches blocking "
+                        f"'{blocking_call}()' via {hops} "
+                        f"({len(chain)} call{'s' if len(chain) > 1 else ''} "
+                        "deep); run the chain in a worker "
+                        "(asyncio.to_thread / run_in_executor) or make "
+                        "it async"
+                    ),
+                )
+
+
+@register_rule
+class TaintReachesContentAddress(ProjectRule):
+    id = "FLOW002"
+    name = "wall-clock/RNG taint flows into cache key or publish"
+    rationale = (
+        "Content addresses (cache_key, content_key, fingerprint), "
+        "store publishes, and version records must be functions of "
+        "their declared inputs — a timestamp or unseeded RNG value "
+        "mixed in anywhere upstream makes every run produce a fresh "
+        "key, which silently defeats caching and makes artifact "
+        "lineage unreproducible.  DET004 checks the sink's own "
+        "expression; this rule also follows taint through local "
+        "variables and through callees (a helper that returns "
+        "time.time() taints every key built from its result).  "
+        "Timestamps that are deliberately metadata-only belong in "
+        "fields outside the keyed payload, with a noqa stating so."
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for qual in sorted(project.functions):
+            fn = project.functions[qual]
+            path = project.path_of.get(fn.module)
+            if path is None:
+                continue
+            for sink in fn.sinks:
+                via = self._taint_route(project, fn, sink)
+                if via is None:
+                    continue
+                yield self.project_finding(
+                    path=path,
+                    line=sink["line"],
+                    col=sink["col"],
+                    message=(
+                        f"argument of '{sink['sink']}()' in "
+                        f"'{_short(qual)}' derives from "
+                        f"wall-clock/RNG ({via}); content addresses "
+                        "and published records must depend only on "
+                        "declared inputs"
+                    ),
+                )
+
+    @staticmethod
+    def _taint_route(project, fn, sink) -> str:
+        """How taint reaches this sink call, or None when it doesn't:
+        ``"directly"`` for a time/RNG call in the argument expression
+        (or a local assigned from one), else the qualname of the first
+        tainted callee whose result feeds the argument."""
+        if sink["direct"]:
+            return "directly"
+        for kind, name, _line in sink["deps"]:
+            target = project.resolve_ref(fn, kind, name)
+            if target is not None and project.tainted.get(target):
+                return f"via {_short(target)}()"
+        return None

@@ -1,0 +1,195 @@
+"""RACE pack: cross-path shared-state race detection.
+
+ASY002/ASY003 flag suspicious accesses one file at a time; the RACE
+rules use the project call graph to check the property that actually
+matters: is this state *concurrently reachable*?  The model splits the
+program into two concurrency domains — the **loop path** (everything
+reachable from an ``async def`` in serve/ or runtime/) and the
+**worker path** (everything reachable from a function handed to a
+``Thread``, ``Process``, executor ``submit``, ``asyncio.to_thread`` or
+``run_in_executor``).  State touched by both domains needs a lock;
+state iterated while another reachable path mutates it corrupts the
+iterator regardless of domain.
+
+Shared state here is what the summarizer can name stably: module-level
+mutable collections (``g:NAME``) and class attributes assigned through
+the class or ``cls`` (``c:Class.attr``).  Instance attributes are out
+of scope — aliasing through ``self`` is not decidable with this
+machinery, and a rule that guesses is worse than one that documents
+its limits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules.base import ProjectRule, register_rule
+from repro.analyze.rules.flow import FLOW_ASYNC_SCOPE, _short
+
+
+def _describe(state: str) -> str:
+    kind, _, name = state.partition(":")
+    return (
+        f"module global '{name}'" if kind == "g" else f"class attribute '{name}'"
+    )
+
+
+def _domain_accesses(project):
+    """Per-state accesses split by concurrency domain.
+
+    Returns ``{state: {"loop": [...], "worker": [...]}}`` where each
+    access is ``(fn qualname, entry dict, is_mutation)``; functions
+    reachable from both domains contribute to both.
+    """
+    loop = project.reachable_from(project.async_roots(FLOW_ASYNC_SCOPE))
+    worker = project.reachable_from(project.worker_roots())
+    out: Dict[str, Dict[str, List[Tuple[str, dict, bool]]]] = {}
+    for qual in sorted(project.functions):
+        domains = [d for d, members in (("loop", loop), ("worker", worker))
+                   if qual in members]
+        if not domains:
+            continue
+        fn = project.functions[qual]
+        for entry, is_mutation in (
+            [(m, True) for m in fn.mutations]
+            + [(i, False) for i in fn.iterations]
+        ):
+            per_state = out.setdefault(
+                entry["state"], {"loop": [], "worker": []}
+            )
+            for domain in domains:
+                per_state[domain].append((qual, entry, is_mutation))
+    return out
+
+
+@register_rule
+class SharedStateAcrossDomains(ProjectRule):
+    id = "RACE001"
+    name = "shared state reached from loop and worker paths without a lock"
+    rationale = (
+        "A module-level dict or a class attribute written from a "
+        "request handler *and* from a thread-pool job is a data race: "
+        "the GIL serializes bytecodes, not read-modify-write sequences "
+        "or dict resizes observed mid-iteration.  This rule computes "
+        "the functions reachable from the event-loop entry points and "
+        "from every worker hand-off, and flags unlocked mutations of "
+        "state that both domains touch.  Either take one lock around "
+        "every access, confine the state to one domain, or hand "
+        "results back through a queue."
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for state, sides in sorted(_domain_accesses(project).items()):
+            if not (sides["loop"] and sides["worker"]):
+                continue  # one domain only — no cross-domain race
+            seen = set()
+            for domain, other in (("loop", "worker"), ("worker", "loop")):
+                for qual, entry, is_mutation in sides[domain]:
+                    if not is_mutation or entry["locked"]:
+                        continue
+                    site = (qual, entry["line"], entry["col"])
+                    if site in seen:
+                        continue  # fn reachable from both domains
+                    seen.add(site)
+                    fn = project.functions[qual]
+                    path = project.path_of.get(fn.module)
+                    if path is None:
+                        continue
+                    peers = sorted(
+                        {p for p, _, _ in sides[other]} - {qual}
+                    ) or sorted({p for p, _, _ in sides[other]})
+                    yield self.project_finding(
+                        path=path,
+                        line=entry["line"],
+                        col=entry["col"],
+                        message=(
+                            f"'{_short(qual)}' mutates "
+                            f"{_describe(state)} without a lock on the "
+                            f"{domain} path while the {other} path "
+                            f"(e.g. '{_short(peers[0])}') also touches "
+                            "it; guard every access with one lock or "
+                            "confine the state to a single domain"
+                        ),
+                    )
+
+
+@register_rule
+class MutationDuringIteration(ProjectRule):
+    id = "RACE002"
+    name = "iteration over state a reachable path mutates"
+    rationale = (
+        "Iterating a dict or set while any concurrently runnable code "
+        "adds or removes keys raises RuntimeError at best and yields "
+        "a partial, order-dependent view at worst — the failure is "
+        "probabilistic, so tests rarely catch it.  Two shapes are "
+        "flagged: a function that mutates the very collection its own "
+        "loop is iterating (definite, single-threaded bug), and an "
+        "unlocked iteration in one concurrency domain of state an "
+        "unlocked mutation in the *other* domain can resize mid-loop.  "
+        "Snapshot first (list(d.items())) or hold the state's lock "
+        "across the loop."
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project) -> Iterator[Finding]:
+        # Definite, local shape: mutation inside its own iteration.
+        for qual in sorted(project.functions):
+            fn = project.functions[qual]
+            path = project.path_of.get(fn.module)
+            if path is None:
+                continue
+            for entry in fn.mutations:
+                if entry["during_iteration_of"]:
+                    yield self.project_finding(
+                        path=path,
+                        line=entry["line"],
+                        col=entry["col"],
+                        message=(
+                            f"'{_short(qual)}' mutates "
+                            f"{_describe(entry['state'])} inside its "
+                            "own loop over it; snapshot the items "
+                            "first (list(...)) or collect changes and "
+                            "apply them after the loop"
+                        ),
+                    )
+        # Cross-domain shape: iteration here, mutation in the other
+        # domain, neither locked.
+        for state, sides in sorted(_domain_accesses(project).items()):
+            for domain, other in (("loop", "worker"), ("worker", "loop")):
+                mutators = [
+                    (q, e)
+                    for q, e, is_mutation in sides[other]
+                    if is_mutation and not e["locked"]
+                ]
+                if not mutators:
+                    continue
+                seen = set()
+                for qual, entry, is_mutation in sides[domain]:
+                    if is_mutation or entry["locked"]:
+                        continue
+                    site = (qual, entry["line"], entry["col"])
+                    if site in seen:
+                        continue
+                    seen.add(site)
+                    peer = sorted({q for q, _ in mutators} - {qual})
+                    if not peer:
+                        continue  # only self-mutation: local shape above
+                    fn = project.functions[qual]
+                    path = project.path_of.get(fn.module)
+                    if path is None:
+                        continue
+                    yield self.project_finding(
+                        path=path,
+                        line=entry["line"],
+                        col=entry["col"],
+                        message=(
+                            f"'{_short(qual)}' iterates "
+                            f"{_describe(state)} unlocked on the "
+                            f"{domain} path while '{_short(peer[0])}' "
+                            f"on the {other} path mutates it; snapshot "
+                            "the items or hold the state's lock across "
+                            "the loop"
+                        ),
+                    )

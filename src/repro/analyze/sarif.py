@@ -42,6 +42,7 @@ def to_sarif(
                 "name": rule.name,
                 "shortDescription": {"text": rule.name},
                 "fullDescription": {"text": rule.rationale},
+                "helpUri": rule.help_uri,
                 "defaultConfiguration": {
                     "level": rule.severity.sarif_level
                 },
@@ -60,10 +61,7 @@ def to_sarif(
                 {
                     "physicalLocation": {
                         "artifactLocation": {"uri": f.path},
-                        "region": {
-                            "startLine": f.line,
-                            "startColumn": f.col,
-                        },
+                        "region": _region(f),
                     }
                 }
             ],
@@ -75,3 +73,16 @@ def to_sarif(
         "version": SARIF_VERSION,
         "runs": [{"tool": {"driver": driver}, "results": results}],
     }
+
+
+def _region(f) -> Dict[str, int]:
+    """SARIF region for a finding.  End coordinates are emitted only
+    when the node carried them (0 = unknown, and SARIF forbids 0);
+    ``endColumn`` is exclusive, matching both SARIF and the ast
+    convention the engine records."""
+    region = {"startLine": f.line, "startColumn": f.col}
+    if f.end_line:
+        region["endLine"] = f.end_line
+    if f.end_col:
+        region["endColumn"] = f.end_col
+    return region

@@ -1,0 +1,56 @@
+"""Whole-program semantic analysis under the lint engine.
+
+The per-file rule packs see one AST at a time; the contracts they
+enforce — byte-identical ``--jobs N`` runs, content-addressed cache
+keys that never absorb wall-clock state, an event loop nobody blocks —
+are *cross-file* properties.  This package adds the missing layer:
+
+* :mod:`~repro.analyze.semantic.summarize` — one pass over a file's
+  AST produces a :class:`ModuleSummary`: its imports and name
+  bindings, every function with its outgoing calls (recorded
+  *symbolically* — resolution happens later, against the real module
+  index), and the local facts the interprocedural pass propagates
+  (direct blocking calls, direct wall-clock/RNG taint, shared-state
+  mutations and iterations, worker-thread hand-offs, sink-call
+  argument dependencies, ``obs`` metric emissions).
+* :mod:`~repro.analyze.semantic.project` — a :class:`ProjectModel`
+  stitches the summaries together: the import graph, a best-effort
+  call graph (module-level functions, class-local method lookup,
+  ``self.``/``cls.`` calls; unresolved calls are recorded, never
+  guessed), and a summary-based fixpoint propagating *blocks* and
+  *tainted-by-time/RNG* along call edges.
+* :mod:`~repro.analyze.semantic.cache` — per-file summaries and
+  per-file rule findings are content-addressed through
+  :func:`repro.runtime.cache.cache_key` over the file bytes, so a warm
+  whole-tree lint re-parses nothing; an edit invalidates the edited
+  file's entry by construction (the key changes) and the propagation
+  stage reruns from summaries, so facts flowing through the import
+  graph can never go stale.
+
+The FLOW/RACE/OBS rule packs (:mod:`repro.analyze.rules.flow`,
+``.race``, ``.obsdoc``) consume the :class:`ProjectModel` through the
+engine's project stage.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.semantic.cache import SemanticCache
+from repro.analyze.semantic.project import ProjectModel, build_project
+from repro.analyze.semantic.summarize import (
+    SEMANTIC_SCHEMA_VERSION,
+    FunctionSummary,
+    ModuleSummary,
+    module_name_for_path,
+    summarize_module,
+)
+
+__all__ = [
+    "SEMANTIC_SCHEMA_VERSION",
+    "FunctionSummary",
+    "ModuleSummary",
+    "ProjectModel",
+    "SemanticCache",
+    "build_project",
+    "module_name_for_path",
+    "summarize_module",
+]

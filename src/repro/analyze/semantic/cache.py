@@ -1,0 +1,115 @@
+"""Incremental analysis cache: never parse an unchanged file twice.
+
+One JSON entry per scanned file, stored under a name derived from the
+file's *path* and keyed inside by a content address over the file's
+*bytes* (plus the selected rule set and the summary schema version,
+through :func:`repro.runtime.cache.cache_key` — the same scheme as
+every other cache in the workbench, so ``repro.__version__`` bumps
+invalidate everything).  A hit returns the file's
+:class:`~repro.analyze.semantic.summarize.ModuleSummary`, its per-file
+rule findings (post-suppression), and its noqa bookkeeping — the whole
+per-file stage — without touching :mod:`ast`.
+
+Invalidation is structural, not bookkept: editing a file changes its
+bytes, so its key changes and the stale entry is overwritten in place
+(one entry per path).  Facts that *flow* through the import graph
+(propagated blocks/taint, FLOW/RACE/OBS findings) are recomputed from
+summaries on every pass — summaries are cheap to combine and expensive
+to extract, so the warm path stays correct by construction while
+skipping all the parse work.  :meth:`SemanticCache.evict` removes
+entries explicitly (``--changed`` uses the import graph's dependents
+closure to decide *what to lint*; tests use it to prove invalidation).
+
+Counters: ``lint.semantic.cache.hits`` / ``.misses`` / ``.writes``,
+``lint.semantic.parses`` (files that had to be parsed); the engine
+wraps the pass in ``lint.semantic.project`` when the project stage
+runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs import counter
+from repro.runtime.cache import atomic_write, cache_key, default_cache_dir
+from repro.analyze.semantic.summarize import SEMANTIC_SCHEMA_VERSION
+
+
+def default_semantic_cache_dir() -> str:
+    """Default cache location: ``$REPRO_LINT_CACHE_DIR`` or a
+    ``lint-semantic`` tier under the shared repro cache root."""
+    env = os.environ.get("REPRO_LINT_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(default_cache_dir(), "lint-semantic")
+
+
+def entry_key(source: bytes, rule_ids: List[str]) -> str:
+    """Content address of one file's per-file stage."""
+    return cache_key(
+        scope="lint.semantic",
+        blob=hashlib.sha256(source).hexdigest(),
+        rules=sorted(rule_ids),
+        schema=SEMANTIC_SCHEMA_VERSION,
+    )
+
+
+class SemanticCache:
+    """Per-file analysis entries on disk, one JSON file per path."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, path: str) -> str:
+        name = hashlib.sha256(path.encode()).hexdigest()
+        return os.path.join(self.directory, f"{name}.json")
+
+    def get(self, path: str, key: str) -> Optional[Dict[str, Any]]:
+        """The cached per-file stage for ``path``, or None when absent
+        or stale (the stored key no longer matches the file's bytes /
+        rule set / schema)."""
+        entry_path = self._entry_path(path)
+        doc = None
+        if os.path.exists(entry_path):
+            try:
+                with open(entry_path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (ValueError, OSError):
+                doc = None
+        if doc is not None and doc.get("key") == key:
+            self.hits += 1
+            counter("lint.semantic.cache.hits").inc()
+            return doc
+        self.misses += 1
+        counter("lint.semantic.cache.misses").inc()
+        return None
+
+    def put(self, path: str, key: str, doc: Dict[str, Any]) -> None:
+        doc = dict(doc)
+        doc["key"] = key
+        doc["path"] = path
+        atomic_write(
+            self._entry_path(path),
+            json.dumps(doc, sort_keys=True).encode(),
+        )
+        counter("lint.semantic.cache.writes").inc()
+
+    def evict(self, paths: Iterable[str]) -> int:
+        """Drop the entries for ``paths``; returns how many existed.
+        Pass a dependents closure (see
+        :meth:`~repro.analyze.semantic.project.ProjectModel.dependents_closure`)
+        to invalidate transitively along the import graph."""
+        removed = 0
+        for path in paths:
+            entry_path = self._entry_path(path)
+            if os.path.exists(entry_path):
+                os.unlink(entry_path)
+                removed += 1
+        counter("lint.semantic.cache.evicted").inc(removed)
+        return removed

@@ -1,0 +1,326 @@
+"""The whole-program model: import graph, call graph, propagation.
+
+:func:`build_project` stitches per-file :class:`ModuleSummary` objects
+into a :class:`ProjectModel`:
+
+* the **import graph** over project modules (edges to modules outside
+  the scanned set drop out — they cannot be analyzed, so nothing is
+  assumed about them);
+* the **call graph**, resolving each symbolic call best-effort: local
+  and nested functions, module-level functions, ``from x import f``
+  bindings, ``mod.f`` through import aliases, ``Class.method``, and
+  ``self.``/``cls.`` methods via class-local lookup with one level of
+  same-project base-class fallback.  Calls that resolve to nothing are
+  recorded in :attr:`ProjectModel.unresolved` — **recorded, never
+  guessed**: an unresolved call contributes no facts;
+* a summary-based **interprocedural fixpoint** propagating two facts
+  along call edges: *blocks* (performs blocking I/O / sleep /
+  subprocess, directly or transitively) and *tainted* (return value or
+  written state derives from wall clock or unseeded RNG).
+
+Reachability queries (used by the FLOW and RACE packs) walk the
+resolved call edges only; worker hand-offs (``Thread(target=f)``,
+``executor.submit(f)``, ``asyncio.to_thread(f)``) are *not* call
+edges — they are recorded separately as worker roots, because the
+referenced function runs off the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.semantic.summarize import FunctionSummary, ModuleSummary
+
+
+class ProjectModel:
+    """Queryable whole-program view over the scanned files."""
+
+    def __init__(
+        self,
+        summaries: Sequence[ModuleSummary],
+        full_tree: bool = False,
+        root: str = "",
+    ) -> None:
+        #: Module name → summary, insertion order = scan order.
+        self.modules: Dict[str, ModuleSummary] = {
+            s.module: s for s in summaries
+        }
+        self.path_of: Dict[str, str] = {
+            s.module: s.path for s in summaries
+        }
+        #: True when the scan covered the whole installed package —
+        #: gates rules that need a complete view (OBS001).
+        self.full_tree = full_tree
+        self.root = root
+        self.functions: Dict[str, FunctionSummary] = {}
+        for s in summaries:
+            for fn in s.functions:
+                self.functions[fn.qualname] = fn
+        self.import_graph: Dict[str, Set[str]] = {}
+        self._dependents: Dict[str, Set[str]] = {}
+        self._build_import_graph()
+        #: Resolved call edges: caller qualname → [(callee, line)].
+        self.call_edges: Dict[str, List[Tuple[str, int]]] = {}
+        #: Unresolved call sites: (caller, symbolic name, line).
+        self.unresolved: List[Tuple[str, str, int]] = []
+        self._resolve_calls()
+        #: Propagated facts.
+        self.blocks: Dict[str, bool] = {}
+        self.tainted: Dict[str, bool] = {}
+        self._propagate()
+
+    # -- import graph -------------------------------------------------------
+
+    def _build_import_graph(self) -> None:
+        known = set(self.modules)
+        for mod, s in self.modules.items():
+            edges: Set[str] = set()
+            for imp in s.imports:
+                target = self._nearest_module(imp, known)
+                if target is not None and target != mod:
+                    edges.add(target)
+            self.import_graph[mod] = edges
+        for mod in self.import_graph:
+            self._dependents.setdefault(mod, set())
+        for mod, edges in self.import_graph.items():
+            for target in edges:
+                self._dependents.setdefault(target, set()).add(mod)
+
+    @staticmethod
+    def _nearest_module(dotted: str, known: Set[str]) -> Optional[str]:
+        """Longest known-module prefix of ``dotted`` (``from repro.x
+        import f`` records ``repro.x``; ``import repro.x.y`` the
+        deepest module that actually exists in the scan)."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in known:
+                return candidate
+        return None
+
+    def dependents_closure(self, modules: Iterable[str]) -> Set[str]:
+        """``modules`` plus everything that transitively imports them —
+        the invalidation frontier of an edit."""
+        out: Set[str] = set()
+        frontier = [m for m in modules if m in self.modules]
+        while frontier:
+            mod = frontier.pop()
+            if mod in out:
+                continue
+            out.add(mod)
+            frontier.extend(self._dependents.get(mod, ()))
+        return out
+
+    # -- call resolution ----------------------------------------------------
+
+    def _resolve_calls(self) -> None:
+        for qual, fn in self.functions.items():
+            edges: List[Tuple[str, int]] = []
+            for kind, name, line in fn.calls:
+                target = self._resolve(fn, kind, name)
+                if target is not None:
+                    edges.append((target, line))
+                else:
+                    self.unresolved.append((qual, name, line))
+            self.call_edges[qual] = edges
+
+    def resolve_ref(
+        self, fn: FunctionSummary, kind: str, name: str
+    ) -> Optional[str]:
+        """Resolve one symbolic reference from ``fn``'s scope to a
+        project function qualname (None = outside the scan)."""
+        return self._resolve(fn, kind, name)
+
+    def _resolve(
+        self, fn: FunctionSummary, kind: str, name: str
+    ) -> Optional[str]:
+        summary = self.modules[fn.module]
+        if kind in ("self", "cls"):
+            return self._resolve_method(summary, fn.cls, name)
+        if kind == "name":
+            # Nested function of this one?
+            nested = f"{fn.qualname}.{name}"
+            if nested in self.functions:
+                return nested
+            # Sibling in the enclosing scope chain?
+            scope = fn.qualname
+            while "." in scope:
+                scope = scope.rsplit(".", 1)[0]
+                sibling = f"{scope}.{name}"
+                if sibling in self.functions:
+                    return sibling
+            # Module-level function.
+            local = f"{fn.module}.{name}"
+            if local in self.functions:
+                return local
+            # Imported symbol: from x import f.
+            bound = summary.bindings.get(name)
+            if bound is not None and bound in self.functions:
+                return bound
+            return None
+        # kind == "dotted": a.b.c — rewrite the head through bindings.
+        first, _, rest = name.partition(".")
+        head = summary.bindings.get(first, first)
+        candidate = f"{head}.{rest}" if rest else head
+        if candidate in self.functions:
+            return candidate
+        # Class.method where the class lives in this module.
+        if first in summary.classes and rest and "." not in rest:
+            return self._resolve_method(summary, first, rest)
+        # mod.Class.method through an import alias.
+        if candidate.count(".") >= 2:
+            mod_part, _, tail = candidate.rpartition(".")
+            owner_mod, _, cls_name = mod_part.rpartition(".")
+            owner = self.modules.get(owner_mod)
+            if owner is not None and cls_name in owner.classes:
+                return self._resolve_method(owner, cls_name, tail)
+        return None
+
+    def _resolve_method(
+        self, summary: ModuleSummary, cls: str, method: str, depth: int = 0
+    ) -> Optional[str]:
+        if not cls or depth > 4:
+            return None
+        info = summary.classes.get(cls)
+        if info is None:
+            return None
+        if method in info["methods"]:
+            return f"{summary.module}.{cls}.{method}"
+        # One level of base-class fallback, same project only.
+        for base in info["bases"]:
+            first, _, rest = base.partition(".")
+            head = summary.bindings.get(first, first)
+            if rest:
+                base_mod, _, base_cls = f"{head}.{rest}".rpartition(".")
+                owner = self.modules.get(base_mod)
+            elif base in summary.classes:
+                owner, base_cls = summary, base
+            elif head in self.functions or "." in head:
+                base_mod, _, base_cls = head.rpartition(".")
+                owner = self.modules.get(base_mod)
+            else:
+                owner, base_cls = None, ""
+            if owner is not None:
+                found = self._resolve_method(
+                    owner, base_cls, method, depth + 1
+                )
+                if found is not None:
+                    return found
+        return None
+
+    # -- propagation --------------------------------------------------------
+
+    def _propagate(self) -> None:
+        for qual, fn in self.functions.items():
+            self.blocks[qual] = bool(fn.blocking)
+            self.tainted[qual] = bool(fn.taint_sources)
+        changed = True
+        while changed:
+            changed = False
+            for qual in self.functions:
+                for callee, _line in self.call_edges[qual]:
+                    if self.blocks.get(callee) and not self.blocks[qual]:
+                        self.blocks[qual] = True
+                        changed = True
+                    if self.tainted.get(callee) and not self.tainted[qual]:
+                        self.tainted[qual] = True
+                        changed = True
+
+    # -- reachability -------------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``roots`` over resolved call
+        edges (roots included)."""
+        seen: Set[str] = set()
+        frontier = [r for r in roots if r in self.functions]
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            frontier.extend(c for c, _ in self.call_edges.get(qual, ()))
+        return seen
+
+    def blocking_chains(
+        self, root: str
+    ) -> List[Tuple[List[Tuple[str, int]], Tuple[str, int]]]:
+        """Sync call chains from async ``root`` down to a directly
+        blocking function.
+
+        Returns ``(chain, (blocking call, line))`` tuples where chain
+        is ``[(callee qualname, call line), ...]`` starting at root's
+        outgoing call.  Expansion stops at ``async def`` callees (they
+        are roots of their own) and reports each blocking function
+        once, via its first-found (BFS = shortest) chain.
+        """
+        out = []
+        seen: Set[str] = {root}
+        frontier: List[Tuple[str, List[Tuple[str, int]]]] = [(root, [])]
+        while frontier:
+            qual, chain = frontier.pop(0)
+            for callee, line in self.call_edges.get(qual, ()):
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                target = self.functions[callee]
+                if target.is_async:
+                    continue  # its own FLOW001 root
+                step = chain + [(callee, line)]
+                if target.blocking:
+                    out.append((step, target.blocking[0]))
+                elif self.blocks.get(callee):
+                    frontier.append((callee, step))
+        return out
+
+    # -- roots --------------------------------------------------------------
+
+    def async_roots(self, subsystems: Set[str]) -> List[str]:
+        """``async def`` functions in the given subsystems (the
+        event-loop side of the concurrency split)."""
+        return sorted(
+            qual
+            for qual, fn in self.functions.items()
+            if fn.is_async and self._subsystem(fn.module) in subsystems
+        )
+
+    def worker_roots(self) -> List[str]:
+        """Functions handed to threads/processes/executors anywhere in
+        the scan (the off-loop side)."""
+        roots: Set[str] = set()
+        for qual, fn in self.functions.items():
+            for kind, name, _line in fn.worker_targets:
+                target = self._resolve(fn, kind, name)
+                if target is not None:
+                    roots.add(target)
+        return sorted(roots)
+
+    def _subsystem(self, module: str) -> str:
+        parts = module.split(".")
+        if parts and parts[0] == "repro" and len(parts) > 2:
+            return parts[1]
+        if len(parts) > 1:
+            return parts[0]
+        return ""
+
+    # -- diagnostics --------------------------------------------------------
+
+    def dump_callgraph(self) -> str:
+        """Deterministic text dump (golden-snapshot friendly):
+        one ``caller -> callee`` line per resolved edge, ``caller -> ?
+        name`` per unresolved call, sorted."""
+        lines = []
+        for qual in sorted(self.call_edges):
+            for callee, _line in sorted(set(self.call_edges[qual])):
+                lines.append(f"{qual} -> {callee}")
+        for caller, name, _line in sorted(set(self.unresolved)):
+            lines.append(f"{caller} -> ? {name}")
+        return "\n".join(lines) + "\n"
+
+
+def build_project(
+    summaries: Sequence[ModuleSummary],
+    full_tree: bool = False,
+    root: str = "",
+) -> ProjectModel:
+    """Assemble the :class:`ProjectModel` for one analysis pass."""
+    return ProjectModel(summaries, full_tree=full_tree, root=root)

@@ -1,0 +1,681 @@
+"""Per-file fact extraction for the semantic layer.
+
+One recursive pass over a module's AST produces a
+:class:`ModuleSummary` — everything the project stage needs, and
+nothing it has to re-derive from source: imports and name bindings,
+class shapes, and per-function local facts.  Calls are recorded
+*symbolically* (``("name", "fit")``, ``("dotted", "registry.load")``,
+``("self", "flush")``): whether ``fit`` is the module-level function
+two screens up or an import from three packages over is decided later,
+against the full module index, so a summary depends on nothing but its
+own file's bytes — which is what makes it cacheable.
+
+Summaries are plain-dict serializable (``to_dict``/``from_dict``) and
+versioned by :data:`SEMANTIC_SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analyze.rules.asy import (
+    BLOCKING_CALLS,
+    BLOCKING_METHOD_SUFFIXES,
+    MUTATOR_METHODS,
+)
+from repro.analyze.rules.det import WALL_CLOCK_CALLS, _NP_RANDOM_OK
+
+#: Bump when the summary shape changes — invalidates every cache entry.
+SEMANTIC_SCHEMA_VERSION = 1
+
+#: Call-site tails that hand a function reference to another thread or
+#: process: the reference runs *off* the event loop, so blocking inside
+#: it is fine and mutations inside it race the loop path.
+WORKER_HANDOFF_TAILS = frozenset({"submit", "to_thread", "run_in_executor"})
+WORKER_CTOR_TAILS = frozenset({"Thread", "Process"})
+
+#: Sinks whose arguments must never derive from wall clock or RNG:
+#: content addresses, store publishes, and version-record construction.
+TAINT_SINKS = frozenset(
+    {"cache_key", "content_key", "fingerprint", "publish", "VersionRecord"}
+)
+
+#: ``obs`` metric emission entry points.
+METRIC_EMITTERS = frozenset({"counter", "gauge", "histogram"})
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/serve/app.py`` → ``repro.serve.app``;
+    ``tests/test_x.py`` → ``tests.test_x``; a package ``__init__.py``
+    maps to the package itself.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` otherwise."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class FunctionSummary:
+    """Local facts of one function — project-independent."""
+
+    qualname: str
+    name: str
+    module: str
+    line: int
+    is_async: bool = False
+    cls: str = ""
+    #: Symbolic outgoing calls: ``(kind, name, line)`` with kind one of
+    #: ``name``/``dotted``/``self``/``cls``.
+    calls: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: Direct blocking call sites: ``(call name, line)``.
+    blocking: List[Tuple[str, int]] = field(default_factory=list)
+    #: Direct wall-clock/RNG reads: ``(call name, line)``.
+    taint_sources: List[Tuple[str, int]] = field(default_factory=list)
+    #: Sink calls with their argument dependencies:
+    #: ``{"sink", "line", "col", "direct", "deps": [(kind, name, line)]}``.
+    sinks: List[Dict[str, Any]] = field(default_factory=list)
+    #: Shared-state writes: ``{"state", "line", "col", "locked",
+    #: "during_iteration_of"}`` — state ids are ``g:NAME`` (module
+    #: global) or ``c:Class.attr`` (class attribute).
+    mutations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Iterations over shared state: ``{"state", "line", "col", "locked"}``.
+    iterations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Function references handed to worker threads/processes.
+    worker_targets: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: ``obs`` metric emissions: ``(normalized name pattern, line)``.
+    metrics: List[Tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "module": self.module,
+            "line": self.line,
+            "is_async": self.is_async,
+            "cls": self.cls,
+            "calls": [list(c) for c in self.calls],
+            "blocking": [list(b) for b in self.blocking],
+            "taint_sources": [list(t) for t in self.taint_sources],
+            "sinks": self.sinks,
+            "mutations": self.mutations,
+            "iterations": self.iterations,
+            "worker_targets": [list(w) for w in self.worker_targets],
+            "metrics": [list(m) for m in self.metrics],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FunctionSummary":
+        out = cls(
+            qualname=doc["qualname"],
+            name=doc["name"],
+            module=doc["module"],
+            line=doc["line"],
+            is_async=doc["is_async"],
+            cls=doc["cls"],
+        )
+        out.calls = [tuple(c) for c in doc["calls"]]
+        out.blocking = [tuple(b) for b in doc["blocking"]]
+        out.taint_sources = [tuple(t) for t in doc["taint_sources"]]
+        out.sinks = doc["sinks"]
+        out.mutations = doc["mutations"]
+        out.iterations = doc["iterations"]
+        out.worker_targets = [tuple(w) for w in doc["worker_targets"]]
+        out.metrics = [tuple(m) for m in doc["metrics"]]
+        return out
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project stage needs to know about one file."""
+
+    path: str
+    module: str
+    #: Modules this file imports, as written (resolved against the
+    #: project's module index later; stdlib/third-party drop out).
+    imports: List[str] = field(default_factory=list)
+    #: Local name → dotted target (``np`` → ``numpy``, ``fit`` →
+    #: ``repro.model.fitting.fit``).
+    bindings: Dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to mutable collections.
+    module_mutables: List[str] = field(default_factory=list)
+    #: Class name → {"bases": [...], "methods": [...]}.
+    classes: Dict[str, Dict[str, List[str]]] = field(default_factory=dict)
+    functions: List[FunctionSummary] = field(default_factory=list)
+    #: Metric emissions at module level (outside any function).
+    module_metrics: List[Tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SEMANTIC_SCHEMA_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "imports": self.imports,
+            "bindings": self.bindings,
+            "module_mutables": self.module_mutables,
+            "classes": self.classes,
+            "functions": [f.to_dict() for f in self.functions],
+            "module_metrics": [list(m) for m in self.module_metrics],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ModuleSummary":
+        out = cls(path=doc["path"], module=doc["module"])
+        out.imports = doc["imports"]
+        out.bindings = doc["bindings"]
+        out.module_mutables = doc["module_mutables"]
+        out.classes = doc["classes"]
+        out.functions = [
+            FunctionSummary.from_dict(f) for f in doc["functions"]
+        ]
+        out.module_metrics = [tuple(m) for m in doc["module_metrics"]]
+        return out
+
+
+def summarize_module(path: str, tree: ast.AST) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` of one parsed file."""
+    summary = ModuleSummary(path=path, module=module_name_for_path(path))
+    _collect_imports(tree, summary)
+    summary.module_mutables = sorted(_module_level_mutables(tree))
+    walker = _Walker(summary)
+    walker.walk_module(tree)
+    return summary
+
+
+# -- imports ----------------------------------------------------------------
+
+
+def _collect_imports(tree: ast.AST, summary: ModuleSummary) -> None:
+    """Imports anywhere in the file (lazy function-local ones count:
+    they are call-graph edges and import-graph dependencies alike)."""
+    package = summary.module.rsplit(".", 1)[0] if "." in summary.module else ""
+    imported: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.append(alias.name)
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                summary.bindings.setdefault(bound, target)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative: resolve against this module's package.
+                anchor = summary.module if _is_package_path(summary.path) else package
+                for _ in range(node.level - 1):
+                    anchor = anchor.rsplit(".", 1)[0] if "." in anchor else ""
+                base = f"{anchor}.{base}" if base else anchor
+            if base:
+                imported.append(base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    summary.bindings.setdefault(bound, f"{base}.{alias.name}")
+    seen: Set[str] = set()
+    summary.imports = [m for m in imported if not (m in seen or seen.add(m))]
+
+
+def _is_package_path(path: str) -> bool:
+    return path.replace("\\", "/").endswith("/__init__.py")
+
+
+def _module_level_mutables(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in getattr(tree, "body", []):
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_literal(value):
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+    return names
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "defaultdict",
+                                "OrderedDict", "Counter", "deque")
+    return False
+
+
+# -- the recursive walker ---------------------------------------------------
+
+
+class _Walker:
+    """Single recursive pass attributing facts to the innermost
+    function, tracking held locks, active shared-state loops, and the
+    class stack for qualified names."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.summary = summary
+        self.shared = set(summary.module_mutables)
+        self.class_stack: List[str] = []
+        self.func_stack: List[FunctionSummary] = []
+        self.lock_stack: List[str] = []
+        self.iter_stack: List[str] = []
+        #: Per-function local taint map: name → True once assigned from
+        #: a tainted-or-unknown-call expression (tracked via deps).
+        self.local_deps: List[Dict[str, List[Tuple[str, str, int]]]] = []
+        self.local_direct: List[Set[str]] = []
+
+    # -- dispatch --
+
+    def walk_module(self, tree: ast.AST) -> None:
+        for stmt in getattr(tree, "body", []):
+            self.visit(stmt)
+
+    def visit(self, node: ast.AST) -> None:
+        handler = getattr(self, f"_visit_{type(node).__name__}", None)
+        if handler is not None:
+            handler(node)
+        else:
+            self.generic(node)
+
+    def generic(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    # -- scopes --
+
+    def _visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qual = ".".join(self.class_stack + [node.name])
+        self.summary.classes[qual] = {
+            "bases": [d for d in (_dotted(b) for b in node.bases) if d],
+            "methods": [
+                s.name
+                for s in node.body
+                if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ],
+        }
+        self.class_stack.append(node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.class_stack.pop()
+
+    def _enter_function(self, node, is_async: bool) -> None:
+        parent = self.func_stack[-1].qualname if self.func_stack else None
+        if parent:
+            qualname = f"{parent}.{node.name}"
+        else:
+            prefix = ".".join(
+                [self.summary.module] + self.class_stack
+            )
+            qualname = f"{prefix}.{node.name}"
+        fn = FunctionSummary(
+            qualname=qualname,
+            name=node.name,
+            module=self.summary.module,
+            line=node.lineno,
+            is_async=is_async,
+            cls=".".join(self.class_stack),
+        )
+        self.summary.functions.append(fn)
+        self.func_stack.append(fn)
+        self.local_deps.append({})
+        self.local_direct.append(set())
+        # Locks held around the def do not protect its body at call
+        # time; loops around the def do not iterate inside it.
+        saved_locks, self.lock_stack = self.lock_stack, []
+        saved_iters, self.iter_stack = self.iter_stack, []
+        for stmt in node.body:
+            self.visit(stmt)
+        self.lock_stack = saved_locks
+        self.iter_stack = saved_iters
+        self.local_direct.pop()
+        self.local_deps.pop()
+        self.func_stack.pop()
+
+    def _visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node, is_async=False)
+
+    def _visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node, is_async=True)
+
+    def _visit_Lambda(self, node: ast.Lambda) -> None:
+        # Lambdas stay attributed to the enclosing function: they are
+        # almost always invoked inline (sort keys, callbacks).
+        self.generic(node)
+
+    # -- with / for --
+
+    def _visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def _visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def _with(self, node) -> None:
+        added = 0
+        for item in node.items:
+            self.visit(item.context_expr)
+            for name in _names_in(item.context_expr):
+                if "lock" in name.lower() or "mutex" in name.lower():
+                    self.lock_stack.append(name)
+                    added += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(added):
+            self.lock_stack.pop()
+
+    def _visit_For(self, node: ast.For) -> None:
+        self._for(node)
+
+    def _visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._for(node)
+
+    def _for(self, node) -> None:
+        state = self._iterated_state(node.iter)
+        self.visit(node.iter)
+        if state is not None and self.func_stack:
+            self.func_stack[-1].iterations.append(
+                {
+                    "state": state,
+                    "line": node.lineno,
+                    "col": node.col_offset + 1,
+                    "locked": bool(self.lock_stack),
+                }
+            )
+            self.iter_stack.append(state)
+        for part in [node.target] + node.body + node.orelse:
+            self.visit(part)
+        if state is not None and self.func_stack:
+            self.iter_stack.pop()
+
+    def _iterated_state(self, it: ast.AST) -> Optional[str]:
+        """``g:NAME`` when ``it`` iterates a module-level mutable —
+        the bare name or one of its ``.keys()/.values()/.items()``
+        views."""
+        if isinstance(it, ast.Name) and it.id in self.shared:
+            return f"g:{it.id}"
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr in ("keys", "values", "items")
+            and isinstance(it.func.value, ast.Name)
+            and it.func.value.id in self.shared
+        ):
+            return f"g:{it.func.value.id}"
+        return None
+
+    # -- statements that mutate or bind --
+
+    def _visit_Assign(self, node: ast.Assign) -> None:
+        self._record_mutation_targets(node.targets, node)
+        self._record_local_deps(node.targets, node.value)
+        self.generic(node)
+
+    def _visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_mutation_targets([node.target], node)
+        self.generic(node)
+
+    def _visit_Delete(self, node: ast.Delete) -> None:
+        self._record_mutation_targets(node.targets, node)
+        self.generic(node)
+
+    def _record_mutation_targets(self, targets, node) -> None:
+        if not self.func_stack:
+            return  # module-init population happens pre-share
+        for t in targets:
+            state = self._state_of_target(t)
+            if state is not None:
+                self._record_mutation(state, node)
+
+    def _state_of_target(self, t: ast.AST) -> Optional[str]:
+        # SHARED[k] = v / del SHARED[k]
+        if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+            if t.value.id in self.shared:
+                return f"g:{t.value.id}"
+        # Class.attr = v (class defined in this module)
+        if isinstance(t, ast.Attribute):
+            base = _dotted(t.value)
+            if base in self.summary.classes:
+                return f"c:{base}.{t.attr}"
+            if base == "cls" and self.class_stack:
+                cls = ".".join(self.class_stack)
+                return f"c:{cls}.{t.attr}"
+        return None
+
+    def _record_mutation(self, state: str, node: ast.AST) -> None:
+        fn = self.func_stack[-1]
+        fn.mutations.append(
+            {
+                "state": state,
+                "line": node.lineno,
+                "col": node.col_offset + 1,
+                "locked": bool(self.lock_stack),
+                "during_iteration_of": (
+                    state if state in self.iter_stack else ""
+                ),
+            }
+        )
+
+    def _record_local_deps(self, targets, value: ast.AST) -> None:
+        """Track, per local name, which calls its value derives from —
+        the within-function half of sink-taint tracking."""
+        if not self.func_stack:
+            return
+        deps = _call_refs_in(value, self.class_stack)
+        direct = _has_direct_taint(value, self.summary.bindings)
+        for t in targets:
+            if isinstance(t, ast.Name):
+                if deps:
+                    self.local_deps[-1].setdefault(t.id, []).extend(deps)
+                if direct:
+                    self.local_direct[-1].add(t.id)
+
+    # -- calls --
+
+    def _visit_Call(self, node: ast.Call) -> None:
+        if self.func_stack:
+            self._record_call(node)
+        self._record_metric(node)
+        self._record_worker_handoff(node)
+        if self.func_stack:
+            self._record_sink(node)
+        self.generic(node)
+
+    def _record_call(self, node: ast.Call) -> None:
+        fn = self.func_stack[-1]
+        ref = _call_ref(node.func, self.class_stack)
+        if ref is None:
+            return
+        kind, name = ref
+        fn.calls.append((kind, name, node.lineno))
+        dotted = name if kind == "dotted" else name
+        # Direct blocking?
+        if dotted in BLOCKING_CALLS or (
+            kind == "dotted" and dotted.split(".")[-1] in BLOCKING_METHOD_SUFFIXES
+        ):
+            fn.blocking.append((dotted, node.lineno))
+        # Direct wall-clock / RNG taint?
+        if _is_taint_call(node, dotted, self.summary.bindings):
+            fn.taint_sources.append((dotted, node.lineno))
+
+    def _record_metric(self, node: ast.Call) -> None:
+        tail = _call_tail(node.func)
+        if tail not in METRIC_EMITTERS or not node.args:
+            return
+        pattern = _metric_pattern(node.args[0])
+        if pattern is None:
+            return
+        entry = (pattern, node.lineno)
+        if self.func_stack:
+            self.func_stack[-1].metrics.append(entry)
+        else:
+            self.summary.module_metrics.append(entry)
+
+    def _record_worker_handoff(self, node: ast.Call) -> None:
+        if not self.func_stack:
+            return
+        tail = _call_tail(node.func)
+        refs: List[ast.AST] = []
+        if tail in WORKER_CTOR_TAILS:
+            refs = [
+                kw.value for kw in node.keywords if kw.arg == "target"
+            ]
+        elif tail == "run_in_executor" and len(node.args) >= 2:
+            refs = [node.args[1]]
+        elif tail in WORKER_HANDOFF_TAILS and node.args:
+            refs = [node.args[0]]
+        for expr in refs:
+            ref = _call_ref(expr, self.class_stack)
+            if ref is not None:
+                self.func_stack[-1].worker_targets.append(
+                    (ref[0], ref[1], node.lineno)
+                )
+
+    def _record_sink(self, node: ast.Call) -> None:
+        tail = _call_tail(node.func)
+        if tail not in TAINT_SINKS:
+            return
+        deps: List[Tuple[str, str, int]] = []
+        direct = False
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in args:
+            deps.extend(_call_refs_in(arg, self.class_stack))
+            if _has_direct_taint(arg, self.summary.bindings):
+                direct = True
+            # Expand local names through the per-function dep map.
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    deps.extend(self.local_deps[-1].get(sub.id, ()))
+                    if sub.id in self.local_direct[-1]:
+                        direct = True
+        self.func_stack[-1].sinks.append(
+            {
+                "sink": tail,
+                "line": node.lineno,
+                "col": node.col_offset + 1,
+                "direct": direct,
+                "deps": [list(d) for d in deps],
+            }
+        )
+
+
+# -- expression helpers -----------------------------------------------------
+
+
+def _metric_pattern(arg: ast.AST) -> Optional[str]:
+    """Normalized metric-name pattern of an emitter's first argument.
+
+    A string literal is itself; an f-string keeps its literal parts
+    with ``*`` per interpolation (``f"lint.findings.{rule}"`` →
+    ``lint.findings.*``); anything else (``%``, ``.format``, a
+    variable) has no statically known shape and returns None — OBS001
+    records what it can check, never guesses.
+    """
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts: List[str] = []
+        for value in arg.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def _call_tail(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _call_ref(
+    func: ast.AST, class_stack: List[str]
+) -> Optional[Tuple[str, str]]:
+    """Symbolic reference for a callee expression, or None when the
+    expression has no stable name (a call on a call result, a
+    subscript, ...)."""
+    if isinstance(func, ast.Name):
+        return ("name", func.id)
+    dotted = _dotted(func)
+    if not dotted:
+        return None
+    first, _, rest = dotted.partition(".")
+    if first == "self" and class_stack and "." not in rest:
+        return ("self", rest)
+    if first == "cls" and class_stack and "." not in rest:
+        return ("cls", rest)
+    return ("dotted", dotted)
+
+
+def _call_refs_in(
+    expr: ast.AST, class_stack: List[str]
+) -> List[Tuple[str, str, int]]:
+    refs: List[Tuple[str, str, int]] = []
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            ref = _call_ref(sub.func, class_stack)
+            if ref is not None:
+                refs.append((ref[0], ref[1], sub.lineno))
+    return refs
+
+
+def _is_taint_call(
+    node: ast.Call, dotted: str, bindings: Dict[str, str]
+) -> bool:
+    if dotted in WALL_CLOCK_CALLS:
+        return True
+    parts = dotted.split(".")
+    # stdlib random through any alias.
+    if len(parts) >= 2 and bindings.get(parts[0]) == "random":
+        return True
+    # numpy legacy global RNG.
+    if len(parts) >= 3 and parts[-2] == "random" and parts[-1] not in _NP_RANDOM_OK:
+        return True
+    # default_rng() with no seed.
+    if parts[-1] == "default_rng" and not node.args and not node.keywords:
+        return True
+    return False
+
+
+def _has_direct_taint(expr: ast.AST, bindings: Dict[str, str]) -> bool:
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            dotted = _dotted(sub.func)
+            if dotted and _is_taint_call(sub, dotted, bindings):
+                return True
+    return False
+
+
+def _names_in(node: ast.AST):
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr

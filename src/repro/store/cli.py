@@ -262,7 +262,7 @@ def _cmd_publish(store: ArtifactStore, args) -> int:
         if args.timestamp is not None
         else time.time()  # repro: noqa[DET001] — publish time, CLI edge
     )
-    record = store.publish(
+    record = store.publish(  # repro: noqa[FLOW002] — timestamp is metadata, not keyed
         slot,
         payload,
         timestamp=timestamp,
@@ -434,7 +434,7 @@ async def _smoke(iterations: int, quiet: bool) -> int:
                 )
             )
             await asyncio.sleep(0.2)
-            rec2 = store.publish(
+            rec2 = store.publish(  # repro: noqa[FLOW002] — smoke publishes real wall-clock metadata
                 slot,
                 cap2.to_dict(),
                 timestamp=time.time(),  # repro: noqa[DET001] — CLI edge
@@ -504,7 +504,7 @@ async def _smoke(iterations: int, quiet: bool) -> int:
 
             # Republishing the identical payload dedups to the same id
             # (single-flight across processes for free).
-            rec1b = store.publish(
+            rec1b = store.publish(  # repro: noqa[FLOW002] — smoke publishes real wall-clock metadata
                 slot,
                 art1.capability.to_dict(),
                 timestamp=time.time(),  # repro: noqa[DET001] — CLI edge

@@ -27,15 +27,15 @@ def _isolated_runtime_cache(tmp_path_factory):
     tests never read or pollute the user's ~/.cache/repro-knl."""
     import os
 
-    prev = os.environ.get("REPRO_CACHE_DIR")
-    os.environ["REPRO_CACHE_DIR"] = str(
+    prev = os.environ.get("REPRO_CACHE_DIR")  # repro: noqa[DET004] — fixture must save/restore the raw env
+    os.environ["REPRO_CACHE_DIR"] = str(  # repro: noqa[DET004] — fixture-scoped isolation
         tmp_path_factory.mktemp("repro-cache")
     )
     yield
     if prev is None:
         os.environ.pop("REPRO_CACHE_DIR", None)
     else:
-        os.environ["REPRO_CACHE_DIR"] = prev
+        os.environ["REPRO_CACHE_DIR"] = prev  # repro: noqa[DET004] — fixture-scoped restore
 
 
 @pytest.fixture(scope="session")

@@ -78,7 +78,9 @@ class TestNoqa:
                 return time.time()  # repro: noqa[ASY001]
             """
         )
-        assert [f.rule_id for f in found] == ["DET001"]
+        # The DET001 still fires, and the ASY001 token — which
+        # suppressed nothing — is itself flagged stale by SUP001.
+        assert [f.rule_id for f in found] == ["DET001", "SUP001"]
 
     def test_file_level_noqa_covers_the_whole_module(self):
         found = lint(
@@ -224,7 +226,9 @@ class TestBaseline:
         with pytest.raises(AnalysisError, match="not valid JSON"):
             Baseline.load(str(bad))
         future = tmp_path / "future.json"
-        future.write_text(json.dumps({"schema_version": 999, "entries": {}}))
+        future.write_text(
+            json.dumps({"schema_version": 999, "entries": {}})  # repro: noqa[REG002] — fixture: a deliberately foreign version
+        )
         with pytest.raises(AnalysisError, match="schema_version"):
             Baseline.load(str(future))
 
@@ -262,6 +266,42 @@ class TestSarif:
         assert loc["artifactLocation"]["uri"] == SIM_PATH
         assert loc["region"]["startLine"] == 5
         assert loc["region"]["startColumn"] >= 1
+
+    def test_rules_carry_help_uris_into_the_catalog(self):
+        doc = to_sarif(self.report())
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            uri = rule["helpUri"]
+            assert uri == f"docs/LINTING.md#{rule['id'].lower()}"
+
+    def test_region_carries_end_line_and_column(self):
+        doc = to_sarif(self.report())
+        (result,) = doc["runs"][0]["results"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["endLine"] >= region["startLine"]
+        # SARIF endColumn is exclusive: one past the last character.
+        assert region["endColumn"] > region["startColumn"]
+
+    def test_region_omits_end_fields_when_unknown(self):
+        # A finding without span info must not emit endLine/endColumn:
+        # SARIF forbids zero values there, absence is the wire format.
+        from repro.analyze.findings import Finding
+
+        report = AnalysisReport(
+            findings=[
+                Finding(
+                    rule_id="DET001",
+                    path=SIM_PATH,
+                    line=3,
+                    col=5,
+                    message="spanless",
+                )
+            ],
+            files_scanned=1,
+        )
+        region = to_sarif(report)["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region == {"startLine": 3, "startColumn": 5}
 
     def test_sarif_is_json_serializable(self):
         json.dumps(to_sarif(self.report()))

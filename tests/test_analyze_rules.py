@@ -531,6 +531,417 @@ class TestREG002SchemaVersionLiteral:
         assert found == []
 
 
+class TestFLOW001BlockingReachable:
+    def test_flags_blocking_two_hops_below_async(self):
+        found = lint(
+            """
+            import time
+
+            def helper():
+                deeper()
+
+            def deeper():
+                time.sleep(1)
+
+            async def handler():
+                helper()
+            """,
+            path="src/repro/serve/app.py",
+            rules=["FLOW001"],
+        )
+        assert ids(found) == ["FLOW001"]
+        assert "time.sleep" in found[0].message
+        assert "helper" in found[0].message and "deeper" in found[0].message
+        # Reported at the root's call site, not at the leaf.
+        assert found[0].line == 11
+
+    def test_async_callee_is_its_own_root_not_a_chain(self):
+        # handler -> other_handler is an await boundary: other_handler
+        # is analyzed as its own FLOW001 root (and is clean through
+        # to_thread), so neither function yields a chain.
+        found = lint(
+            """
+            import asyncio, time
+
+            def slow():
+                time.sleep(1)
+
+            async def other_handler():
+                await asyncio.to_thread(slow)
+
+            async def handler():
+                await other_handler()
+            """,
+            path="src/repro/serve/app.py",
+            rules=["FLOW001"],
+        )
+        assert found == []
+
+    def test_outside_loop_subsystems_is_clean(self):
+        found = lint(
+            """
+            import time
+
+            def helper():
+                time.sleep(1)
+
+            async def offline_job():
+                helper()
+            """,
+            path="src/repro/model/fitting.py",
+            rules=["FLOW001"],
+        )
+        assert found == []
+
+
+class TestFLOW002TaintIntoKeys:
+    def test_flags_taint_through_local_and_callee(self):
+        found = lint(
+            """
+            import time
+            from repro.runtime.cache import cache_key
+
+            def stamp():
+                return time.time()
+
+            def build(cfg):
+                t = stamp()
+                return cache_key(scope="s", cfg=cfg, at=t)
+            """,
+            path="src/repro/model/keys.py",
+            rules=["FLOW002"],
+        )
+        assert ids(found) == ["FLOW002"]
+        assert "stamp" in found[0].message
+        assert found[0].line == 10
+
+    def test_flags_direct_taint_in_sink_argument(self):
+        found = lint(
+            """
+            import time
+            from repro.runtime.cache import cache_key
+
+            def build(cfg):
+                return cache_key(scope="s", cfg=cfg, at=time.time())
+            """,
+            path="src/repro/model/keys.py",
+            rules=["FLOW002"],
+        )
+        assert ids(found) == ["FLOW002"]
+        assert "directly" in found[0].message
+
+    def test_clean_inputs_build_clean_keys(self):
+        found = lint(
+            """
+            from repro.runtime.cache import cache_key
+
+            def version():
+                return "v1"
+
+            def build(cfg):
+                v = version()
+                return cache_key(scope="s", cfg=cfg, v=v)
+            """,
+            path="src/repro/model/keys.py",
+            rules=["FLOW002"],
+        )
+        assert found == []
+
+
+RACY = """
+    from concurrent.futures import ThreadPoolExecutor
+
+    REGISTRY = {}
+
+    def worker_job(k, v):
+        REGISTRY[k] = v
+
+    async def handler(k):
+        REGISTRY[k] = None
+
+    def boot(pool):
+        pool.submit(worker_job, 1, 2)
+    """
+
+
+class TestRACE001CrossDomainState:
+    def test_flags_unlocked_state_touched_by_both_domains(self):
+        found = lint(RACY, path="src/repro/serve/state.py", rules=["RACE001"])
+        assert ids(found) == ["RACE001", "RACE001"]
+        assert {f.line for f in found} == {7, 10}
+        assert "worker" in found[0].message and "loop" in found[0].message
+
+    def test_locked_accesses_are_clean(self):
+        found = lint(
+            """
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            REGISTRY = {}
+            _lock = threading.Lock()
+
+            def worker_job(k, v):
+                with _lock:
+                    REGISTRY[k] = v
+
+            async def handler(k):
+                with _lock:
+                    REGISTRY[k] = None
+
+            def boot(pool):
+                pool.submit(worker_job, 1, 2)
+            """,
+            path="src/repro/serve/state.py",
+            rules=["RACE001"],
+        )
+        assert found == []
+
+    def test_single_domain_state_is_clean(self):
+        # Same mutations, but worker_job is never handed to a worker:
+        # only the loop path touches REGISTRY.
+        found = lint(
+            """
+            REGISTRY = {}
+
+            def worker_job(k, v):
+                REGISTRY[k] = v
+
+            async def handler(k):
+                REGISTRY[k] = None
+            """,
+            path="src/repro/serve/state.py",
+            rules=["RACE001"],
+        )
+        assert found == []
+
+
+class TestRACE002MutateWhileIterating:
+    def test_flags_deletion_inside_own_loop(self):
+        found = lint(
+            """
+            STATE = {}
+
+            def cleanup():
+                for k in STATE:
+                    if k < 0:
+                        del STATE[k]
+            """,
+            path="src/repro/runtime/state.py",
+            rules=["RACE002"],
+        )
+        assert ids(found) == ["RACE002"]
+        assert "its own loop" in found[0].message
+
+    def test_flags_cross_domain_iteration_vs_mutation(self):
+        found = lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            STATE = {}
+
+            def worker_job(k, v):
+                STATE[k] = v
+
+            async def report():
+                return [k for k in STATE]
+
+            async def snapshot():
+                out = {}
+                for k in STATE.items():
+                    out[k] = 1
+                return out
+
+            def boot(pool):
+                pool.submit(worker_job, 1, 2)
+            """,
+            path="src/repro/serve/state.py",
+            rules=["RACE002"],
+        )
+        assert ids(found) == ["RACE002"]
+        assert "worker" in found[0].message
+
+    def test_snapshot_iteration_is_clean(self):
+        found = lint(
+            """
+            STATE = {}
+
+            def cleanup():
+                for k in list(STATE):
+                    if k < 0:
+                        del STATE[k]
+            """,
+            path="src/repro/runtime/state.py",
+            rules=["RACE002"],
+        )
+        assert found == []
+
+
+class TestOBS001GlossarySync:
+    """OBS001 needs a whole-tree project; build one by hand."""
+
+    GLOSSARY = textwrap.dedent(
+        """
+        | name | type | unit | meaning |
+        |---|---|---|---|
+        | `demo.hits` | counter | lookups | documented and emitted |
+        | `demo.gone` | counter | calls | documented but never emitted |
+        """
+    )
+
+    def project(self, source, tmp_path, full_tree=True):
+        import ast
+
+        from repro.analyze.semantic import build_project, summarize_module
+
+        docs = tmp_path / "docs"
+        docs.mkdir(exist_ok=True)
+        (docs / "OBSERVABILITY.md").write_text(self.GLOSSARY)
+        summary = summarize_module(
+            "src/repro/demo/mod.py", ast.parse(textwrap.dedent(source))
+        )
+        return build_project(
+            [summary], full_tree=full_tree, root=str(tmp_path)
+        )
+
+    def test_both_drift_directions_are_flagged(self, tmp_path):
+        from repro.analyze.rules.obsdoc import MetricsGlossarySync
+
+        found = list(
+            MetricsGlossarySync().check_project(
+                self.project(
+                    """
+                    from repro.obs import counter
+
+                    def touch():
+                        counter("demo.hits").inc()
+                        counter("demo.undocumented").inc()
+                    """,
+                    tmp_path,
+                )
+            )
+        )
+        assert [f.rule_id for f in found] == ["OBS001", "OBS001"]
+        undocumented, unemitted = found
+        assert "demo.undocumented" in undocumented.message
+        assert undocumented.path == "src/repro/demo/mod.py"
+        assert "demo.gone" in unemitted.message
+        assert unemitted.path == "docs/OBSERVABILITY.md"
+
+    def test_fstring_emission_matches_placeholder_row(self, tmp_path):
+        from repro.analyze.rules.obsdoc import MetricsGlossarySync
+
+        glossary = self.GLOSSARY.replace(
+            "`demo.gone` | counter | calls | documented but never emitted",
+            "`demo.by.<KIND>` | counter | calls | per-kind breakdown",
+        )
+        type(self).GLOSSARY, saved = glossary, self.GLOSSARY
+        try:
+            found = list(
+                MetricsGlossarySync().check_project(
+                    self.project(
+                        """
+                        from repro.obs import counter
+
+                        def touch(kind):
+                            counter("demo.hits").inc()
+                            counter(f"demo.by.{kind}").inc()
+                        """,
+                        tmp_path,
+                    )
+                )
+            )
+        finally:
+            type(self).GLOSSARY = saved
+        assert found == []
+
+    def test_partial_scans_stay_quiet(self, tmp_path):
+        from repro.analyze.rules.obsdoc import MetricsGlossarySync
+
+        found = list(
+            MetricsGlossarySync().check_project(
+                self.project(
+                    """
+                    from repro.obs import counter
+
+                    def touch():
+                        counter("demo.undocumented").inc()
+                    """,
+                    tmp_path,
+                    full_tree=False,
+                )
+            )
+        )
+        assert found == []
+
+
+class TestSUP001StaleSuppression:
+    def test_flags_marker_that_suppressed_nothing(self):
+        found = lint(
+            """
+            import os
+
+            def f():
+                return os.getpid()  # repro: noqa[DET001]
+            """,
+            path="src/repro/sim/mod.py",
+        )
+        assert ids(found) == ["SUP001"]
+        assert "DET001" in found[0].message
+        assert found[0].line == 5
+
+    def test_used_marker_is_clean(self):
+        found = lint(
+            """
+            import time
+
+            def f():
+                return time.time()  # repro: noqa[DET001]
+            """,
+            path="src/repro/sim/mod.py",
+        )
+        assert found == []
+
+    def test_partial_runs_never_judge_foreign_tokens(self):
+        # Only ASY001 ran; the DET001 token could not have matched, so
+        # it is not judged (and SUP001 is not even selected).
+        found = lint(
+            """
+            import os
+
+            def f():
+                return os.getpid()  # repro: noqa[DET001]
+            """,
+            path="src/repro/sim/mod.py",
+            rules=["ASY001", "SUP001"],
+        )
+        assert found == []
+
+    def test_explicit_sup_token_quiets_the_report(self):
+        found = lint(
+            """
+            import os
+
+            def f():
+                return os.getpid()  # repro: noqa[DET001, SUP001]
+            """,
+            path="src/repro/sim/mod.py",
+        )
+        assert found == []
+
+    def test_bare_noqa_cannot_hide_its_own_staleness(self):
+        found = lint(
+            """
+            import os
+
+            def f():
+                return os.getpid()  # repro: noqa
+            """,
+            path="src/repro/sim/mod.py",
+        )
+        assert ids(found) == ["SUP001"]
+        assert "bare noqa" in found[0].message
+
+
 class TestCatalog:
     def test_every_registered_rule_has_a_fixture_class_here(self):
         import sys

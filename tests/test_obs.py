@@ -36,11 +36,11 @@ class TestTracer:
         # loose (CI machines vary); the structural singleton check above
         # is the real guarantee.
         t = Tracer(enabled=False)
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: noqa[DET001] — overhead guard, not a result
         for _ in range(100_000):
             with t.span("hot"):
                 pass
-        assert time.perf_counter() - t0 < 1.0
+        assert time.perf_counter() - t0 < 1.0  # repro: noqa[DET001] — overhead guard, not a result
 
     def test_span_records_interval_and_attrs(self):
         t = Tracer(enabled=True)

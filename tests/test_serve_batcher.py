@@ -87,9 +87,9 @@ class TestCoalescing:
 
         async def go():
             b = MicroBatcher(rec, window_s=5.0, max_batch=8)
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # repro: noqa[DET001] — latency bound, not a result
             await asyncio.gather(*(b.submit("same", "p") for _ in range(8)))
-            elapsed = time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0  # repro: noqa[DET001] — latency bound, not a result
             await b.close()
             return elapsed
 
@@ -259,9 +259,9 @@ class TestTaskReferences:
             waiter = asyncio.create_task(b.submit("k", "p"))
             await asyncio.sleep(0.01)  # timer armed, window wide open
             assert b._timer is not None
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # repro: noqa[DET001] — latency bound, not a result
             await b.close()
-            elapsed = time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0  # repro: noqa[DET001] — latency bound, not a result
             assert b._timer is None
             return await waiter, elapsed
 

@@ -332,8 +332,8 @@ class TestFleetSupervision:
                 victim_pid = victim.process.pid
                 os.kill(victim_pid, signal.SIGKILL)
 
-                deadline = time.monotonic() + 15.0
-                while time.monotonic() < deadline:
+                deadline = time.monotonic() + 15.0  # repro: noqa[DET001] — subprocess readiness deadline
+                while time.monotonic() < deadline:  # repro: noqa[DET001] — subprocess readiness deadline
                     fresh = fleet._workers["w0"]
                     if (
                         fresh.state == UP
@@ -537,8 +537,8 @@ class TestCliSignalDrain:
         )
         try:
             port = None
-            deadline = time.monotonic() + 60
-            while time.monotonic() < deadline:
+            deadline = time.monotonic() + 60  # repro: noqa[DET001] — subprocess readiness deadline
+            while time.monotonic() < deadline:  # repro: noqa[DET001] — subprocess readiness deadline
                 line = proc.stdout.readline()
                 if "listening on" in line:
                     port = int(line.split("http://")[1].split("/")[0]
