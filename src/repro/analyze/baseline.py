@@ -2,7 +2,7 @@
 
 A committed ``lint-baseline.json`` records the accepted findings by
 content address (:meth:`Finding.identity` — rule + path + message,
-hashed through :func:`repro.runtime.cache.cache_key`).  ``repro lint
+hashed through :func:`repro.cache.cache_key`).  ``repro lint
 --baseline`` then reports only findings whose identity is absent from
 the baseline (or whose count grew), so a legacy tree can adopt the lint
 without a flag day while new violations still gate.  The tree here
@@ -17,6 +17,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.cache import atomic_write
 from repro.errors import AnalysisError
 from repro.analyze.findings import Finding
 
@@ -97,9 +98,10 @@ class Baseline:
                 for key, count in sorted(self.counts.items())
             },
         }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        # Atomic: a crash mid-update must not leave CI gating on a
+        # torn, unparseable baseline.
+        blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        atomic_write(path, blob.encode("utf-8"))
 
     # -- gating -------------------------------------------------------------
 

@@ -4,7 +4,8 @@ Importing this package registers every rule: DET (determinism hazards
 in the simulation/model/runtime core), ASY (event-loop and shared-state
 discipline in serve/ and runtime/), UNIT (unit-convention violations
 against :mod:`repro.units`), REG (experiment-registry and schema
-contracts), and the whole-program packs riding the semantic layer —
+contracts), CACHE (no ad-hoc LRUs outside :mod:`repro.cache`), and the
+whole-program packs riding the semantic layer —
 FLOW (cross-file blocking reachability and taint flow), RACE
 (loop-vs-worker shared-state races), OBS (metrics-glossary sync), SUP
 (stale suppressions).  ``docs/LINTING.md`` is the human-facing
@@ -24,7 +25,7 @@ from repro.analyze.rules.base import (
 # Importing the packs registers their rules.  flow/race/obsdoc/sup
 # import the semantic layer, which imports vocabularies from asy/det —
 # keep those first.
-from repro.analyze.rules import asy, det, reg, unit  # noqa: F401  (import-for-effect)
+from repro.analyze.rules import asy, cache, det, reg, unit  # noqa: F401  (import-for-effect)
 from repro.analyze.rules import flow, obsdoc, race, sup  # noqa: F401  (import-for-effect)
 
 __all__ = [

@@ -7,15 +7,18 @@ simulator runs on *virtual* time, every RNG is seeded through
 rules flag the classic ways that promise silently breaks.
 
 Scope: ``sim/``, ``model/``, ``experiments/``, ``runtime/``,
-``machines/``, ``store/``.  The ``bench/`` and ``obs/`` packages are
-exempt by construction — one *simulates* the measurement pipeline (its
-"clock" is the simulated TSC), the other's entire job is wall-clock
-telemetry.  ``machines/`` is in scope because preset resolution feeds
-cache keys: a wall clock or an unsorted iteration there would silently
-fork the model catalog.  ``store/`` is in scope because version ids
-are content addresses and the manifest is shared fleet-wide: publish
-timestamps must enter as parameters from the CLI/serve edge, never be
-read inside the store.
+``machines/``, ``store/``, ``cache/``.  The ``bench/`` and ``obs/``
+packages are exempt by construction — one *simulates* the measurement
+pipeline (its "clock" is the simulated TSC), the other's entire job is
+wall-clock telemetry.  ``machines/`` is in scope because preset
+resolution feeds cache keys: a wall clock or an unsorted iteration
+there would silently fork the model catalog.  ``store/`` is in scope
+because version ids are content addresses and the manifest is shared
+fleet-wide: publish timestamps must enter as parameters from the
+CLI/serve edge, never be read inside the store.  ``cache/`` is in
+scope because cache keys *are* content addresses: apart from the one
+noqa'd LRU atime read, nothing in the tier may depend on ambient
+state.
 """
 
 from __future__ import annotations
@@ -32,7 +35,16 @@ from repro.analyze.rules.base import Rule, register_rule
 #: flaky by construction, and flaky tests erode exactly the
 #: reproducibility story the suite exists to defend.
 DET_SCOPE = frozenset(
-    {"sim", "model", "experiments", "runtime", "machines", "store", "tests"}
+    {
+        "sim",
+        "model",
+        "experiments",
+        "runtime",
+        "machines",
+        "store",
+        "cache",
+        "tests",
+    }
 )
 
 #: Wall-clock reads.  Matched on the dotted call name, so a planted

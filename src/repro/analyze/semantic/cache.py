@@ -3,8 +3,8 @@
 One JSON entry per scanned file, stored under a name derived from the
 file's *path* and keyed inside by a content address over the file's
 *bytes* (plus the selected rule set and the summary schema version,
-through :func:`repro.runtime.cache.cache_key` — the same scheme as
-every other cache in the workbench, so ``repro.__version__`` bumps
+through :func:`repro.cache.cache_key` — the same scheme as every
+other cache in the workbench, so ``repro.__version__`` bumps
 invalidate everything).  A hit returns the file's
 :class:`~repro.analyze.semantic.summarize.ModuleSummary`, its per-file
 rule findings (post-suppression), and its noqa bookkeeping — the whole
@@ -33,8 +33,8 @@ import json
 import os
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.cache import DiskTier, cache_key, default_cache_dir
 from repro.obs import counter
-from repro.runtime.cache import atomic_write, cache_key, default_cache_dir
 from repro.analyze.semantic.summarize import SEMANTIC_SCHEMA_VERSION
 
 
@@ -58,29 +58,41 @@ def entry_key(source: bytes, rule_ids: List[str]) -> str:
 
 
 class SemanticCache:
-    """Per-file analysis entries on disk, one JSON file per path."""
+    """Per-file analysis entries on disk, one JSON file per path.
+
+    A thin encoding over an uncapped :class:`repro.cache.DiskTier`
+    (keyed by the SHA-256 of the file *path*; staleness is decided by
+    the content ``key`` stored inside each entry).  The tier owns
+    storage and atomic writes; the legacy ``lint.semantic.cache.*``
+    counters — what the warm-lint speedup gate asserts — stay here.
+    """
 
     def __init__(self, directory: str) -> None:
-        self.directory = directory
-        os.makedirs(directory, exist_ok=True)
+        self._tier = DiskTier(directory, name="lint.semantic")
         self.hits = 0
         self.misses = 0
 
+    @property
+    def directory(self) -> str:
+        return self._tier.directory
+
+    @staticmethod
+    def _name_for(path: str) -> str:
+        return hashlib.sha256(path.encode()).hexdigest()
+
     def _entry_path(self, path: str) -> str:
-        name = hashlib.sha256(path.encode()).hexdigest()
-        return os.path.join(self.directory, f"{name}.json")
+        return self._tier.path(self._name_for(path))
 
     def get(self, path: str, key: str) -> Optional[Dict[str, Any]]:
         """The cached per-file stage for ``path``, or None when absent
         or stale (the stored key no longer matches the file's bytes /
         rule set / schema)."""
-        entry_path = self._entry_path(path)
+        blob = self._tier.get(self._name_for(path))
         doc = None
-        if os.path.exists(entry_path):
+        if blob is not None:
             try:
-                with open(entry_path, encoding="utf-8") as fh:
-                    doc = json.load(fh)
-            except (ValueError, OSError):
+                doc = json.loads(blob)
+            except ValueError:
                 doc = None
         if doc is not None and doc.get("key") == key:
             self.hits += 1
@@ -94,8 +106,8 @@ class SemanticCache:
         doc = dict(doc)
         doc["key"] = key
         doc["path"] = path
-        atomic_write(
-            self._entry_path(path),
+        self._tier.put(
+            self._name_for(path),
             json.dumps(doc, sort_keys=True).encode(),
         )
         counter("lint.semantic.cache.writes").inc()
@@ -107,9 +119,7 @@ class SemanticCache:
         to invalidate transitively along the import graph."""
         removed = 0
         for path in paths:
-            entry_path = self._entry_path(path)
-            if os.path.exists(entry_path):
-                os.unlink(entry_path)
+            if self._tier.remove(self._name_for(path)):
                 removed += 1
         counter("lint.semantic.cache.evicted").inc(removed)
         return removed

@@ -1,0 +1,84 @@
+"""``repro cache`` — maintenance and stress entry points.
+
+``repro cache stress`` is the CI smoke: multi-process churn against
+one cache directory, first uncapped (lost-update check: every entry a
+worker wrote must be indexed) then under a tight byte cap (no orphans,
+no ghosts, cap enforced over what is actually on disk).  Exit code 0
+only when every invariant holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from repro.cache.stress import stress_churn, stress_lost_updates
+
+
+def build_cache_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    parser = parser or argparse.ArgumentParser(prog="repro cache")
+    sub = parser.add_subparsers(dest="cache_command", required=True)
+
+    stress = sub.add_parser(
+        "stress",
+        help="multi-process cache churn; fails on lost entries/orphans",
+    )
+    stress.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: a fresh temp dir)",
+    )
+    stress.add_argument("--procs", type=int, default=4)
+    stress.add_argument("--items", type=int, default=40)
+    stress.add_argument("--blob-size", type=int, default=512)
+    return parser
+
+
+def main_cache(argv: Optional[List[str]] = None) -> int:
+    args = build_cache_parser().parse_args(argv)
+    if args.cache_command == "stress":
+        return _run_stress(args)
+    return 2  # unreachable: subparsers are required
+
+
+def _run_stress(args: argparse.Namespace) -> int:
+    problems: List[str] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        base = args.dir or scratch
+        with tempfile.TemporaryDirectory(dir=base) as lost_dir:
+            print(
+                f"stress: lost-update phase "
+                f"({args.procs} procs x {args.items} keys) ..."
+            )
+            problems += [
+                f"[lost-update] {p}"
+                for p in stress_lost_updates(
+                    lost_dir, procs=args.procs, items=args.items,
+                    blob_size=args.blob_size,
+                )
+            ]
+        with tempfile.TemporaryDirectory(dir=base) as churn_dir:
+            print(
+                f"stress: capped churn phase "
+                f"({args.procs} procs, tight byte cap) ..."
+            )
+            problems += [
+                f"[churn] {p}"
+                for p in stress_churn(
+                    churn_dir, procs=args.procs, items=args.items,
+                    blob_size=args.blob_size,
+                )
+            ]
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("stress: all invariants held (no lost updates, no orphans)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main_cache())

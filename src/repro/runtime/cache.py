@@ -1,12 +1,17 @@
 """Content-addressed on-disk caches for the execution engine.
 
-Two caches with different lifetimes and formats:
+Two caches with different lifetimes and formats, both thin encodings
+over :class:`repro.cache.TieredCache` (which owns storage, the
+file-locked LRU index, eviction, and the ``cache.*`` metrics — see
+``docs/CACHING.md``):
 
 * :class:`ResultCache` — finished :class:`ExperimentResult` payloads,
   stored as JSON (the same shape :mod:`repro.experiments.store` writes)
   keyed by SHA-256 of ``(experiment id, resolved kwargs, the paper's
-  default MachineConfig, repro.__version__)``.  Read and written only
-  by the parent process, with an LRU byte-size cap.
+  default MachineConfig, repro.__version__)``, with an LRU byte-size
+  cap.  Safe under concurrent pool workers: index updates are
+  file-locked and atime refreshes are batched (call :meth:`flush` when
+  a run finishes), so a warm hit does zero index writes.
 * :class:`CharacterizationCache` — pickled
   :class:`~repro.bench.suite.Characterization` bundles shared between
   worker processes.  Written only during the scheduler's warm-up phase
@@ -14,100 +19,35 @@ Two caches with different lifetimes and formats:
 
 Keys include the package version: bumping ``repro.__version__``
 invalidates everything (the model/benchmarks may have changed).
+
+The key/fingerprint primitives (``cache_key`` and friends) moved to
+:mod:`repro.cache.keys`; they are re-exported here unchanged so every
+historical import path — and the golden key digests — keep working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import hashlib
 import json
 import os
 import pickle
-import tempfile
-import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro._version import __version__
+from repro.cache import TieredCache
+from repro.cache.keys import (  # noqa: F401 - re-exported, see docstring
+    atomic_write,
+    cache_key,
+    content_key,
+    default_cache_dir,
+    fingerprint,
+)
+from repro.cache.index import INDEX_NAME as _INDEX  # noqa: F401
 from repro.experiments.common import ExperimentResult
 from repro.obs import counter, span
 from repro.runtime.task import CharacterizationNeed
 
 #: Default LRU cap for the result cache (bytes).
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
-
-_INDEX = "index.json"
-
-
-def default_cache_dir() -> str:
-    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-knl``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return env
-    return os.path.join(os.path.expanduser("~"), ".cache", "repro-knl")
-
-
-def fingerprint(value: Any) -> Any:
-    """Reduce ``value`` to a JSON-stable structure for hashing.
-
-    Handles dataclasses (``MachineConfig``), enums, tuples/sets and
-    numpy scalars; anything else falls back to ``repr``.
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: fingerprint(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-    if isinstance(value, enum.Enum):
-        return value.value
-    if isinstance(value, dict):
-        return {str(k): fingerprint(v) for k, v in sorted(value.items())}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [fingerprint(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if hasattr(value, "item"):  # numpy scalar
-        return value.item()
-    return repr(value)
-
-
-def content_key(payload: Any) -> str:
-    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
-    blob = json.dumps(fingerprint(payload), sort_keys=True, default=repr)
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
-def cache_key(**parts: Any) -> str:
-    """Public content-address used by every cache in the workbench.
-
-    ``cache_key(exp_id=..., kwargs=...)`` hashes the keyword parts (via
-    :func:`fingerprint`) together with ``repro.__version__`` — pass an
-    explicit ``version=`` to pin or drop the automatic one.  Both
-    :class:`ResultCache` and :mod:`repro.serve.artifacts` derive their
-    keys through here, so the scheme stays in one place and the keys
-    stay byte-stable (a golden test guards the exact digests).
-    """
-    payload = dict(parts)
-    payload.setdefault("version", __version__)
-    return content_key(payload)
-
-
-def atomic_write(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` through a same-directory temp file +
-    ``os.replace``, so readers never observe a half-written file.
-
-    Shared by every disk tier that hashes through :func:`cache_key`
-    (result cache, characterization cache, :mod:`repro.store`)."""
-    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
 
 #: Backward-compatible alias (pre-store internal name).
 _atomic_write = atomic_write
@@ -119,11 +59,20 @@ class ResultCache:
     def __init__(
         self, directory: str, max_bytes: int = DEFAULT_MAX_BYTES
     ) -> None:
-        self.directory = os.path.join(directory, "results")
+        self._tier = TieredCache(
+            os.path.join(directory, "results"),
+            name="result",
+            suffix=".json",
+            max_bytes=max_bytes,
+            memory_entries=32,
+        )
         self.max_bytes = max_bytes
-        os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+
+    @property
+    def directory(self) -> str:
+        return self._tier.directory
 
     # -- keys --------------------------------------------------------------
 
@@ -143,37 +92,7 @@ class ResultCache:
         )
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.json")
-
-    # -- index (LRU bookkeeping) ------------------------------------------
-
-    def _load_index(self) -> Dict[str, Dict[str, Any]]:
-        path = os.path.join(self.directory, _INDEX)
-        if not os.path.exists(path):
-            return {}
-        try:
-            with open(path) as fh:
-                return json.load(fh)
-        except (OSError, ValueError):
-            return {}
-
-    def _save_index(self, index: Dict[str, Dict[str, Any]]) -> None:
-        _atomic_write(
-            os.path.join(self.directory, _INDEX),
-            json.dumps(index, sort_keys=True).encode(),
-        )
-
-    def _touch(self, key: str, size: Optional[int] = None,
-               exp_id: Optional[str] = None) -> None:
-        index = self._load_index()
-        entry = index.setdefault(key, {})
-        # Eviction bookkeeping, not an experiment input.
-        entry["atime"] = time.time()  # repro: noqa[DET001]
-        if size is not None:
-            entry["size"] = size
-        if exp_id is not None:
-            entry["exp_id"] = exp_id
-        self._save_index(index)
+        return self._tier.disk.path(key)
 
     # -- get/put -----------------------------------------------------------
 
@@ -186,14 +105,13 @@ class ResultCache:
         return result
 
     def _get(self, key: str) -> Optional[ExperimentResult]:
-        path = self._path(key)
-        if not os.path.exists(path):
+        blob = self._tier.get(key)
+        if blob is None:
             self.misses += 1
             return None
         try:
-            with open(path) as fh:
-                data = json.load(fh)["result"]
-        except (OSError, ValueError, KeyError):
+            data = json.loads(blob)["result"]
+        except (ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         result = ExperimentResult(
@@ -206,7 +124,6 @@ class ResultCache:
         for note in data.get("notes", []):
             result.note(note)
         self.hits += 1
-        self._touch(key)
         return result
 
     def put(self, key: str, result: ExperimentResult,
@@ -225,35 +142,14 @@ class ResultCache:
             },
         }
         blob = json.dumps(payload, indent=2, default=str).encode()
-        path = self._path(key)
-        _atomic_write(path, blob)
-        self._touch(key, size=len(blob), exp_id=result.exp_id)
-        self._evict()
-        return path
-
-    def _evict(self) -> None:
-        """Drop least-recently-used entries until under the byte cap."""
-        index = self._load_index()
-        total = sum(int(e.get("size", 0)) for e in index.values())
-        if total <= self.max_bytes:
-            return
-        for key in sorted(index, key=lambda k: index[k].get("atime", 0.0)):
-            if total <= self.max_bytes:
-                break
-            total -= int(index[key].get("size", 0))
-            try:
-                os.unlink(self._path(key))
-            except OSError:
-                pass
-            del index[key]
-        self._save_index(index)
+        return self._tier.put(key, blob)
 
     def keys(self) -> Tuple[str, ...]:
-        return tuple(
-            f[: -len(".json")]
-            for f in sorted(os.listdir(self.directory))
-            if f.endswith(".json") and f != _INDEX
-        )
+        return self._tier.keys()
+
+    def flush(self) -> None:
+        """Write batched atime refreshes to the index (end of a run)."""
+        self._tier.flush()
 
 
 class CharacterizationCache:
@@ -262,14 +158,25 @@ class CharacterizationCache:
     ``read_only=True`` turns :meth:`put` into a no-op; the scheduler
     flips the cache read-only for the experiment phase so only warm-up
     tasks populate it (deterministic hit/miss regardless of ordering).
+
+    Uncapped, so the tier keeps no index — the directory is exactly
+    the set of ``<key>.pkl`` bundles, shared freely between worker
+    processes (blob writes are atomic).
     """
 
     def __init__(self, directory: str, read_only: bool = False) -> None:
-        self.directory = os.path.join(directory, "char")
+        self._tier = TieredCache(
+            os.path.join(directory, "char"),
+            name="char",
+            suffix=".pkl",
+        )
         self.read_only = read_only
-        os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+
+    @property
+    def directory(self) -> str:
+        return self._tier.directory
 
     # -- keys --------------------------------------------------------------
 
@@ -310,20 +217,19 @@ class CharacterizationCache:
         return CharacterizationCache.key_for_need(need)
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.pkl")
+        return self._tier.disk.path(key)
 
     def has(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
     def get(self, key: str):
         with span("cache.char.get", category="cache") as sp:
-            path = self._path(key)
+            blob = self._tier.get(key)
             bundle = None
-            if os.path.exists(path):
+            if blob is not None:
                 try:
-                    with open(path, "rb") as fh:
-                        bundle = pickle.load(fh)
-                except (OSError, pickle.UnpicklingError, EOFError):
+                    bundle = pickle.loads(blob)
+                except (pickle.UnpicklingError, EOFError, ValueError):
                     bundle = None
             sp.set(outcome="hit" if bundle is not None else "miss")
         if bundle is None:
@@ -339,7 +245,7 @@ class CharacterizationCache:
             return
         counter("runtime.cache.char.writes").inc()
         with span("cache.char.put", category="cache"):
-            _atomic_write(self._path(key), pickle.dumps(bundle))
+            self._tier.put(key, pickle.dumps(bundle))
 
 
 # -- process-global characterization cache handle --------------------------

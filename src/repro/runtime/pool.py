@@ -345,6 +345,10 @@ def execute(plan: RunPlan) -> RunReport:
             outcome.cache = "miss"
         ordered.append(outcome)
         manifest.record(outcome)
+    if result_cache is not None:
+        # Warm hits only buffer atime refreshes; one locked index
+        # write at the end of the run records them all.
+        result_cache.flush()
 
     for outcome in ordered:
         counter(f"runtime.tasks.{outcome.status.value}").inc()

@@ -43,7 +43,6 @@ docs/PERFORMANCE.md derives the win and when it saturates.
 from __future__ import annotations
 
 import asyncio
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -59,6 +58,7 @@ from repro.model.vector import (
     compile_queries,
     evaluate_plan_values,
 )
+from repro.cache import LRUCache
 from repro.obs import counter, gauge, histogram, metrics_snapshot, span
 from repro.serve.artifacts import Artifact, ArtifactRegistry, config_from_json
 from repro.serve.batcher import AdmissionError, BatcherClosed, MicroBatcher
@@ -249,13 +249,15 @@ class ServeApp:
         #: Resolved catalog presets by name — one file read + validation
         #: per preset per process, not per request.
         self._machine_specs: Dict[str, Any] = {}
-        #: Compiled predict plans by content key (LRU).  Shared between
-        #: the event loop (assemble-phase hits) and evaluator worker
-        #: threads (compile-time inserts), hence the lock; a repeat
-        #: query — even with dedup off — skips parse, compile, and
-        #: response-skeleton rendering entirely.
-        self._plan_cache: "OrderedDict[str, _PlanEntry]" = OrderedDict()
-        self._plan_lock = threading.Lock()
+        #: Compiled predict plans by content key.  A thread-safe
+        #: :class:`repro.cache.LRUCache` shared between the event loop
+        #: (assemble-phase hits) and evaluator worker threads
+        #: (compile-time inserts); a repeat query — even with dedup off
+        #: — skips parse, compile, and response-skeleton rendering
+        #: entirely.
+        self._plan_cache: LRUCache = LRUCache(
+            "serve.plan", max_entries=_PLAN_CACHE_SIZE
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -672,11 +674,9 @@ class ServeApp:
     # -- vectorized predict path --------------------------------------------
 
     def _plan_hit(self, content_key: str) -> Optional[_PlanEntry]:
-        with self._plan_lock:
-            entry = self._plan_cache.get(content_key)
-            if entry is not None:
-                self._plan_cache.move_to_end(content_key)
-                counter("serve.vector.plan_cache.hits").inc()
+        entry = self._plan_cache.get(content_key)
+        if entry is not None:
+            counter("serve.vector.plan_cache.hits").inc()
         return entry
 
     def _plan_compile(
@@ -689,23 +689,17 @@ class ServeApp:
         raises exactly the error the scalar path always raised — the
         vector path never invents its own error surface.
         """
-        with self._plan_lock:
-            entry = self._plan_cache.get(content_key)
-            if entry is not None:
-                self._plan_cache.move_to_end(content_key)
-                counter("serve.vector.plan_cache.hits").inc()
-                return entry
+        entry = self._plan_cache.get(content_key)
+        if entry is not None:
+            counter("serve.vector.plan_cache.hits").inc()
+            return entry
         counter("serve.vector.plan_cache.misses").inc()
         try:
             plan = compile_queries(body.get("queries"))
         except ModelError:
             return None
         entry = _PlanEntry(plan, body.get("machine"), body.get("config"))
-        with self._plan_lock:
-            self._plan_cache[content_key] = entry
-            self._plan_cache.move_to_end(content_key)
-            while len(self._plan_cache) > _PLAN_CACHE_SIZE:
-                self._plan_cache.popitem(last=False)
+        self._plan_cache.put(content_key, entry)
         return entry
 
     def _evaluate_vector(

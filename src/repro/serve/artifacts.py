@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
+from repro.cache import AsyncSingleFlight, LRUCache
 from repro.errors import ConfigurationError, ReproError
 from repro.machine.config import ClusterMode, MachineConfig, MemoryMode
 from repro.model.parameters import CapabilityModel
@@ -154,12 +155,15 @@ class ArtifactRegistry:
         #: Active stable artifact per slot — the warm fast path.
         self._warm: Dict[str, Artifact] = {}
         #: Memory tier of every resolved version, by ``slot@version``
-        #: identity (stable *and* canary live here).
-        self._versions: Dict[str, Artifact] = {}
+        #: identity (stable *and* canary live here).  An LRU so a long
+        #: canary history cannot grow the process without bound.
+        self._versions = LRUCache("serve.versions", max_entries=64)
         #: Cached per-slot routing views; rebuilt by :meth:`reload`.
         self._views: Dict[str, _SlotView] = {}
         self._machines: Dict[str, Any] = {}
-        self._fitting: Dict[str, asyncio.Future] = {}
+        #: Loads/fits in flight, keyed by slot (stable) or identity
+        #: (canary): concurrent cold demand fits once.
+        self._fitting = AsyncSingleFlight()
         #: key → ResolvedMachine for preset-fitted artifacts, so
         #: :meth:`machine_for` can rebuild the preset machine (with its
         #: calibration overrides) instead of a stock KNL one.
@@ -284,7 +288,7 @@ class ArtifactRegistry:
     def _register(self, artifact: Artifact) -> Artifact:
         self._warm[artifact.key] = artifact
         if artifact.version is not None:
-            self._versions[artifact.identity] = artifact
+            self._versions.put(artifact.identity, artifact)
         return artifact
 
     # -- the serving path ---------------------------------------------------
@@ -397,29 +401,19 @@ class ArtifactRegistry:
     async def _singleflight(
         self, key: str, loader, stable: bool = True
     ) -> Artifact:
-        pending = self._fitting.get(key)
-        if pending is not None:
-            counter("serve.artifacts.joined").inc()
-            return await asyncio.shield(pending)
-
-        loop = asyncio.get_running_loop()
-        fut: asyncio.Future = loop.create_future()
-        self._fitting[key] = fut
-        try:
+        async def runner() -> Artifact:
             artifact = await asyncio.to_thread(loader)
             if stable:
                 self._register(artifact)
             elif artifact.version is not None:
-                self._versions[artifact.identity] = artifact
-            fut.set_result(artifact)
+                self._versions.put(artifact.identity, artifact)
             return artifact
-        except BaseException as e:
-            fut.set_exception(e)
-            # Nobody may be awaiting the shared future; don't warn.
-            fut.exception()
-            raise
-        finally:
-            del self._fitting[key]
+
+        return await self._fitting.do(
+            key,
+            runner,
+            on_join=counter("serve.artifacts.joined").inc,
+        )
 
     def _count_request(self, artifact: Artifact) -> None:
         label = (
@@ -522,10 +516,10 @@ class ArtifactRegistry:
         prefix = f"{slot}@"
         for identity in [
             i
-            for i in sorted(self._versions)
+            for i in sorted(self._versions.keys())
             if i.startswith(prefix) and i[len(prefix):] not in keep
         ]:
-            del self._versions[identity]
+            self._versions.invalidate(identity)
             counter("serve.store.invalidated").inc()
         return entry
 

@@ -36,6 +36,7 @@ import asyncio
 import time
 from typing import Any, Awaitable, Callable, Dict, Optional, Set
 
+from repro.cache import AsyncSingleFlight
 from repro.errors import ConfigurationError, ReproError
 from repro.obs import counter, gauge, histogram, span
 
@@ -91,8 +92,10 @@ class MicroBatcher:
         #: caps THIS, so 64 identical waiters flush immediately instead
         #: of all paying the window for one unique evaluation.
         self._open_requests = 0
-        #: Evaluations in flight: key -> shared future (single-flight).
-        self._inflight: Dict[str, asyncio.Future] = {}
+        #: Evaluations in flight (single-flight): the batcher publishes
+        #: each flushed batch's futures here so identical submissions
+        #: attach to the running evaluation.
+        self._inflight = AsyncSingleFlight()
         #: Strong references to running batch tasks.  The event loop
         #: only keeps a weak reference to a task — a flush whose task
         #: nobody holds can be garbage-collected mid-evaluation and
@@ -187,7 +190,8 @@ class MicroBatcher:
         batch, futures = self._open, self._open_futures
         self._open, self._open_futures = {}, {}
         self._open_requests = 0
-        self._inflight.update(futures)
+        for key, fut in futures.items():
+            self._inflight.share(key, fut)
         counter("serve.batch.batches").inc()
         histogram("serve.batch.size").observe(len(batch))
         task = asyncio.get_running_loop().create_task(
@@ -219,8 +223,7 @@ class MicroBatcher:
                     fut.set_exception(e)
         finally:
             for key, fut in futures.items():
-                if self._inflight.get(key) is fut:
-                    del self._inflight[key]
+                self._inflight.release(key, fut)
                 # Swallow "exception never retrieved" for abandoned waiters.
                 if fut.done() and fut.exception() is not None:
                     pass

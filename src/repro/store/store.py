@@ -17,11 +17,17 @@ Per slot, the manifest tracks::
     history         stable lineage, oldest first (rollback walks it)
 
 Every mutation (publish / promote / rollback / tag / gc) rewrites the
-manifest atomically through :func:`repro.runtime.cache.atomic_write`,
-so a reader process — a fleet worker answering ``/v1/admin/reload`` —
+manifest atomically through :func:`repro.cache.atomic_write`, so a
+reader process — a fleet worker answering ``/v1/admin/reload`` —
 always sees either the old routing state or the new one, never a torn
 file.  Version records are content-addressed and immutable, so the
 memory tier never invalidates them; only the manifest moves.
+
+LRU bookkeeping (``index.json``) goes through the shared
+:class:`repro.cache.CacheIndex`: atime touches are buffered in-process
+(a warm load writes nothing) and folded into one file-locked index
+write on publish, cap enforcement, and gc — concurrent publishers no
+longer clobber each other's entries.
 
 Determinism: this module is in the lint's DET scope and never reads
 the wall clock.  Publish timestamps and LRU touch times are passed in
@@ -36,9 +42,10 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.cache import CacheIndex, atomic_write, default_cache_dir
+from repro.cache.index import Entry
 from repro.errors import ConfigurationError
 from repro.obs import counter, gauge
-from repro.runtime.cache import atomic_write, default_cache_dir
 from repro.store.records import (
     StoreError,
     VersionRecord,
@@ -59,7 +66,6 @@ DEFAULT_STORE_MAX_BYTES = 64 * 1024 * 1024
 HISTORY_LIMIT = 16
 
 _MANIFEST = "manifest.json"
-_INDEX = "index.json"
 _VERSIONS = "versions"
 
 
@@ -119,6 +125,10 @@ class ArtifactStore:
         self.persist = persist
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
+        #: Shared file-locked LRU index (atime/size per version) with
+        #: batched touches; all writes funnel through
+        #: :meth:`_mutate_index`.
+        self._index = CacheIndex(self.directory)
         #: Memory tier: version id -> record.  Records are immutable, so
         #: entries never go stale; the tier is dropped only per-process.
         self._mem: Dict[str, VersionRecord] = {}
@@ -134,9 +144,6 @@ class ArtifactStore:
 
     def _manifest_path(self) -> str:
         return os.path.join(self.directory, _MANIFEST)
-
-    def _index_path(self) -> str:
-        return os.path.join(self.directory, _INDEX)
 
     # -- manifest -----------------------------------------------------------
 
@@ -524,35 +531,22 @@ class ArtifactStore:
             refs.update(self._state(slot, docs[slot]).referenced())
         return refs
 
-    def _load_index(self) -> Dict[str, Dict[str, Any]]:
-        path = self._index_path()
-        if not os.path.exists(path):
-            return {}
-        try:
-            with open(path) as fh:
-                return json.load(fh)
-        except (OSError, ValueError):
-            return {}
-
-    def _save_index(self, index: Dict[str, Dict[str, Any]]) -> None:
-        os.makedirs(self.directory, exist_ok=True)
-        try:
-            atomic_write(
-                self._index_path(),
-                json.dumps(index, sort_keys=True).encode(),
-            )
-        except OSError:
-            pass  # LRU bookkeeping is an optimization, never a failure
-
     def _touch_index(
         self, version_id: str, atime: float, size: Optional[int] = None
     ) -> None:
-        index = self._load_index()
-        entry = index.setdefault(version_id, {})
-        entry["atime"] = float(atime)
-        if size is not None:
-            entry["size"] = size
-        self._save_index(index)
+        """Buffered LRU touch — folded into the next locked index write
+        (publish, cap enforcement, gc); a warm load writes nothing."""
+        self._index.touch(version_id, float(atime), size=size)
+
+    def _mutate_index(self, fn=None) -> None:
+        """One file-locked index write: buffered touches + ``fn``."""
+        if not self.persist:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        try:
+            self._index.mutate(fn)
+        except OSError:
+            pass  # LRU bookkeeping is an optimization, never a failure
 
     def _scan_versions(self) -> Dict[str, int]:
         """``{version_id: size_bytes}`` of every record file on disk."""
@@ -583,26 +577,29 @@ class ArtifactStore:
 
         Anything a manifest references — latest, canary, tags, rollback
         history — is never evicted, even over the cap: routing must not
-        break because the store got full.
+        break because the store got full.  Runs as one file-locked
+        index write, which also lands the publish's buffered touch.
         """
-        sizes = self._scan_versions()
-        total = sum(sizes.values())
-        if total <= self.max_bytes:
-            return
         referenced = self._referenced(docs)
-        index = self._load_index()
-        evictable = sorted(
-            (vid for vid in sizes if vid not in referenced),
-            key=lambda vid: index.get(vid, {}).get("atime", 0.0),
-        )
-        for vid in evictable:
+
+        def evict(index: Dict[str, Entry]) -> None:
+            sizes = self._scan_versions()
+            total = sum(sizes.values())
             if total <= self.max_bytes:
-                break
-            total -= sizes[vid]
-            self._remove_version(vid)
-            index.pop(vid, None)
-            counter("store.evictions").inc()
-        self._save_index(index)
+                return
+            evictable = sorted(
+                (vid for vid in sizes if vid not in referenced),
+                key=lambda vid: index.get(vid, {}).get("atime", 0.0),
+            )
+            for vid in evictable:
+                if total <= self.max_bytes:
+                    break
+                total -= sizes[vid]
+                self._remove_version(vid)
+                index.pop(vid, None)
+                counter("store.evictions").inc()
+
+        self._mutate_index(evict)
 
     def gc(self) -> Dict[str, Any]:
         """Remove every version no manifest entry references.
@@ -616,7 +613,6 @@ class ArtifactStore:
             docs = self._load_slots()
             referenced = self._referenced(docs)
             sizes = self._scan_versions()
-            index = self._load_index()
             removed: List[str] = []
             freed = 0
             for vid in sorted(sizes):
@@ -624,7 +620,7 @@ class ArtifactStore:
                     continue
                 freed += sizes[vid]
                 self._remove_version(vid)
-                index.pop(vid, None)
+                self._index.forget(vid)
                 removed.append(vid)
             # Memory-only strays (persist=False stores, or records whose
             # file was already gone).
@@ -634,8 +630,12 @@ class ArtifactStore:
                     removed.append(vid)
             if removed:
                 counter("store.gc.removed").inc(len(removed))
-            if self.persist:
-                self._save_index(index)
+
+            def prune(index: Dict[str, Entry]) -> None:
+                for vid in removed:
+                    index.pop(vid, None)
+
+            self._mutate_index(prune)
             self._update_gauges()
         return {
             "removed": removed,

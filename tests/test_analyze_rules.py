@@ -531,6 +531,58 @@ class TestREG002SchemaVersionLiteral:
         assert found == []
 
 
+class TestCACHE001AdHocLRU:
+    def test_flags_move_to_end_outside_cache(self):
+        found = lint(
+            """
+            def refresh(entries, key):
+                entries.move_to_end(key)
+                return entries[key]
+            """,
+            path="src/repro/serve/plans.py",
+            rules=["CACHE001"],
+        )
+        assert ids(found) == ["CACHE001"]
+        assert "move_to_end" in found[0].message
+        assert "repro.cache" in found[0].message
+
+    def test_flags_oldest_first_popitem(self):
+        # Both spellings of LRU eviction: keyword and positional.
+        found = lint(
+            """
+            def evict(entries):
+                entries.popitem(last=False)
+                entries.popitem(False)
+            """,
+            path="src/repro/runtime/pool.py",
+            rules=["CACHE001"],
+        )
+        assert ids(found) == ["CACHE001", "CACHE001"]
+
+    def test_plain_popitem_is_clean(self):
+        # Newest-first popitem is a stack pop, not the LRU idiom.
+        found = lint(
+            """
+            def pop_any(d):
+                return d.popitem()
+            """,
+            path="src/repro/serve/plans.py",
+            rules=["CACHE001"],
+        )
+        assert found == []
+
+    def test_cache_package_and_tests_are_exempt(self):
+        src = """
+        def evict(entries):
+            entries.move_to_end("k")
+            entries.popitem(last=False)
+        """
+        assert lint(src, path="src/repro/cache/lru.py",
+                    rules=["CACHE001"]) == []
+        assert lint(src, path="tests/test_cache.py",
+                    rules=["CACHE001"]) == []
+
+
 class TestFLOW001BlockingReachable:
     def test_flags_blocking_two_hops_below_async(self):
         found = lint(

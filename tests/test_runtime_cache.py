@@ -79,9 +79,9 @@ class TestResultCache:
     def test_key_includes_version(self, tmp_path, monkeypatch):
         cache = ResultCache(str(tmp_path))
         k1 = cache.key_for("x", {})
-        import repro.runtime.cache as cache_mod
+        import repro.cache.keys as keys_mod
 
-        monkeypatch.setattr(cache_mod, "__version__", "999.0.0")
+        monkeypatch.setattr(keys_mod, "__version__", "999.0.0")
         assert cache.key_for("x", {}) != k1
 
     def test_lru_eviction_under_byte_cap(self, tmp_path):
@@ -103,7 +103,8 @@ class TestResultCache:
         k2 = cache.key_for("x", {"i": 2})
         cache.put(k1, _result())
         cache.put(k2, _result())
-        cache.get(k1)  # touch
+        cache.get(k1)  # touch (buffered: a warm hit writes no index)
+        cache.flush()
         index = json.loads((tmp_path / "results" / "index.json").read_text())
         assert index[k1]["atime"] >= index[k2]["atime"]
 
